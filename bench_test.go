@@ -1,0 +1,122 @@
+package configsynth_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"configsynth"
+	"configsynth/internal/experiments"
+	"configsynth/internal/isolation"
+	"configsynth/internal/netgen"
+)
+
+// Each benchmark regenerates one of the paper's evaluation tables or
+// figures (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for measured-vs-paper results). The data rows are logged once per
+// benchmark; run with -benchtime=1x for a single regeneration pass.
+
+func benchExperiment(b *testing.B, name string) {
+	fn, ok := experiments.All()[name]
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := fn()
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "\n%s\n", strings.Join(res.Header, ","))
+			for _, row := range res.Rows {
+				fmt.Fprintln(&sb, strings.Join(row, ","))
+			}
+			b.Log(sb.String())
+		}
+	}
+}
+
+// BenchmarkFig3a_IsolationVsUsability regenerates Fig. 3(a): maximum
+// isolation against the usability constraint at budgets $10K and $20K.
+func BenchmarkFig3a_IsolationVsUsability(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3b_IsolationVsCost regenerates Fig. 3(b): maximum
+// isolation against the deployment budget at usability 5 and 7.
+func BenchmarkFig3b_IsolationVsCost(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig4a_TimeVsHosts regenerates Fig. 4(a): synthesis time
+// against the number of hosts at 10% and 20% connectivity requirements.
+func BenchmarkFig4a_TimeVsHosts(b *testing.B) { benchExperiment(b, "fig4a") }
+
+// BenchmarkFig4b_TimeVsRouters regenerates Fig. 4(b): synthesis time
+// against the number of core routers.
+func BenchmarkFig4b_TimeVsRouters(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// BenchmarkFig4c_TimeVsCRVolume regenerates Fig. 4(c): synthesis time
+// against the connectivity-requirement volume.
+func BenchmarkFig4c_TimeVsCRVolume(b *testing.B) { benchExperiment(b, "fig4c") }
+
+// BenchmarkFig5a_TimeVsIsolationConstraint regenerates Fig. 5(a):
+// synthesis time against the isolation constraint tightness.
+func BenchmarkFig5a_TimeVsIsolationConstraint(b *testing.B) { benchExperiment(b, "fig5a") }
+
+// BenchmarkFig5b_TimeVsCostConstraint regenerates Fig. 5(b): synthesis
+// time against the deployment budget tightness.
+func BenchmarkFig5b_TimeVsCostConstraint(b *testing.B) { benchExperiment(b, "fig5b") }
+
+// BenchmarkFig5c_UnsatVsSat regenerates Fig. 5(c): satisfiable vs
+// unsatisfiable synthesis time as the network grows.
+func BenchmarkFig5c_UnsatVsSat(b *testing.B) { benchExperiment(b, "fig5c") }
+
+// BenchmarkTableIII_SliderAssistance regenerates Table III: the slider
+// assistance preview for the example network.
+func BenchmarkTableIII_SliderAssistance(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTableV_ExampleSynthesis regenerates Table V / Fig. 2: the
+// paper's running example synthesis.
+func BenchmarkTableV_ExampleSynthesis(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTableVI_MemoryVsHosts regenerates Table VI: model memory
+// against problem size (pair with -benchmem for allocator totals).
+func BenchmarkTableVI_MemoryVsHosts(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkAblationFlowTheory compares the flow-assignment theory
+// propagator against pure clause learning on a tight UNSAT instance
+// (DESIGN.md ablation 1).
+func BenchmarkAblationFlowTheory(b *testing.B) { benchExperiment(b, "ablation_flowtheory") }
+
+// BenchmarkAblationRouteBound measures the cost of larger route
+// enumeration caps (DESIGN.md ablation 2).
+func BenchmarkAblationRouteBound(b *testing.B) { benchExperiment(b, "ablation_routebound") }
+
+// BenchmarkAblationMaximize compares binary-search optimization against
+// a naive linear threshold scan (DESIGN.md ablation 3).
+func BenchmarkAblationMaximize(b *testing.B) { benchExperiment(b, "ablation_maximize") }
+
+// BenchmarkTableI_ScoreSynthesis measures deriving the isolation scores
+// from the paper's partial order (Table I).
+func BenchmarkTableI_ScoreSynthesis(b *testing.B) {
+	ids := make([]isolation.PatternID, 0, 5)
+	for _, p := range isolation.DefaultPatterns() {
+		ids = append(ids, p.ID)
+	}
+	order := isolation.DefaultOrder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isolation.SolveScores(ids, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeExample measures model generation alone (the paper
+// notes it is negligible next to solving).
+func BenchmarkEncodeExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prob := netgen.PaperExample()
+		if _, err := configsynth.New(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testInput = `
+nodes 4 2
+link 1 5
+link 2 5
+link 3 6
+link 4 6
+link 5 6
+require 1 3
+sliders 2 3 40
+`
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "problem.txt")
+	if err := os.WriteFile(path, []byte(testInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -f must error")
+	}
+}
+
+func TestRunSynthesizesFromFile(t *testing.T) {
+	path := writeInput(t)
+	var out strings.Builder
+	if err := run([]string{"-f", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"synthesized security design", "device placements"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWritesOutputAndDot(t *testing.T) {
+	path := writeInput(t)
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "design.txt")
+	dotFile := filepath.Join(dir, "design.dot")
+	var out strings.Builder
+	if err := run([]string{"-f", path, "-o", outFile, "-dot", dotFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	design, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "device placements") {
+		t.Error("design file incomplete")
+	}
+	dot, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "graph network") {
+		t.Error("dot file incomplete")
+	}
+}
+
+func TestRunAssist(t *testing.T) {
+	path := writeInput(t)
+	var out strings.Builder
+	if err := run([]string{"-f", path, "-assist", "-probe-budget", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "slider assistance") {
+		t.Errorf("assist output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunUnsatExplain(t *testing.T) {
+	// Contradictory sliders: isolation 10 with usability 10.
+	input := strings.Replace(testInput, "sliders 2 3 40", "sliders 10 10 40", 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-f", path, "-explain", "-probe-budget", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "unsat") || !strings.Contains(got, "Algorithm 1") {
+		t.Errorf("explain output wrong:\n%s", got)
+	}
+}
+
+func TestRunExampleMaxIsolation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-max-isolation", "-probe-budget", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "maximum isolation") {
+		t.Errorf("max-isolation output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-f", "/nonexistent/problem.txt"}, &out); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

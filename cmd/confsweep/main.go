@@ -1,0 +1,68 @@
+// Command confsweep regenerates the paper's evaluation tables and
+// figures as CSV.
+//
+// Usage:
+//
+//	confsweep -exp fig3a          one experiment
+//	confsweep -exp all            every experiment (slow)
+//	confsweep -list               list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"configsynth/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "confsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("confsweep", flag.ContinueOnError)
+	var (
+		exp  = fs.String("exp", "", "experiment name, or 'all'")
+		list = fs.Bool("list", false, "list experiment names")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("-exp <name> required; names: %s", strings.Join(experiments.Names(), ", "))
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	registry := experiments.All()
+	for _, name := range names {
+		fn, ok := registry[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; names: %s", name, strings.Join(experiments.Names(), ", "))
+		}
+		res, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(stdout, "# %s\n", res.Name)
+		fmt.Fprintln(stdout, strings.Join(res.Header, ","))
+		for _, row := range res.Rows {
+			fmt.Fprintln(stdout, strings.Join(row, ","))
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3a", "fig5c", "table6", "ablation_flowtheory"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestMissingFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -exp must error")
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# table5") {
+		t.Errorf("missing header:\n%s", got)
+	}
+	if !strings.Contains(got, "isolation") || !strings.Contains(got, "cost_K") {
+		t.Errorf("missing rows:\n%s", got)
+	}
+}

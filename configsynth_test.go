@@ -1,0 +1,289 @@
+package configsynth_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"configsynth"
+)
+
+// buildSmall constructs a small problem through the public API only.
+func buildSmall(t *testing.T, th configsynth.Thresholds) *configsynth.Problem {
+	t.Helper()
+	net := configsynth.NewNetwork()
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	c := net.AddHost("c")
+	r1 := net.AddRouter("r1")
+	r2 := net.AddRouter("r2")
+	for _, pair := range [][2]configsynth.NodeID{{a, r1}, {b, r2}, {c, r2}, {r1, r2}} {
+		if _, err := net.Connect(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &configsynth.Problem{
+		Network:    net,
+		Catalog:    configsynth.DefaultCatalog(),
+		Flows:      configsynth.AllPairsFlows(net, []configsynth.Service{1}),
+		Thresholds: th,
+	}
+}
+
+func TestPublicAPISynthesis(t *testing.T) {
+	p := buildSmall(t, configsynth.Thresholds{
+		IsolationTenths: 30,
+		UsabilityTenths: 30,
+		CostBudget:      40,
+	})
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Isolation < 3.0 {
+		t.Errorf("isolation %.2f below threshold", d.Isolation)
+	}
+	if d.Usability < 3.0 {
+		t.Errorf("usability %.2f below threshold", d.Usability)
+	}
+	if d.Cost > 40 {
+		t.Errorf("cost %d over budget", d.Cost)
+	}
+	if len(d.FlowPatterns) != len(p.Flows) {
+		t.Errorf("design covers %d flows, want %d", len(d.FlowPatterns), len(p.Flows))
+	}
+}
+
+func TestPublicAPIUnsatAndExplain(t *testing.T) {
+	p := buildSmall(t, configsynth.Thresholds{
+		IsolationTenths: 100,
+		UsabilityTenths: 100,
+		CostBudget:      100,
+	})
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = syn.Solve()
+	if !configsynth.IsUnsat(err) {
+		t.Fatalf("got %v, want unsat", err)
+	}
+	var tc *configsynth.ThresholdConflictError
+	if !errors.As(err, &tc) || len(tc.Core) == 0 {
+		t.Fatalf("conflict error missing core: %v", err)
+	}
+	ex, err := syn.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Relaxations) == 0 {
+		t.Fatal("no relaxations suggested")
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	p := buildSmall(t, configsynth.Thresholds{CostBudget: 40})
+	pols := configsynth.NewPolicySet()
+	pols.Add(configsynth.RequirePattern{
+		Svc:     configsynth.AnyService,
+		Pattern: configsynth.PayloadInspection,
+	})
+	p.Policies = pols
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, pat := range d.FlowPatterns {
+		if pat != configsynth.PayloadInspection {
+			t.Errorf("flow %v: pattern %d, want payload inspection", f, pat)
+		}
+	}
+	// Every flow pair must have an IDS on its routes.
+	if d.DeviceCount() == 0 {
+		t.Error("payload inspection everywhere requires IDS devices")
+	}
+}
+
+func TestPublicAPIParseRoundTrip(t *testing.T) {
+	input := `
+nodes 3 2
+link 1 4
+link 2 5
+link 3 5
+link 4 5
+sliders 2 3 40
+`
+	p, err := configsynth.ParseProblem(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := configsynth.WriteDesign(&sb, p, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "device placements") {
+		t.Error("design output incomplete")
+	}
+}
+
+func TestPublicAPIGenerator(t *testing.T) {
+	p, err := configsynth.Generate(configsynth.GeneratorConfig{
+		Hosts: 6, Routers: 5, MaxServices: 2, CRFraction: 0.15, Seed: 11,
+		Thresholds: configsynth.Thresholds{IsolationTenths: 20, CostBudget: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syn.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	st := syn.Stats()
+	if st.Flows == 0 || st.Vars == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+}
+
+func TestPublicAPITradeoffMonotonicity(t *testing.T) {
+	// Core paper property: max isolation is non-increasing in the
+	// usability requirement and non-decreasing in the budget (on a small
+	// exactly-solvable instance).
+	p := buildSmall(t, configsynth.Thresholds{CostBudget: 100})
+	p.Options.ProbeBudget = -1 // exact
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 11.0
+	for _, u := range []int{0, 40, 80, 100} {
+		iso, d, err := syn.MaxIsolation(u, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Exact {
+			t.Fatalf("expected exact optimum at usability %d", u)
+		}
+		if iso > prev+1e-9 {
+			t.Fatalf("isolation increased with usability: %v -> %v at %d", prev, iso, u)
+		}
+		prev = iso
+	}
+	low, _, err := syn.MaxIsolation(50, 5)
+	if err != nil && !configsynth.IsUnsat(err) {
+		t.Fatal(err)
+	}
+	high, _, err := syn.MaxIsolation(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high+1e-9 < low {
+		t.Fatalf("bigger budget lowered isolation: %v vs %v", low, high)
+	}
+}
+
+func TestVerifySolveAgreementOnGeneratedNetworks(t *testing.T) {
+	// Integration property: every design the synthesizer produces on a
+	// batch of random networks passes independent verification (the
+	// netsim executable semantics plus recomputed scores).
+	for seed := int64(1); seed <= 10; seed++ {
+		p, err := configsynth.Generate(configsynth.GeneratorConfig{
+			Hosts: 6, Routers: 5, MaxServices: 2, CRFraction: 0.15, Seed: seed,
+			Thresholds: configsynth.Thresholds{
+				IsolationTenths: int(10 + seed*5),
+				UsabilityTenths: int(60 - seed*5),
+				CostBudget:      20 + seed*8,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := configsynth.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := syn.Solve()
+		if err != nil {
+			if configsynth.IsUnsat(err) {
+				continue // tight random thresholds may be infeasible
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := configsynth.Verify(p, d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			t.Fatalf("seed %d: design failed verification:\n%v", seed, res.Violations)
+		}
+	}
+}
+
+func TestVerifyOptimizedDesignsOnPaperExample(t *testing.T) {
+	// Designs from optimization queries must also pass simulation-based
+	// verification (scores may exceed the problem thresholds).
+	p := configsynth.PaperExample()
+	p.Options.ProbeBudget = 5000
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{20, 60} {
+		_, d, err := syn.MaxIsolation(u, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Exact {
+			// Anytime results are still valid designs.
+			t.Logf("usability %d: anytime result", u)
+		}
+		res, err := configsynth.Verify(p, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ignore threshold shortfalls (the query ignores the problem's
+		// own isolation slider); device semantics must hold.
+		if !res.Simulation.OK() {
+			t.Fatalf("usability %d: simulation violations:\n%v",
+				u, res.Simulation.Violations())
+		}
+	}
+}
+
+func TestPublicAPIExampleProblem(t *testing.T) {
+	p := configsynth.PaperExample()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	syn, err := configsynth.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := configsynth.DeviceLabels(p, d)
+	dot := p.Network.DOT(labels)
+	if !strings.Contains(dot, "graph network") {
+		t.Error("DOT rendering failed")
+	}
+}

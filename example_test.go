@@ -1,0 +1,108 @@
+package configsynth_test
+
+import (
+	"fmt"
+
+	"configsynth"
+)
+
+// ExampleNew synthesizes a design for a two-host network and prints the
+// achieved scores.
+func ExampleNew() {
+	net := configsynth.NewNetwork()
+	web := net.AddHost("web")
+	db := net.AddHost("db")
+	r1 := net.AddRouter("r1")
+	r2 := net.AddRouter("r2")
+	r3 := net.AddRouter("r3")
+	r4 := net.AddRouter("r4")
+	for _, pair := range [][2]configsynth.NodeID{
+		{web, r1}, {r1, r2}, {r2, r3}, {r3, r4}, {r4, db},
+	} {
+		if _, err := net.Connect(pair[0], pair[1]); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	problem := &configsynth.Problem{
+		Network:    net,
+		Catalog:    configsynth.DefaultCatalog(),
+		Flows:      configsynth.AllPairsFlows(net, []configsynth.Service{1}),
+		Thresholds: configsynth.Thresholds{IsolationTenths: 100, CostBudget: 20},
+	}
+	syn, err := configsynth.New(problem)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	design, err := syn.Solve()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("isolation %.0f, usability %.0f, devices %d\n",
+		design.Isolation, design.Usability, design.DeviceCount())
+	// Output: isolation 10, usability 0, devices 1
+}
+
+// ExampleSynthesizer_Explain shows the unsat-core workflow of the
+// paper's Algorithm 1.
+func ExampleSynthesizer_Explain() {
+	net := configsynth.NewNetwork()
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	r := net.AddRouter("r")
+	_, _ = net.Connect(a, r)
+	_, _ = net.Connect(r, b)
+	problem := &configsynth.Problem{
+		Network: net,
+		Catalog: configsynth.DefaultCatalog(),
+		Flows:   configsynth.AllPairsFlows(net, []configsynth.Service{1}),
+		// Contradictory: full isolation and full usability.
+		Thresholds: configsynth.Thresholds{
+			IsolationTenths: 100,
+			UsabilityTenths: 100,
+			CostBudget:      100,
+		},
+	}
+	syn, err := configsynth.New(problem)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := syn.Solve(); configsynth.IsUnsat(err) {
+		fmt.Println("unsat as expected")
+	}
+	ex, err := syn.Explain()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("core size %d, relaxations %d\n", len(ex.Core), len(ex.Relaxations))
+	// Output:
+	// unsat as expected
+	// core size 2, relaxations 3
+}
+
+// ExampleVerify validates a synthesized design independently by
+// simulating every flow through the placed devices.
+func ExampleVerify() {
+	problem := configsynth.PaperExample()
+	syn, err := configsynth.New(problem)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	design, err := syn.Solve()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	result, err := configsynth.Verify(problem, design)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("design valid:", result.OK())
+	// Output: design valid: true
+}

@@ -1,0 +1,152 @@
+// Campus: a multi-subnet campus network with user-defined policies (the
+// paper's UIC constraints), service demand ranks, and IPSec tunnel
+// requirements — the paper's motivating scenario of heterogeneous
+// isolation patterns under organizational policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"configsynth"
+)
+
+// Services on the campus network.
+const (
+	svcWeb configsynth.Service = 80
+	svcSSH configsynth.Service = 22
+	svcDB  configsynth.Service = 5432
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("campus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := configsynth.NewNetwork()
+	// Host groups (each stands for a subnet of similar hosts, as the
+	// paper suggests for scaling).
+	studentLab := net.AddHost("student-lab")
+	staff := net.AddHost("staff")
+	webFarm := net.AddHost("web-farm")
+	dbCluster := net.AddHost("db-cluster")
+	admin := net.AddHost("it-admin")
+	internet := net.AddHost("internet")
+
+	// A two-tier core: building routers around a distribution pair.
+	bldgA := net.AddRouter("bldg-a")
+	bldgB := net.AddRouter("bldg-b")
+	dc := net.AddRouter("datacenter")
+	distA := net.AddRouter("dist-a")
+	distB := net.AddRouter("dist-b")
+	border := net.AddRouter("border")
+
+	for _, pair := range [][2]configsynth.NodeID{
+		{studentLab, bldgA}, {staff, bldgB}, {admin, bldgB},
+		{webFarm, dc}, {dbCluster, dc},
+		{bldgA, distA}, {bldgA, distB},
+		{bldgB, distA}, {bldgB, distB},
+		{dc, distA}, {dc, distB},
+		{border, distA}, {border, distB},
+		{internet, border},
+	} {
+		if _, err := net.Connect(pair[0], pair[1]); err != nil {
+			return err
+		}
+	}
+
+	// Flows: web everywhere, SSH for admin/staff, DB for the web farm.
+	hosts := []configsynth.NodeID{studentLab, staff, webFarm, dbCluster, admin, internet}
+	var flows []configsynth.Flow
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src != dst {
+				flows = append(flows, configsynth.Flow{Src: src, Dst: dst, Svc: svcWeb})
+			}
+		}
+	}
+	for _, src := range []configsynth.NodeID{admin, staff} {
+		for _, dst := range []configsynth.NodeID{webFarm, dbCluster} {
+			flows = append(flows, configsynth.Flow{Src: src, Dst: dst, Svc: svcSSH})
+		}
+	}
+	flows = append(flows, configsynth.Flow{Src: webFarm, Dst: dbCluster, Svc: svcDB})
+
+	// Connectivity requirements: the business-critical paths.
+	reqs := configsynth.NewRequirements()
+	reqs.Require(configsynth.Flow{Src: webFarm, Dst: dbCluster, Svc: svcDB})
+	reqs.Require(configsynth.Flow{Src: admin, Dst: webFarm, Svc: svcSSH})
+	reqs.Require(configsynth.Flow{Src: internet, Dst: webFarm, Svc: svcWeb})
+	reqs.Require(configsynth.Flow{Src: studentLab, Dst: webFarm, Svc: svcWeb})
+
+	// Demand ranks: the database link matters most, student web least.
+	ranks := configsynth.NewRanks()
+	ranks.SetServiceRank(svcDB, 3)
+	ranks.SetServiceRank(svcSSH, 2)
+	ranks.SetServiceRank(svcWeb, 1)
+
+	// User-defined policies in the spirit of the paper's UIC examples:
+	//   UIC1: no IPSec tunneling for SSH (it is already encrypted).
+	//   UIC3: no trusted-communication pattern for public web flows.
+	//   UIC2-style: if the Internet is denied to the student lab, the
+	//   lab must keep its web path to the web farm open.
+	pols := configsynth.NewPolicySet()
+	pols.Add(
+		configsynth.ForbidPattern{Svc: svcSSH, Pattern: configsynth.TrustedComm},
+		configsynth.ForbidPattern{Svc: svcSSH, Pattern: configsynth.ProxyTrustedComm},
+		configsynth.ForbidPattern{Svc: svcWeb, Pattern: configsynth.TrustedComm},
+		configsynth.Implication{
+			If:          configsynth.Flow{Src: internet, Dst: studentLab, Svc: svcWeb},
+			IfPattern:   configsynth.AccessDeny,
+			Then:        configsynth.Flow{Src: studentLab, Dst: webFarm, Svc: svcWeb},
+			ThenPattern: configsynth.AccessDeny,
+			ThenNegated: true,
+		},
+		// The Internet must never reach the database cluster.
+		configsynth.PinFlow{
+			Flow:    configsynth.Flow{Src: internet, Dst: dbCluster, Svc: svcWeb},
+			Pattern: configsynth.AccessDeny,
+		},
+	)
+
+	problem := &configsynth.Problem{
+		Network:      net,
+		Catalog:      configsynth.DefaultCatalog(),
+		Flows:        flows,
+		Requirements: reqs,
+		Ranks:        ranks,
+		Policies:     pols,
+		Thresholds: configsynth.Thresholds{
+			IsolationTenths: 35,
+			UsabilityTenths: 50,
+			CostBudget:      40,
+		},
+	}
+
+	syn, err := configsynth.New(problem)
+	if err != nil {
+		return err
+	}
+	design, err := syn.Solve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campus design: isolation %.1f, usability %.1f, cost $%dK\n\n",
+		design.Isolation, design.Usability, design.Cost)
+	if err := configsynth.WriteDesign(os.Stdout, problem, design); err != nil {
+		return err
+	}
+
+	// Verify the policies visibly.
+	fmt.Println("\npolicy spot checks:")
+	dbFlow := configsynth.Flow{Src: internet, Dst: dbCluster, Svc: svcWeb}
+	fmt.Printf("  internet->db-cluster: pattern %d (1 = access deny)\n", design.FlowPatterns[dbFlow])
+	sshFlow := configsynth.Flow{Src: admin, Dst: webFarm, Svc: svcSSH}
+	fmt.Printf("  admin->web-farm ssh:  pattern %d (must not be 2/5)\n", design.FlowPatterns[sshFlow])
+	return nil
+}

@@ -1,0 +1,77 @@
+// Quickstart: synthesize a security design for a small two-subnet
+// network using the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"configsynth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A small network: web and app servers behind one router, a database
+	// behind another, and a workstation subnet.
+	net := configsynth.NewNetwork()
+	web := net.AddHost("web")
+	app := net.AddHost("app")
+	db := net.AddHost("db")
+	ws := net.AddHost("workstations")
+
+	edge := net.AddRouter("edge")
+	coreA := net.AddRouter("core-a")
+	coreB := net.AddRouter("core-b")
+	dist := net.AddRouter("dist")
+
+	for _, pair := range [][2]configsynth.NodeID{
+		{web, edge}, {app, edge},
+		{edge, coreA}, {edge, coreB},
+		{coreA, dist}, {coreB, dist},
+		{db, dist}, {ws, dist},
+	} {
+		if _, err := net.Connect(pair[0], pair[1]); err != nil {
+			return err
+		}
+	}
+
+	// One service between every pair of hosts; the app must reach the
+	// database and the workstations must reach the web server.
+	const svc configsynth.Service = 1
+	reqs := configsynth.NewRequirements()
+	reqs.Require(configsynth.Flow{Src: app, Dst: db, Svc: svc})
+	reqs.Require(configsynth.Flow{Src: ws, Dst: web, Svc: svc})
+
+	problem := &configsynth.Problem{
+		Network:      net,
+		Catalog:      configsynth.DefaultCatalog(),
+		Flows:        configsynth.AllPairsFlows(net, []configsynth.Service{svc}),
+		Requirements: reqs,
+		Thresholds: configsynth.Thresholds{
+			IsolationTenths: 40, // network isolation >= 4.0 of 10
+			UsabilityTenths: 40, // network usability >= 4.0 of 10
+			CostBudget:      30, // at most $30K of devices
+		},
+	}
+
+	syn, err := configsynth.New(problem)
+	if err != nil {
+		return err
+	}
+	design, err := syn.Solve()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("synthesized: isolation %.1f, usability %.1f, cost $%dK, %d devices\n\n",
+		design.Isolation, design.Usability, design.Cost, design.DeviceCount())
+	return configsynth.WriteDesign(os.Stdout, problem, design)
+}

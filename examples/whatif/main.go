@@ -1,0 +1,94 @@
+// Whatif: the decision-support workflow of paper §IV — start from
+// infeasible slider values, use the unsat core and Algorithm 1 to
+// understand why, apply a suggested relaxation, and re-synthesize. Also
+// demonstrates the trade-off queries behind the paper's Fig. 3.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"configsynth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("whatif:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	problem := configsynth.PaperExample()
+	// Deliberately contradictory: near-total isolation AND near-total
+	// usability.
+	problem.Thresholds.IsolationTenths = 90
+	problem.Thresholds.UsabilityTenths = 85
+	problem.Options.ProbeBudget = 15000
+
+	syn, err := configsynth.New(problem)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== attempt 1: isolation >= 9.0, usability >= 8.5, cost <= $20K ==")
+	_, err = syn.Solve()
+	if err == nil {
+		return errors.New("expected the contradictory thresholds to be unsat")
+	}
+	if !configsynth.IsUnsat(err) {
+		return err
+	}
+	var conflict *configsynth.ThresholdConflictError
+	errors.As(err, &conflict)
+	fmt.Println("unsat; conflicting constraints:", conflict.Core)
+
+	fmt.Println("\n== Algorithm 1: systematic unsat analysis ==")
+	ex, err := syn.Explain()
+	if err != nil {
+		return err
+	}
+	var usabilitySuggestion int64 = -1
+	for _, r := range ex.Relaxations {
+		fmt.Println(r)
+		for _, sug := range r.Suggestions {
+			if sug.Threshold == configsynth.ThresholdUsability && len(r.Dropped) == 1 {
+				usabilitySuggestion = sug.ValueTenths
+			}
+		}
+	}
+
+	if usabilitySuggestion < 0 {
+		fmt.Println("\nno single-threshold usability relaxation; relaxing isolation instead")
+		usabilitySuggestion = 30
+	}
+	fmt.Printf("\n== attempt 2: adopt suggested usability %.1f ==\n",
+		float64(usabilitySuggestion)/10)
+	problem2 := configsynth.PaperExample()
+	problem2.Thresholds.IsolationTenths = 50
+	problem2.Thresholds.UsabilityTenths = int(usabilitySuggestion)
+	syn2, err := configsynth.New(problem2)
+	if err != nil {
+		return err
+	}
+	design, err := syn2.Solve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sat: isolation %.1f, usability %.1f, cost $%dK, %d devices\n",
+		design.Isolation, design.Usability, design.Cost, design.DeviceCount())
+
+	fmt.Println("\n== trade-off exploration (Fig. 3(a) queries) ==")
+	for _, u := range []int{20, 50, 80} {
+		iso, _, err := syn2.MaxIsolation(u, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("usability >= %.1f, cost <= $20K  ->  max isolation %.2f\n",
+			float64(u)/10, iso)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module configsynth
+
+go 1.22

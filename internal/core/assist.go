@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/smt"
+)
+
+// MaxIsolation computes the maximum achievable network isolation (0–10
+// scale) subject to a usability threshold (tenths of the 0–10 scale) and
+// a cost budget, ignoring the problem's own isolation threshold. This is
+// the query behind the paper's Fig. 3 trade-off curves. The optimum is
+// found at slider resolution (0.1) by binary search over guarded
+// threshold probes, so every probe benefits from the flow-assignment
+// theory.
+func (s *Synthesizer) MaxIsolation(usabilityTenths int, costBudget int64) (float64, *Design, error) {
+	gU := s.guardUsability(usabilityTenths)
+	gC := s.guardCost(costBudget)
+	return s.maxIsolation([]smt.Bool{gU, gC})
+}
+
+func (s *Synthesizer) maxIsolation(assume []smt.Bool) (float64, *Design, error) {
+	best, err := s.checkExtract(assume)
+	if err != nil {
+		return 0, nil, err
+	}
+	lo := isoTenthsFloor(best)
+	hi := 100
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		d, err := s.probe(append(append([]smt.Bool(nil), assume...), s.guardIsolation(mid)))
+		switch {
+		case err == nil:
+			d.Exact = best.Exact
+			best = d
+			lo = isoTenthsFloor(d)
+			if lo < mid {
+				lo = mid
+			}
+		case errors.Is(err, ErrBudgetExceeded):
+			best.Exact = false
+			hi = mid - 1
+		case IsUnsat(err):
+			hi = mid - 1
+		default:
+			return 0, nil, err
+		}
+	}
+	return best.Isolation, best, nil
+}
+
+// isoTenthsFloor converts a design's achieved isolation into slider
+// tenths, rounding down.
+func isoTenthsFloor(d *Design) int {
+	t := int(d.Isolation * 10)
+	if t > 100 {
+		t = 100
+	}
+	return t
+}
+
+// checkExtract checks the assumptions and extracts a design on SAT.
+func (s *Synthesizer) checkExtract(assume []smt.Bool) (*Design, error) {
+	switch s.sol.Check(assume...) {
+	case smt.Sat:
+		d := s.extractDesign()
+		d.Exact = true
+		return d, nil
+	case smt.Unknown:
+		return nil, ErrBudgetExceeded
+	default:
+		return nil, &ThresholdConflictError{Core: s.coreKinds()}
+	}
+}
+
+// probe is a checkExtract bounded by the probe budget: optimization
+// probes are anytime, like an SMT solver run under a timeout.
+func (s *Synthesizer) probe(assume []smt.Bool) (*Design, error) {
+	if b := s.prob.Options.ProbeBudget; b > 0 {
+		s.sol.SetBudget(b)
+		defer s.restoreBudget()
+	}
+	return s.checkExtract(assume)
+}
+
+func (s *Synthesizer) restoreBudget() {
+	if b := s.prob.Options.SolverBudget; b > 0 {
+		s.sol.SetBudget(b)
+	} else {
+		s.sol.SetBudget(-1)
+	}
+}
+
+// CheckAt checks satisfiability at the given thresholds, without
+// changing the problem's own sliders: a what-if query answered
+// incrementally against the already-encoded model. On success the
+// returned design satisfies all three thresholds.
+func (s *Synthesizer) CheckAt(th Thresholds) (*Design, error) {
+	return s.checkExtract([]smt.Bool{
+		s.guardIsolation(th.IsolationTenths),
+		s.guardUsability(th.UsabilityTenths),
+		s.guardCost(th.CostBudget),
+	})
+}
+
+// MinCost computes the minimum deployment cost that still satisfies the
+// given isolation and usability thresholds, by binary search over cost
+// guards.
+func (s *Synthesizer) MinCost(isolationTenths, usabilityTenths int) (int64, *Design, error) {
+	gI := s.guardIsolation(isolationTenths)
+	gU := s.guardUsability(usabilityTenths)
+	return s.minCost([]smt.Bool{gI, gU})
+}
+
+func (s *Synthesizer) minCost(assume []smt.Bool) (int64, *Design, error) {
+	best, err := s.checkExtract(assume)
+	if err != nil {
+		return 0, nil, err
+	}
+	lo, hi := int64(0), best.Cost
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		d, err := s.probe(append(append([]smt.Bool(nil), assume...), s.guardCost(mid)))
+		switch {
+		case err == nil:
+			d.Exact = best.Exact
+			best = d
+			if d.Cost < hi {
+				hi = d.Cost
+			} else {
+				hi = mid
+			}
+		case errors.Is(err, ErrBudgetExceeded):
+			best.Exact = false
+			lo = mid + 1
+		case IsUnsat(err):
+			lo = mid + 1
+		default:
+			return 0, nil, err
+		}
+	}
+	return best.Cost, best, nil
+}
+
+// MaxUsability computes the maximum achievable usability (0–10) subject
+// to the given isolation threshold and cost budget, by binary search
+// over usability guards.
+func (s *Synthesizer) MaxUsability(isolationTenths int, costBudget int64) (float64, *Design, error) {
+	gI := s.guardIsolation(isolationTenths)
+	gC := s.guardCost(costBudget)
+	return s.maxUsability([]smt.Bool{gI, gC})
+}
+
+func (s *Synthesizer) maxUsability(assume []smt.Bool) (float64, *Design, error) {
+	best, err := s.checkExtract(assume)
+	if err != nil {
+		return 0, nil, err
+	}
+	lo := int(best.Usability * 10)
+	hi := 100
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		d, err := s.probe(append(append([]smt.Bool(nil), assume...), s.guardUsability(mid)))
+		switch {
+		case err == nil:
+			d.Exact = best.Exact
+			best = d
+			if t := int(d.Usability * 10); t > mid {
+				lo = t
+			} else {
+				lo = mid
+			}
+		case errors.Is(err, ErrBudgetExceeded):
+			best.Exact = false
+			hi = mid - 1
+		case IsUnsat(err):
+			hi = mid - 1
+		default:
+			return 0, nil, err
+		}
+	}
+	return best.Usability, best, nil
+}
+
+// AssistEntry is one row of the slider-assistance table (paper Table
+// III): for a usability level, the best achievable isolation and a
+// description of the configuration that achieves it.
+type AssistEntry struct {
+	// UsabilityTenths is the usability slider position (tenths of 0–10).
+	UsabilityTenths int
+	// IsolationTenths is the best achievable isolation at that position,
+	// in tenths.
+	IsolationTenths int
+	// Mix is the fraction of flows per pattern in the best design.
+	Mix map[isolation.PatternID]float64
+	// Note is a human-readable summary of the expected outcome.
+	Note string
+}
+
+// String renders the entry like the paper's Table III rows.
+func (e AssistEntry) String() string {
+	return fmt.Sprintf("Isolation score = %.1f : Usability score = %.1f — %s",
+		float64(e.IsolationTenths)/10, float64(e.UsabilityTenths)/10, e.Note)
+}
+
+// Assist produces slider-assistance entries for the given usability
+// levels (tenths), using the problem's cost budget, so an administrator
+// can understand what each slider position means before running the
+// final synthesis (paper §IV-A, Table III).
+func (s *Synthesizer) Assist(usabilityLevels []int) ([]AssistEntry, error) {
+	entries := make([]AssistEntry, 0, len(usabilityLevels))
+	for _, level := range usabilityLevels {
+		iso, design, err := s.MaxIsolation(level, s.prob.Thresholds.CostBudget)
+		if err != nil {
+			var tc *ThresholdConflictError
+			if errors.As(err, &tc) {
+				entries = append(entries, AssistEntry{
+					UsabilityTenths: level,
+					Note:            "no satisfiable configuration at this usability level",
+				})
+				continue
+			}
+			return nil, err
+		}
+		mix := design.PatternMix()
+		entries = append(entries, AssistEntry{
+			UsabilityTenths: level,
+			IsolationTenths: int(iso*10 + 0.5),
+			Mix:             mix,
+			Note:            describeMix(s.prob.Catalog, mix),
+		})
+	}
+	return entries, nil
+}
+
+// describeMix summarizes a pattern mix in the style of Table III.
+func describeMix(cat *isolation.Catalog, mix map[isolation.PatternID]float64) string {
+	type entry struct {
+		id   isolation.PatternID
+		frac float64
+	}
+	var entries []entry
+	for id, frac := range mix {
+		if frac > 0 {
+			entries = append(entries, entry{id, frac})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].frac != entries[j].frac {
+			return entries[i].frac > entries[j].frac
+		}
+		return entries[i].id < entries[j].id
+	})
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := "no isolation"
+		if e.id != isolation.PatternNone {
+			if p, ok := cat.Pattern(e.id); ok {
+				name = strings.ToLower(p.Name)
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%.0f%% of the flows: %s", e.frac*100, name))
+	}
+	if len(parts) == 0 {
+		return "no flows"
+	}
+	return strings.Join(parts, ", ")
+}

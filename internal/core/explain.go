@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"configsynth/internal/smt"
+)
+
+// Suggestion proposes a satisfiable value for one threshold that was
+// dropped during unsat analysis.
+type Suggestion struct {
+	Threshold ThresholdKind
+	// ValueTenths is the achievable value in tenths of the 0–10 scale
+	// for isolation/usability; for cost it is the minimum budget in $K.
+	ValueTenths int64
+}
+
+// String renders the suggestion.
+func (s Suggestion) String() string {
+	switch s.Threshold {
+	case ThresholdCost:
+		return fmt.Sprintf("set the cost budget to at least $%dK", s.ValueTenths)
+	default:
+		return fmt.Sprintf("set the %s threshold to at most %.1f",
+			s.Threshold, float64(s.ValueTenths)/10)
+	}
+}
+
+// Relaxation is one satisfiable choice found by Algorithm 1: dropping the
+// listed thresholds makes the model satisfiable, and the suggestions give
+// the closest satisfiable values for each dropped threshold.
+type Relaxation struct {
+	Dropped     []ThresholdKind
+	Suggestions []Suggestion
+}
+
+// String renders the relaxation.
+func (r Relaxation) String() string {
+	names := make([]string, len(r.Dropped))
+	for i, k := range r.Dropped {
+		names[i] = k.String()
+	}
+	parts := make([]string, len(r.Suggestions))
+	for i, s := range r.Suggestions {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("relax {%s}: %s", strings.Join(names, ", "), strings.Join(parts, "; "))
+}
+
+// Explanation is the result of the paper's Algorithm 1: the unsat core
+// over the threshold constraints and the satisfiable relaxations of it.
+type Explanation struct {
+	// Core is the set of threshold constraints in the unsat core.
+	Core []ThresholdKind
+	// Relaxations lists satisfiable subsets of the core to drop, each
+	// with suggested replacement values.
+	Relaxations []Relaxation
+}
+
+// ErrSatisfiable is returned by Explain when the model is satisfiable
+// and there is nothing to explain.
+var ErrSatisfiable = errors.New("core: model is satisfiable; nothing to explain")
+
+// Explain implements the paper's Algorithm 1 (systematic analysis of an
+// UNSAT result). The connectivity requirements, invariants, and
+// user-defined constraints are hard clauses; the three threshold
+// constraints are assumptions. For every non-empty subset A of the unsat
+// core it removes A, re-solves, and on SAT reports the achievable value
+// of each dropped threshold.
+func (s *Synthesizer) Explain() (*Explanation, error) {
+	switch s.sol.Check(s.gIso, s.gUsa, s.gCost) {
+	case smt.Sat:
+		return nil, ErrSatisfiable
+	case smt.Unknown:
+		return nil, ErrBudgetExceeded
+	}
+	core := s.coreKinds()
+	ex := &Explanation{Core: core}
+	guards := map[ThresholdKind]smt.Bool{
+		ThresholdIsolation: s.gIso,
+		ThresholdUsability: s.gUsa,
+		ThresholdCost:      s.gCost,
+	}
+	for _, dropped := range subsets(core) {
+		rest := remaining(guards, dropped)
+		if s.sol.Check(rest...) != smt.Sat {
+			continue
+		}
+		relax := Relaxation{Dropped: dropped}
+		for _, k := range dropped {
+			sug, err := s.suggest(k, rest)
+			if err != nil {
+				if errors.Is(err, smt.ErrBudget) {
+					return nil, ErrBudgetExceeded
+				}
+				continue
+			}
+			relax.Suggestions = append(relax.Suggestions, sug)
+		}
+		ex.Relaxations = append(ex.Relaxations, relax)
+	}
+	return ex, nil
+}
+
+// suggest computes the best achievable value for a dropped threshold
+// while the remaining threshold assumptions stay enforced.
+func (s *Synthesizer) suggest(k ThresholdKind, rest []smt.Bool) (Suggestion, error) {
+	switch k {
+	case ThresholdIsolation:
+		iso, _, err := s.maxIsolation(rest)
+		if err != nil {
+			return Suggestion{}, err
+		}
+		return Suggestion{Threshold: k, ValueTenths: int64(iso * 10)}, nil
+	case ThresholdUsability:
+		usa, _, err := s.maxUsability(rest)
+		if err != nil {
+			return Suggestion{}, err
+		}
+		return Suggestion{Threshold: k, ValueTenths: int64(usa * 10)}, nil
+	default:
+		cost, _, err := s.minCost(rest)
+		if err != nil {
+			return Suggestion{}, err
+		}
+		return Suggestion{Threshold: k, ValueTenths: cost}, nil
+	}
+}
+
+// subsets enumerates all non-empty subsets of kinds, smallest first, as
+// Algorithm 1 takes combinations of 1, 2, ..., |U| assumptions.
+func subsets(kinds []ThresholdKind) [][]ThresholdKind {
+	var out [][]ThresholdKind
+	n := len(kinds)
+	for size := 1; size <= n; size++ {
+		for mask := 1; mask < 1<<n; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			var sub []ThresholdKind
+			for i := 0; i < n; i++ {
+				if mask>>i&1 == 1 {
+					sub = append(sub, kinds[i])
+				}
+			}
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func remaining(guards map[ThresholdKind]smt.Bool, dropped []ThresholdKind) []smt.Bool {
+	drop := make(map[ThresholdKind]bool, len(dropped))
+	for _, k := range dropped {
+		drop[k] = true
+	}
+	var rest []smt.Bool
+	for _, k := range []ThresholdKind{ThresholdIsolation, ThresholdUsability, ThresholdCost} {
+		if !drop[k] {
+			rest = append(rest, guards[k])
+		}
+	}
+	return rest
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"configsynth/internal/sat"
+)
+
+// ftSetup builds a bare solver plus theory over synthetic flows. Each
+// flow gets the default-catalog-like options: deny (iso 4, loss 100),
+// trusted (2, 0), inspection (1, 0).
+func ftSetup(t *testing.T, nFlows int) (*sat.Solver, *flowTheory, [][]sat.Lit) {
+	t.Helper()
+	s := sat.New()
+	lits := make([][]sat.Lit, nFlows)
+	inputs := make([][]ftOption, nFlows)
+	for f := 0; f < nFlows; f++ {
+		deny := sat.PosLit(s.NewVar())
+		trusted := sat.PosLit(s.NewVar())
+		inspect := sat.PosLit(s.NewVar())
+		lits[f] = []sat.Lit{deny, trusted, inspect}
+		inputs[f] = []ftOption{
+			{lit: deny, iso: 4, loss: 100},
+			{lit: trusted, iso: 2, loss: 0},
+			{lit: inspect, iso: 1, loss: 0},
+		}
+		// At most one per flow.
+		if err := s.AddClause(deny.Not(), trusted.Not()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddClause(deny.Not(), inspect.Not()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddClause(trusted.Not(), inspect.Not()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th := newFlowTheory(s, inputs)
+	return s, th, lits
+}
+
+func TestFlowTheoryDetectsUniformLoss(t *testing.T) {
+	_, th, _ := ftSetup(t, 3)
+	if th.uniformLoss != 100 {
+		t.Fatalf("uniformLoss = %d, want 100", th.uniformLoss)
+	}
+}
+
+func TestFlowTheoryMixedLossFallsBack(t *testing.T) {
+	s := sat.New()
+	a, b := sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar())
+	th := newFlowTheory(s, [][]ftOption{
+		{{lit: a, iso: 4, loss: 100}},
+		{{lit: b, iso: 4, loss: 200}},
+	})
+	if th.uniformLoss != 0 {
+		t.Fatalf("uniformLoss = %d, want 0 (mixed)", th.uniformLoss)
+	}
+}
+
+func TestFlowTheoryIsoGuardSatisfiable(t *testing.T) {
+	// 3 flows, max iso without loss limit = 12 (all deny).
+	s, th, lits := ftSetup(t, 3)
+	g := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(g, 12)
+	if got := s.Solve(g); got != sat.Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	for f := 0; f < 3; f++ {
+		if s.ModelValue(lits[f][0]) != sat.True {
+			t.Fatalf("flow %d not denied although iso 12 requires it", f)
+		}
+	}
+}
+
+func TestFlowTheoryIsoGuardImpossible(t *testing.T) {
+	s, th, _ := ftSetup(t, 3)
+	g := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(g, 13) // > 3·4
+	if got := s.Solve(g); got != sat.Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	// Without the guard it stays satisfiable.
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestFlowTheoryBudgetCapsDenies(t *testing.T) {
+	// Loss budget 100 allows one deny: max iso = 4 + 2 + 2 = 8.
+	s, th, _ := ftSetup(t, 3)
+	gI := sat.PosLit(s.NewVar())
+	gB := sat.PosLit(s.NewVar())
+	th.watchLossGuard(gB, 100)
+	th.watchIsoGuard(gI, 8)
+	if got := s.Solve(gI, gB); got != sat.Sat {
+		t.Fatalf("iso 8 with one deny: got %v, want sat", got)
+	}
+	gI9 := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(gI9, 9)
+	if got := s.Solve(gI9, gB); got != sat.Unsat {
+		t.Fatalf("iso 9 with one deny allowed: got %v, want unsat", got)
+	}
+	core := s.UnsatCore()
+	found := map[sat.Lit]bool{}
+	for _, l := range core {
+		found[l] = true
+	}
+	if !found[gI9] || !found[gB] {
+		t.Fatalf("core %v must blame both guards", core)
+	}
+}
+
+func TestFlowTheoryExclusionsLowerBound(t *testing.T) {
+	// Excluding deny on all flows caps iso at 2 per flow.
+	s, th, lits := ftSetup(t, 2)
+	for f := 0; f < 2; f++ {
+		if err := s.AddClause(lits[f][0].Not()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(g, 5) // > 2+2
+	if got := s.Solve(g); got != sat.Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	g4 := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(g4, 4)
+	if got := s.Solve(g4); got != sat.Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestFlowTheoryCommitmentLowersBound(t *testing.T) {
+	// Committing flow 0 to inspection (iso 1) caps total at 1+4 = 5.
+	s, th, lits := ftSetup(t, 2)
+	if err := s.AddClause(lits[0][2]); err != nil {
+		t.Fatal(err)
+	}
+	g := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(g, 6)
+	if got := s.Solve(g); got != sat.Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	g5 := sat.PosLit(s.NewVar())
+	th.watchIsoGuard(g5, 5)
+	if got := s.Solve(g5); got != sat.Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestFlowTheoryRepeatedIncrementalSolves(t *testing.T) {
+	// Alternating guards across many solves must keep counters
+	// consistent (exercises Assign/Unassign bookkeeping).
+	s, th, lits := ftSetup(t, 4)
+	guards := make([]sat.Lit, 0, 4)
+	for _, bound := range []int64{4, 8, 12, 16} {
+		g := sat.PosLit(s.NewVar())
+		th.watchIsoGuard(g, bound)
+		guards = append(guards, g)
+	}
+	budget := sat.PosLit(s.NewVar())
+	th.watchLossGuard(budget, 200) // two denies
+	for round := 0; round < 10; round++ {
+		// iso 16 needs 4 denies; budget allows 2: unsat together.
+		if got := s.Solve(guards[3], budget); got != sat.Unsat {
+			t.Fatalf("round %d: got %v, want unsat", round, got)
+		}
+		// iso 12 = 2 denies (8) + 2 trusted (4): satisfiable.
+		if got := s.Solve(guards[2], budget); got != sat.Sat {
+			t.Fatalf("round %d: got %v, want sat", round, got)
+		}
+		var denies int
+		var iso int64
+		for f := 0; f < 4; f++ {
+			switch {
+			case s.ModelValue(lits[f][0]) == sat.True:
+				denies++
+				iso += 4
+			case s.ModelValue(lits[f][1]) == sat.True:
+				iso += 2
+			case s.ModelValue(lits[f][2]) == sat.True:
+				iso++
+			}
+		}
+		if denies > 2 {
+			t.Fatalf("round %d: %d denies exceed budget", round, denies)
+		}
+		if iso < 12 {
+			t.Fatalf("round %d: iso %d below bound", round, iso)
+		}
+	}
+}
+
+func TestFlowTheoryTopGains(t *testing.T) {
+	th := &flowTheory{gainCounts: []int64{0, 2, 1, 0, 3}} // two 1s, one 2, three 4s
+	cases := []struct {
+		d    int64
+		want int64
+	}{
+		{0, 0},
+		{1, 4},
+		{3, 12},
+		{4, 14},
+		{6, 16},
+		{100, 16},
+	}
+	for _, tc := range cases {
+		if got := th.topGains(tc.d); got != tc.want {
+			t.Errorf("topGains(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/policy"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// groupedProblem builds lab(group) - r1 - r2 - r3 - r4 - server with one
+// flow each way.
+func groupedProblem(t *testing.T) (*Problem, topology.NodeID, topology.NodeID) {
+	t.Helper()
+	net := topology.New()
+	lab := net.AddHost("lab")
+	server := net.AddHost("server")
+	prev := lab
+	for i := 0; i < 4; i++ {
+		r := net.AddRouter("")
+		if _, err := net.Connect(prev, r); err != nil {
+			t.Fatal(err)
+		}
+		prev = r
+	}
+	if _, err := net.Connect(prev, server); err != nil {
+		t.Fatal(err)
+	}
+	reqs := usability.NewRequirements()
+	reqs.Require(usability.Flow{Src: lab, Dst: server, Svc: 1})
+	return &Problem{
+		Network:      net,
+		Catalog:      isolation.DefaultCatalog(),
+		Flows:        AllPairsFlows(net, []usability.Service{1}),
+		Requirements: reqs,
+		Thresholds:   Thresholds{IsolationTenths: 20, CostBudget: 50},
+	}, lab, server
+}
+
+func TestExpandGroupsShape(t *testing.T) {
+	p, lab, _ := groupedProblem(t)
+	expanded, members, err := ExpandGroups(p, map[topology.NodeID]int{lab: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(expanded.Network.Hosts()); got != 4 {
+		t.Fatalf("hosts = %d, want 4 (3 lab members + server)", got)
+	}
+	if got := len(members[lab]); got != 3 {
+		t.Fatalf("members = %d, want 3", got)
+	}
+	// Flows: 4 hosts all-pairs-ish: lab members don't talk to each
+	// other through the original flow set (lab->lab had no flow), so
+	// flows = member<->server both ways = 6.
+	if got := len(expanded.Flows); got != 6 {
+		t.Fatalf("flows = %d, want 6", got)
+	}
+	if got := expanded.Requirements.Len(); got != 3 {
+		t.Fatalf("requirements = %d, want 3 (one per member)", got)
+	}
+	if err := expanded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandGroupsRejectsBadInput(t *testing.T) {
+	p, lab, _ := groupedProblem(t)
+	if _, _, err := ExpandGroups(p, map[topology.NodeID]int{lab: 0}); err == nil {
+		t.Error("size 0 must be rejected")
+	}
+	if _, _, err := ExpandGroups(p, map[topology.NodeID]int{99: 2}); err == nil {
+		t.Error("unknown node must be rejected")
+	}
+	router := p.Network.Routers()[0]
+	if _, _, err := ExpandGroups(p, map[topology.NodeID]int{router: 2}); err == nil {
+		t.Error("router group must be rejected")
+	}
+}
+
+func TestExpandGroupsPolicies(t *testing.T) {
+	p, lab, server := groupedProblem(t)
+	pols := policy.NewSet()
+	pols.Add(
+		policy.ForbidPattern{Svc: 1, Pattern: isolation.TrustedComm},
+		policy.PinFlow{
+			Flow:    usability.Flow{Src: server, Dst: lab, Svc: 1},
+			Pattern: isolation.AccessDeny,
+		},
+	)
+	p.Policies = pols
+	expanded, _, err := ExpandGroups(p, map[topology.NodeID]int{lab: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pins, forbids int
+	for _, r := range expanded.Policies.All() {
+		switch r.(type) {
+		case policy.PinFlow:
+			pins++
+		case policy.ForbidPattern:
+			forbids++
+		}
+	}
+	if pins != 2 {
+		t.Errorf("pins = %d, want 2 (one per member)", pins)
+	}
+	if forbids != 1 {
+		t.Errorf("forbids = %d, want 1 (service-scoped, unchanged)", forbids)
+	}
+}
+
+func TestGroupSynthesisBroadcastsSoundly(t *testing.T) {
+	// The paper's §V-B claim, executable: synthesize on the grouped
+	// problem, broadcast to the members, and the expanded design passes
+	// simulation-based verification.
+	p, lab, _ := groupedProblem(t)
+	syn := mustSynth(t, p)
+	design, err := syn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, members, err := ExpandGroups(p, map[topology.NodeID]int{lab: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BroadcastDesign(p, design, expanded, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.FlowPatterns) != len(expanded.Flows) {
+		t.Fatalf("broadcast covers %d flows, want %d", len(big.FlowPatterns), len(expanded.Flows))
+	}
+	res, err := Verify(expanded, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device semantics and requirement/policy compliance must hold.
+	if !res.Simulation.OK() {
+		t.Fatalf("broadcast design fails simulation:\n%v", res.Simulation.Violations())
+	}
+	for _, v := range res.Violations {
+		t.Logf("note: %s", v)
+	}
+	// Normalized isolation is preserved exactly: every replica flow
+	// inherits its group flow's pattern.
+	if diff := big.Isolation - design.Isolation; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("isolation changed under expansion: %v vs %v", big.Isolation, design.Isolation)
+	}
+}

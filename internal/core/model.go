@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/policy"
+	"configsynth/internal/smt"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+type pairDev struct {
+	pair pairKey
+	dev  isolation.DeviceID
+}
+
+type linkDev struct {
+	link topology.LinkID
+	dev  isolation.DeviceID
+}
+
+// Synthesizer holds the encoded synthesis model (paper Eq. 12) and
+// answers satisfiability, optimization, and explanation queries against
+// it incrementally.
+type Synthesizer struct {
+	prob     *Problem
+	sol      *smt.Solver
+	flows    []usability.Flow
+	patterns []isolation.Pattern
+
+	y      map[usability.Flow]map[isolation.PatternID]smt.Bool
+	x      map[pairDev]smt.Bool
+	l      map[linkDev]smt.Bool
+	routes map[pairKey][]topology.Route
+
+	isoSum  *smt.Sum // Σ L_k · y  (network isolation numerator)
+	lossSum *smt.Sum // Σ a_f(100−b_k) · y (usability loss numerator)
+	costSum *smt.Sum // Σ C_d · l  (deployment cost)
+
+	sumRanks int64 // Σ a_f over all flows
+	maxIso   int64 // F · Lmax: the isolation normalization denominator
+
+	gIso, gUsa, gCost smt.Bool
+	isoGuards         map[int]smt.Bool
+	usaGuards         map[int]smt.Bool
+	costGuards        map[int64]smt.Bool
+
+	theory   *flowTheory
+	ftInputs [][]ftOption
+
+	nRoutes int
+}
+
+// NewSynthesizer validates the problem and encodes the full constraint
+// system Constr ≡ CR ∧ TC ∧ IIC ∧ UIC into the SMT solver.
+func NewSynthesizer(p *Problem) (*Synthesizer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.normalized()
+	s := &Synthesizer{
+		prob:       p,
+		sol:        smt.NewSolver(),
+		flows:      sortedFlows(p.Flows),
+		patterns:   p.Catalog.Patterns(),
+		y:          make(map[usability.Flow]map[isolation.PatternID]smt.Bool, len(p.Flows)),
+		x:          make(map[pairDev]smt.Bool),
+		l:          make(map[linkDev]smt.Bool),
+		routes:     make(map[pairKey][]topology.Route),
+		isoSum:     &smt.Sum{},
+		lossSum:    &smt.Sum{},
+		costSum:    &smt.Sum{},
+		isoGuards:  make(map[int]smt.Bool),
+		usaGuards:  make(map[int]smt.Bool),
+		costGuards: make(map[int64]smt.Bool),
+	}
+	if p.Options.SolverBudget > 0 {
+		s.sol.SetBudget(p.Options.SolverBudget)
+	}
+	if err := s.encode(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Problem returns the (normalized) problem the synthesizer was built on.
+func (s *Synthesizer) Problem() *Problem { return s.prob }
+
+func (s *Synthesizer) encode() error {
+	if err := s.encodeRoutes(); err != nil {
+		return err
+	}
+	s.encodeFlows()
+	s.encodePlacements()
+	if err := s.encodePolicies(); err != nil {
+		return err
+	}
+	// The flow-assignment theory must see the final root-level state of
+	// the y variables (policies may have pinned some), and must exist
+	// before the threshold guards register with it.
+	if !s.prob.Options.DisableFlowTheory {
+		s.theory = newFlowTheory(s.sol.SAT(), s.ftInputs)
+	}
+	s.encodeThresholds()
+	return nil
+}
+
+// encodeRoutes enumerates flow routes per unordered host pair (paper
+// §III-C, "Modeling Flow Routes").
+func (s *Synthesizer) encodeRoutes() error {
+	for _, f := range s.flows {
+		key := mkPair(f.Src, f.Dst)
+		if _, ok := s.routes[key]; ok {
+			continue
+		}
+		routes, err := s.prob.Network.Routes(key.a, key.b, s.prob.Options.Routes)
+		if err != nil {
+			return fmt.Errorf("routes for pair (%d,%d): %w", key.a, key.b, err)
+		}
+		s.routes[key] = routes
+		s.nRoutes += len(routes)
+	}
+	return nil
+}
+
+// encodeFlows creates the isolation decision variables y^k_{i,j}(g),
+// the invariant IIC1 (at most one pattern per flow), the connectivity
+// requirements CR with IIC2 (a required flow cannot be denied), and the
+// isolation/usability sums.
+func (s *Synthesizer) encodeFlows() {
+	cat := s.prob.Catalog
+	maxScore := int64(cat.MaxScore())
+	s.maxIso = int64(len(s.flows)) * maxScore
+
+	for _, f := range s.flows {
+		vars := make(map[isolation.PatternID]smt.Bool, len(s.patterns))
+		group := make([]smt.Bool, 0, len(s.patterns))
+		opts := make([]ftOption, 0, len(s.patterns))
+		for _, p := range s.patterns {
+			v := s.sol.NewBool(fmt.Sprintf("y%d[%v]", p.ID, f))
+			vars[p.ID] = v
+			group = append(group, v)
+			// Isolation contribution L_k · y.
+			s.isoSum.Add(v, int64(cat.Score(p.ID)))
+			// Usability loss contribution a_f · (100 − b_k) · y.
+			loss := int64(100-cat.UsabilityPct(p.ID)) * int64(s.prob.Ranks.Rank(f))
+			if loss > 0 {
+				s.lossSum.Add(v, loss)
+			}
+			opts = append(opts, ftOption{
+				lit:  v.Lit(),
+				iso:  int64(cat.Score(p.ID)),
+				loss: loss,
+			})
+		}
+		s.ftInputs = append(s.ftInputs, opts)
+		s.y[f] = vars
+		// IIC1: at most one isolation pattern per flow (none selected
+		// means "no isolation").
+		s.sol.AddAtMostOne(group...)
+		// CR + IIC2: a connectivity requirement forbids access deny.
+		if s.prob.Requirements.Required(f) {
+			if deny, ok := vars[isolation.AccessDeny]; ok {
+				s.sol.AddUnit(deny.Not())
+			}
+		}
+		s.sumRanks += int64(s.prob.Ranks.Rank(f))
+	}
+}
+
+// encodePlacements creates the device-requirement variables x^d and link
+// placement variables l^d, wiring paper Eq. (1) (pattern → devices) and
+// Eq. (7) (device → a placement on every flow route), including the
+// special IPSec tunnel-placement rule.
+func (s *Synthesizer) encodePlacements() {
+	// y^k → x^d for every device the pattern requires.
+	for _, f := range s.flows {
+		key := mkPair(f.Src, f.Dst)
+		for _, p := range s.patterns {
+			for _, d := range p.Devices {
+				s.sol.AddImplies(s.y[f][p.ID], s.xVar(key, d))
+			}
+		}
+	}
+	// x^d → coverage of every route.
+	pairs := make([]pairDev, 0, len(s.x))
+	for pd := range s.x {
+		pairs = append(pairs, pd)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.pair != b.pair {
+			if a.pair.a != b.pair.a {
+				return a.pair.a < b.pair.a
+			}
+			return a.pair.b < b.pair.b
+		}
+		return a.dev < b.dev
+	})
+	for _, pd := range pairs {
+		xv := s.x[pd]
+		if pd.dev == isolation.IPSec {
+			s.encodeTunnel(pd.pair, xv)
+			continue
+		}
+		for _, route := range s.routes[pd.pair] {
+			clause := make([]smt.Bool, 0, len(route)+1)
+			clause = append(clause, xv.Not())
+			for _, link := range route {
+				clause = append(clause, s.lVar(link, pd.dev))
+			}
+			s.sol.AddClause(clause...)
+		}
+	}
+}
+
+// encodeTunnel models the paper's IPSec placement rule: two gateways per
+// route, one within T links of the source and one within T links of the
+// destination. Routes shorter than 2T links cannot host a tunnel, which
+// makes trusted communication unavailable for the pair.
+func (s *Synthesizer) encodeTunnel(pair pairKey, xv smt.Bool) {
+	T := s.prob.Options.TunnelSlackHops
+	for _, route := range s.routes[pair] {
+		if len(route) < 2*T {
+			s.sol.AddUnit(xv.Not())
+			return
+		}
+		head := make([]smt.Bool, 0, T+1)
+		head = append(head, xv.Not())
+		for _, link := range route[:T] {
+			head = append(head, s.lVar(link, isolation.IPSec))
+		}
+		s.sol.AddClause(head...)
+		tail := make([]smt.Bool, 0, T+1)
+		tail = append(tail, xv.Not())
+		for _, link := range route[len(route)-T:] {
+			tail = append(tail, s.lVar(link, isolation.IPSec))
+		}
+		s.sol.AddClause(tail...)
+	}
+}
+
+func (s *Synthesizer) xVar(pair pairKey, d isolation.DeviceID) smt.Bool {
+	key := pairDev{pair: pair, dev: d}
+	if v, ok := s.x[key]; ok {
+		return v
+	}
+	v := s.sol.NewBool(fmt.Sprintf("x%d[%d,%d]", d, pair.a, pair.b))
+	s.x[key] = v
+	return v
+}
+
+func (s *Synthesizer) lVar(link topology.LinkID, d isolation.DeviceID) smt.Bool {
+	key := linkDev{link: link, dev: d}
+	if v, ok := s.l[key]; ok {
+		return v
+	}
+	v := s.sol.NewBool(fmt.Sprintf("l%d[%d]", d, link))
+	s.l[key] = v
+	dev, _ := s.prob.Catalog.Device(d)
+	s.costSum.Add(v, dev.Cost)
+	return v
+}
+
+// encodePolicies translates the user-defined constraints (UIC).
+func (s *Synthesizer) encodePolicies() error {
+	for _, r := range s.prob.Policies.All() {
+		switch rule := r.(type) {
+		case policy.ForbidPattern:
+			for _, f := range s.flows {
+				if rule.Svc != policy.AnyService && f.Svc != rule.Svc {
+					continue
+				}
+				v, ok := s.y[f][rule.Pattern]
+				if !ok {
+					return fmt.Errorf("core: policy %q references unknown pattern %d", r, rule.Pattern)
+				}
+				s.sol.AddUnit(v.Not())
+			}
+		case policy.RequirePattern:
+			for _, f := range s.flows {
+				if rule.Svc != policy.AnyService && f.Svc != rule.Svc {
+					continue
+				}
+				v, ok := s.y[f][rule.Pattern]
+				if !ok {
+					return fmt.Errorf("core: policy %q references unknown pattern %d", r, rule.Pattern)
+				}
+				s.sol.AddUnit(v)
+			}
+		case policy.PinFlow:
+			fv, ok := s.y[rule.Flow]
+			if !ok {
+				return fmt.Errorf("core: policy %q references unknown flow %v", r, rule.Flow)
+			}
+			v, ok := fv[rule.Pattern]
+			if !ok {
+				return fmt.Errorf("core: policy %q references unknown pattern %d", r, rule.Pattern)
+			}
+			if rule.Negated {
+				s.sol.AddUnit(v.Not())
+			} else {
+				s.sol.AddUnit(v)
+			}
+		case policy.Implication:
+			fromVars, ok := s.y[rule.If]
+			if !ok {
+				return fmt.Errorf("core: policy %q references unknown flow %v", r, rule.If)
+			}
+			toVars, ok := s.y[rule.Then]
+			if !ok {
+				return fmt.Errorf("core: policy %q references unknown flow %v", r, rule.Then)
+			}
+			from, ok := fromVars[rule.IfPattern]
+			if !ok {
+				return fmt.Errorf("core: policy %q references unknown pattern %d", r, rule.IfPattern)
+			}
+			to, ok := toVars[rule.ThenPattern]
+			if !ok {
+				return fmt.Errorf("core: policy %q references unknown pattern %d", r, rule.ThenPattern)
+			}
+			if rule.ThenNegated {
+				to = to.Not()
+			}
+			s.sol.AddImplies(from, to)
+		default:
+			return fmt.Errorf("core: unsupported policy rule %T", r)
+		}
+	}
+	return nil
+}
+
+// encodeThresholds creates the three guarded threshold constraints of
+// Eq. (9). Each guard is used as an assumption, which is what enables
+// unsat-core analysis over exactly these three constraints (paper
+// Algorithm 1 takes them as the soft assumptions).
+func (s *Synthesizer) encodeThresholds() {
+	th := s.prob.Thresholds
+	s.gIso = s.guardIsolation(th.IsolationTenths)
+	s.gUsa = s.guardUsability(th.UsabilityTenths)
+	s.gCost = s.guardCost(th.CostBudget)
+}
+
+// guardIsolation returns a guard literal enforcing network isolation
+// ≥ tenths/10 on the 0–10 scale when assumed.
+func (s *Synthesizer) guardIsolation(tenths int) smt.Bool {
+	if g, ok := s.isoGuards[tenths]; ok {
+		return g
+	}
+	g := s.sol.NewBool(fmt.Sprintf("Th_I>=%d", tenths))
+	// I = Σ L·y / (F·Lmax) ≥ tenths/100  ⇔  Σ L·y ≥ ⌈tenths·F·Lmax/100⌉.
+	bound := ceilDiv(int64(tenths)*s.maxIso, 100)
+	s.sol.AssertAtLeastIf(g, s.isoSum, bound)
+	if s.theory != nil {
+		s.theory.watchIsoGuard(g.Lit(), bound)
+	}
+	s.isoGuards[tenths] = g
+	return g
+}
+
+// guardUsability returns a guard enforcing network usability ≥ tenths/10
+// when assumed.
+func (s *Synthesizer) guardUsability(tenths int) smt.Bool {
+	if g, ok := s.usaGuards[tenths]; ok {
+		return g
+	}
+	g := s.sol.NewBool(fmt.Sprintf("Th_U>=%d", tenths))
+	// U = (100·Σa − loss)/(100·Σa) ≥ tenths/100
+	//   ⇔ loss ≤ (100−tenths)·Σa.
+	bound := int64(100-tenths) * s.sumRanks
+	s.sol.AssertAtMostIf(g, s.lossSum, bound)
+	if s.theory != nil {
+		s.theory.watchLossGuard(g.Lit(), bound)
+	}
+	s.usaGuards[tenths] = g
+	return g
+}
+
+// guardCost returns a guard enforcing deployment cost ≤ budget when
+// assumed.
+func (s *Synthesizer) guardCost(budget int64) smt.Bool {
+	if g, ok := s.costGuards[budget]; ok {
+		return g
+	}
+	g := s.sol.NewBool(fmt.Sprintf("Th_C<=%d", budget))
+	s.sol.AssertAtMostIf(g, s.costSum, budget)
+	s.costGuards[budget] = g
+	return g
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// ModelStats describes the size of the encoded model, used by the
+// scalability and memory experiments (paper §V-B, Table VI).
+type ModelStats struct {
+	Flows         int
+	HostPairs     int
+	Routes        int
+	Vars          int
+	Clauses       int
+	PBConstraints int
+	PBTerms       int
+	Conflicts     int64
+	Decisions     int64
+	Propagations  int64
+	// EstimatedBytes approximates the resident model size from structure
+	// counts (the paper's Table VI reports MB against problem size).
+	EstimatedBytes int64
+}
+
+// Stats returns current model statistics.
+func (s *Synthesizer) Stats() ModelStats {
+	st := s.sol.Stats()
+	pbTerms := s.isoSum.Len() + s.lossSum.Len() + s.costSum.Len()
+	return ModelStats{
+		Flows:         len(s.flows),
+		HostPairs:     len(s.routes),
+		Routes:        s.nRoutes,
+		Vars:          st.Vars,
+		Clauses:       st.Clauses + st.Learnts,
+		PBConstraints: st.PBConstraints,
+		PBTerms:       pbTerms,
+		Conflicts:     st.Conflicts,
+		Decisions:     st.Decisions,
+		Propagations:  st.Propagations,
+		EstimatedBytes: int64(st.Vars)*64 +
+			int64(st.Clauses+st.Learnts)*96 +
+			int64(pbTerms)*24,
+	}
+}

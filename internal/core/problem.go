@@ -1,0 +1,195 @@
+// Package core implements ConfigSynth's security design synthesis model
+// (paper §III–§IV): it encodes the network topology, isolation
+// requirements, usability and deployment-cost constraints into the SMT
+// substrate (internal/smt) and extracts optimal security configurations
+// — an isolation pattern per flow plus security-device placements on
+// topology links.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/policy"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// Thresholds are the three slider values of paper Eq. (9). Isolation and
+// usability use the paper's 0–10 scale expressed in tenths (0–100) so
+// that fractional slider positions such as 8.2 stay exact integers.
+type Thresholds struct {
+	// IsolationTenths is Th_I×10: network isolation must be ≥ this.
+	IsolationTenths int
+	// UsabilityTenths is Th_U×10: network usability must be ≥ this.
+	UsabilityTenths int
+	// CostBudget is Th_C: total deployment cost must be ≤ this, in
+	// thousands of dollars.
+	CostBudget int64
+}
+
+// Options tune the synthesis model. The zero value selects defaults.
+type Options struct {
+	// TunnelSlackHops is the paper's T: IPSec gateways must be placed
+	// within T links of each end host, and trusted communication is
+	// deployable only on routes of at least 2T links. Default 2.
+	TunnelSlackHops int
+	// Routes bounds flow-route enumeration.
+	Routes topology.RouteOptions
+	// AlphaPct is the paper's α (incoming-traffic weight of Eq. 2) in
+	// percent, used for per-host isolation reporting. Default 75.
+	AlphaPct int
+	// SolverBudget caps solver conflicts per Solve check; 0 means
+	// unlimited.
+	SolverBudget int64
+	// ProbeBudget caps solver conflicts per optimization probe
+	// (MaxIsolation, MinCost, MaxUsability, Assist, Explain). When a
+	// probe exhausts its budget the optimizer keeps the best design
+	// found so far (anytime semantics, like running an SMT solver under
+	// a timeout). Default 200000; negative means unlimited.
+	ProbeBudget int64
+	// DisableFlowTheory turns off the flow-assignment theory propagator
+	// and solves with clause learning plus pseudo-Boolean propagation
+	// only. This exists for the ablation benchmarks; production use
+	// should leave it false.
+	DisableFlowTheory bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TunnelSlackHops <= 0 {
+		o.TunnelSlackHops = 2
+	}
+	if o.AlphaPct <= 0 || o.AlphaPct > 100 {
+		o.AlphaPct = 75
+	}
+	if o.ProbeBudget == 0 {
+		o.ProbeBudget = 200_000
+	}
+	return o
+}
+
+// Problem is a complete synthesis input: topology, flows, catalog,
+// business constraints, and policies.
+type Problem struct {
+	// Network is the topology graph ⟨N, L⟩.
+	Network *topology.Network
+	// Catalog holds the isolation patterns, devices, and scores.
+	Catalog *isolation.Catalog
+	// Flows lists every directed service flow under consideration.
+	Flows []usability.Flow
+	// Requirements are the connectivity requirements (CR rules).
+	Requirements *usability.Requirements
+	// Ranks are the flow demand ranks a_{i,j}(g).
+	Ranks *usability.Ranks
+	// Policies are the user-defined constraints (UIC rules).
+	Policies *policy.Set
+	// Thresholds are the three sliders.
+	Thresholds Thresholds
+	// Options tune the model.
+	Options Options
+}
+
+// Errors reported by problem validation and solving.
+var (
+	ErrNoFlows        = errors.New("core: problem has no flows")
+	ErrBadFlow        = errors.New("core: flow references an invalid host")
+	ErrBudgetExceeded = errors.New("core: solver budget exhausted")
+)
+
+// Validate checks the problem for structural errors.
+func (p *Problem) Validate() error {
+	if p.Network == nil {
+		return errors.New("core: nil network")
+	}
+	if p.Catalog == nil {
+		return errors.New("core: nil catalog")
+	}
+	if len(p.Flows) == 0 {
+		return ErrNoFlows
+	}
+	seen := make(map[usability.Flow]bool, len(p.Flows))
+	for _, f := range p.Flows {
+		na, okA := p.Network.Node(f.Src)
+		nb, okB := p.Network.Node(f.Dst)
+		if !okA || !okB || na.Kind != topology.Host || nb.Kind != topology.Host || f.Src == f.Dst {
+			return fmt.Errorf("%w: %v", ErrBadFlow, f)
+		}
+		if seen[f] {
+			return fmt.Errorf("core: duplicate flow %v", f)
+		}
+		seen[f] = true
+	}
+	if p.Requirements != nil {
+		for _, f := range p.Requirements.All() {
+			if !seen[f] {
+				return fmt.Errorf("core: connectivity requirement %v is not among the flows", f)
+			}
+		}
+	}
+	return nil
+}
+
+// normalized fills optional fields with defaults.
+func (p *Problem) normalized() *Problem {
+	out := *p
+	if out.Requirements == nil {
+		out.Requirements = usability.NewRequirements()
+	}
+	if out.Ranks == nil {
+		out.Ranks = usability.NewRanks()
+	}
+	if out.Policies == nil {
+		out.Policies = policy.NewSet()
+	}
+	out.Options = out.Options.withDefaults()
+	return &out
+}
+
+// AllPairsFlows builds a flow between every ordered pair of hosts for
+// each of the given services — the paper's evaluation workload shape.
+func AllPairsFlows(net *topology.Network, services []usability.Service) []usability.Flow {
+	hosts := net.Hosts()
+	flows := make([]usability.Flow, 0, len(hosts)*(len(hosts)-1)*len(services))
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			for _, svc := range services {
+				flows = append(flows, usability.Flow{Src: src, Dst: dst, Svc: svc})
+			}
+		}
+	}
+	return flows
+}
+
+// pairKey is an unordered host pair.
+type pairKey struct {
+	a, b topology.NodeID // a < b
+}
+
+func mkPair(x, y topology.NodeID) pairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return pairKey{a: x, b: y}
+}
+
+// sortedFlows returns the problem's flows in deterministic order.
+func sortedFlows(flows []usability.Flow) []usability.Flow {
+	out := make([]usability.Flow, len(flows))
+	copy(out, flows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Svc < b.Svc
+	})
+	return out
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/smt"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// ThresholdKind identifies one of the three slider constraints.
+type ThresholdKind int8
+
+// The three threshold constraints of Eq. (9).
+const (
+	ThresholdIsolation ThresholdKind = iota + 1
+	ThresholdUsability
+	ThresholdCost
+)
+
+// String names the threshold.
+func (k ThresholdKind) String() string {
+	switch k {
+	case ThresholdIsolation:
+		return "isolation"
+	case ThresholdUsability:
+		return "usability"
+	case ThresholdCost:
+		return "cost"
+	default:
+		return "unknown"
+	}
+}
+
+// ThresholdConflictError reports an UNSAT result together with the
+// unsat core over the three threshold constraints (the assumptions of
+// paper Algorithm 1). An empty core means the hard constraints
+// (connectivity requirements, invariants, user policies) conflict on
+// their own.
+type ThresholdConflictError struct {
+	Core []ThresholdKind
+}
+
+// Error describes the conflict.
+func (e *ThresholdConflictError) Error() string {
+	if len(e.Core) == 0 {
+		return "core: hard constraints (CR/IIC/UIC) are unsatisfiable regardless of thresholds"
+	}
+	names := make([]string, len(e.Core))
+	for i, k := range e.Core {
+		names[i] = k.String()
+	}
+	return fmt.Sprintf("core: thresholds unsatisfiable; conflicting constraints: %s",
+		strings.Join(names, ", "))
+}
+
+// Design is a synthesized security configuration: the isolation pattern
+// chosen for every flow plus the security-device placements on links,
+// with the achieved scores.
+type Design struct {
+	// FlowPatterns maps each flow to its isolation pattern
+	// (isolation.PatternNone for "no isolation").
+	FlowPatterns map[usability.Flow]isolation.PatternID
+	// Placements maps links to the device types deployed on them, after
+	// redundancy pruning.
+	Placements map[topology.LinkID][]isolation.DeviceID
+	// Isolation is the achieved network isolation on the paper's 0–10
+	// scale.
+	Isolation float64
+	// Usability is the achieved network usability on the 0–10 scale.
+	Usability float64
+	// Cost is the total deployment cost of the placements, in $K.
+	Cost int64
+	// HostIsolation reports the per-host isolation score I_j (0–10),
+	// weighted by α between incoming and outgoing traffic (Eq. 2–3).
+	HostIsolation map[topology.NodeID]float64
+	// Exact is true when the design is a plain satisfying model or a
+	// proven optimum; it is false when an optimization probe exhausted
+	// its conflict budget, making the result a best-found (anytime)
+	// answer rather than a proven optimum.
+	Exact bool
+}
+
+// DeviceCount returns the total number of placed devices.
+func (d *Design) DeviceCount() int {
+	n := 0
+	for _, devs := range d.Placements {
+		n += len(devs)
+	}
+	return n
+}
+
+// PatternMix returns the fraction of flows per pattern (including
+// PatternNone), on 0..1.
+func (d *Design) PatternMix() map[isolation.PatternID]float64 {
+	mix := make(map[isolation.PatternID]float64)
+	if len(d.FlowPatterns) == 0 {
+		return mix
+	}
+	for _, p := range d.FlowPatterns {
+		mix[p]++
+	}
+	for k := range mix {
+		mix[k] /= float64(len(d.FlowPatterns))
+	}
+	return mix
+}
+
+// Solve checks the full conjunction Constr ≡ CR ∧ TC ∧ IIC ∧ UIC
+// (Eq. 12) and extracts a design on SAT. On UNSAT it returns a
+// *ThresholdConflictError carrying the unsat core over the three
+// threshold constraints.
+func (s *Synthesizer) Solve() (*Design, error) {
+	switch s.sol.Check(s.gIso, s.gUsa, s.gCost) {
+	case smt.Sat:
+		return s.extractDesign(), nil
+	case smt.Unknown:
+		return nil, ErrBudgetExceeded
+	default:
+		return nil, &ThresholdConflictError{Core: s.coreKinds()}
+	}
+}
+
+func (s *Synthesizer) coreKinds() []ThresholdKind {
+	var kinds []ThresholdKind
+	for _, b := range s.sol.Core() {
+		switch b {
+		case s.gIso:
+			kinds = append(kinds, ThresholdIsolation)
+		case s.gUsa:
+			kinds = append(kinds, ThresholdUsability)
+		case s.gCost:
+			kinds = append(kinds, ThresholdCost)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// extractDesign reads the model: chosen patterns, placed devices (pruned
+// of redundancy), and achieved scores.
+func (s *Synthesizer) extractDesign() *Design {
+	d := &Design{
+		FlowPatterns:  make(map[usability.Flow]isolation.PatternID, len(s.flows)),
+		Placements:    make(map[topology.LinkID][]isolation.DeviceID),
+		HostIsolation: make(map[topology.NodeID]float64),
+	}
+	for _, f := range s.flows {
+		d.FlowPatterns[f] = isolation.PatternNone
+		for _, p := range s.patterns {
+			if s.sol.Value(s.y[f][p.ID]) {
+				d.FlowPatterns[f] = p.ID
+				break
+			}
+		}
+	}
+	placed := s.prunedPlacements(d.FlowPatterns)
+	for ld := range placed {
+		d.Placements[ld.link] = append(d.Placements[ld.link], ld.dev)
+	}
+	for _, devs := range d.Placements {
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	}
+	for ld := range placed {
+		dev, _ := s.prob.Catalog.Device(ld.dev)
+		d.Cost += dev.Cost
+	}
+	s.fillScores(d)
+	return d
+}
+
+// neededDevices derives, from the chosen flow patterns, which (pair,
+// device) requirements the placements must cover.
+func (s *Synthesizer) neededDevices(flowPatterns map[usability.Flow]isolation.PatternID) map[pairDev]bool {
+	needed := make(map[pairDev]bool)
+	for f, pid := range flowPatterns {
+		if pid == isolation.PatternNone {
+			continue
+		}
+		key := mkPair(f.Src, f.Dst)
+		for _, dev := range s.prob.Catalog.DevicesFor(pid) {
+			needed[pairDev{pair: key, dev: dev}] = true
+		}
+	}
+	return needed
+}
+
+// covered checks whether the placement set satisfies one (pair, device)
+// requirement under the same semantics as the encoding: every route of
+// the pair carries the device; for IPSec, both the head and tail windows
+// of every route carry a gateway.
+func (s *Synthesizer) covered(pd pairDev, placed map[linkDev]bool) bool {
+	T := s.prob.Options.TunnelSlackHops
+	for _, route := range s.routes[pd.pair] {
+		if pd.dev == isolation.IPSec {
+			if len(route) < 2*T {
+				return false
+			}
+			if !anyPlaced(route[:T], pd.dev, placed) {
+				return false
+			}
+			if !anyPlaced(route[len(route)-T:], pd.dev, placed) {
+				return false
+			}
+			continue
+		}
+		if !anyPlaced(route, pd.dev, placed) {
+			return false
+		}
+	}
+	return true
+}
+
+func anyPlaced(links []topology.LinkID, dev isolation.DeviceID, placed map[linkDev]bool) bool {
+	for _, link := range links {
+		if placed[linkDev{link: link, dev: dev}] {
+			return true
+		}
+	}
+	return false
+}
+
+// prunedPlacements extracts the placed devices from the model and then
+// greedily removes redundant ones (most expensive first) while keeping
+// every needed (pair, device) requirement covered. The SMT model only
+// guarantees feasibility within budget; pruning yields the
+// cost-minimal-ish deployment the paper reports in its output figures.
+func (s *Synthesizer) prunedPlacements(flowPatterns map[usability.Flow]isolation.PatternID) map[linkDev]bool {
+	placed := make(map[linkDev]bool)
+	for ld, v := range s.l {
+		if s.sol.Value(v) {
+			placed[ld] = true
+		}
+	}
+	needed := s.neededDevices(flowPatterns)
+
+	// Deterministic order: expensive devices first, then link, then dev.
+	candidates := make([]linkDev, 0, len(placed))
+	for ld := range placed {
+		candidates = append(candidates, ld)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		da, _ := s.prob.Catalog.Device(a.dev)
+		db, _ := s.prob.Catalog.Device(b.dev)
+		if da.Cost != db.Cost {
+			return da.Cost > db.Cost
+		}
+		if a.link != b.link {
+			return a.link < b.link
+		}
+		return a.dev < b.dev
+	})
+	for _, ld := range candidates {
+		delete(placed, ld)
+		ok := true
+		for pd := range needed {
+			if pd.dev != ld.dev {
+				continue
+			}
+			if !s.covered(pd, placed) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			placed[ld] = true
+		}
+	}
+	return placed
+}
+
+// fillScores computes the achieved network and per-host scores from the
+// chosen patterns, using the paper's normalizations.
+func (s *Synthesizer) fillScores(d *Design) {
+	cat := s.prob.Catalog
+	var isoNum, lossNum int64
+	for f, pid := range d.FlowPatterns {
+		isoNum += int64(cat.Score(pid))
+		lossNum += int64(s.prob.Ranks.Rank(f)) * int64(100-cat.UsabilityPct(pid))
+	}
+	if s.maxIso > 0 {
+		d.Isolation = 10 * float64(isoNum) / float64(s.maxIso)
+	}
+	if s.sumRanks > 0 {
+		d.Usability = 10 * (1 - float64(lossNum)/float64(100*s.sumRanks))
+	}
+	s.fillHostIsolation(d)
+}
+
+// fillHostIsolation computes I_j per Eq. (2)–(3): the α-weighted blend of
+// incoming and outgoing isolation, normalized to 0–10.
+func (s *Synthesizer) fillHostIsolation(d *Design) {
+	cat := s.prob.Catalog
+	maxScore := float64(cat.MaxScore())
+	// Ī_{i,j}: mean normalized isolation of flows i→j.
+	type dirKey struct{ src, dst topology.NodeID }
+	sums := make(map[dirKey]float64)
+	counts := make(map[dirKey]int)
+	for f, pid := range d.FlowPatterns {
+		k := dirKey{f.Src, f.Dst}
+		sums[k] += float64(cat.Score(pid)) / maxScore
+		counts[k]++
+	}
+	alpha := float64(s.prob.Options.AlphaPct) / 100
+	peers := make(map[topology.NodeID]map[topology.NodeID]bool)
+	record := func(a, b topology.NodeID) {
+		if peers[a] == nil {
+			peers[a] = make(map[topology.NodeID]bool)
+		}
+		peers[a][b] = true
+	}
+	for k := range sums {
+		record(k.src, k.dst)
+		record(k.dst, k.src)
+	}
+	iBar := func(i, j topology.NodeID) float64 {
+		k := dirKey{i, j}
+		if counts[k] == 0 {
+			return 0
+		}
+		return sums[k] / float64(counts[k])
+	}
+	for j, ps := range peers {
+		var total float64
+		for i := range ps {
+			total += alpha*iBar(i, j) + (1-alpha)*iBar(j, i)
+		}
+		d.HostIsolation[j] = 10 * total / float64(len(ps))
+	}
+}
+
+// IsUnsat reports whether err is a threshold conflict.
+func IsUnsat(err error) bool {
+	var tc *ThresholdConflictError
+	return errors.As(err, &tc)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/netsim"
+	"configsynth/internal/policy"
+	"configsynth/internal/usability"
+)
+
+// VerifyResult is the outcome of checking a design against a problem.
+type VerifyResult struct {
+	// Simulation is the per-flow device-semantics report.
+	Simulation netsim.Report
+	// Violations lists every check that failed (empty means the design
+	// is valid).
+	Violations []string
+	// Isolation, Usability, Cost are the independently recomputed
+	// achieved scores.
+	Isolation float64
+	Usability float64
+	Cost      int64
+}
+
+// OK reports whether the design passed every check.
+func (r *VerifyResult) OK() bool { return len(r.Violations) == 0 }
+
+// Verify independently checks a design against a problem: every flow has
+// a pattern, the placed devices implement each pattern on every route
+// (via the netsim executable semantics), connectivity requirements are
+// not denied, user-defined policies hold, and the recomputed scores meet
+// the thresholds. It is the paper's correctness argument turned into an
+// executable check, usable both as a test oracle and as a bottom-up
+// validator for hand-written configurations.
+func Verify(p *Problem, d *Design) (*VerifyResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.normalized()
+	res := &VerifyResult{}
+	add := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// Every problem flow must be assigned (PatternNone counts).
+	assignment := make(map[usability.Flow]isolation.PatternID, len(p.Flows))
+	for _, f := range p.Flows {
+		pid, ok := d.FlowPatterns[f]
+		if !ok {
+			add("flow %v has no pattern assignment", f)
+			continue
+		}
+		if pid != isolation.PatternNone {
+			if _, known := p.Catalog.Pattern(pid); !known {
+				add("flow %v assigned unknown pattern %d", f, pid)
+				continue
+			}
+		}
+		assignment[f] = pid
+	}
+
+	// Device semantics on every route.
+	sim, err := netsim.New(netsim.Config{
+		Network:         p.Network,
+		Placements:      d.Placements,
+		Routes:          p.Options.Routes,
+		TunnelSlackHops: p.Options.TunnelSlackHops,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report, err := sim.SimulateAll(assignment)
+	if err != nil {
+		return nil, err
+	}
+	res.Simulation = report
+	res.Violations = append(res.Violations, report.Violations()...)
+
+	// Connectivity requirements: CR flows must not be denied.
+	for _, f := range p.Requirements.All() {
+		if assignment[f] == isolation.AccessDeny {
+			add("connectivity requirement %v is denied", f)
+		}
+	}
+
+	// User-defined policies.
+	verifyPolicies(p, assignment, add)
+
+	// Recomputed scores against thresholds.
+	cat := p.Catalog
+	var isoNum, lossNum, sumRanks int64
+	for _, f := range p.Flows {
+		pid := assignment[f]
+		rank := int64(p.Ranks.Rank(f))
+		isoNum += int64(cat.Score(pid))
+		lossNum += rank * int64(100-cat.UsabilityPct(pid))
+		sumRanks += rank
+	}
+	maxIso := int64(len(p.Flows)) * int64(cat.MaxScore())
+	if maxIso > 0 {
+		res.Isolation = 10 * float64(isoNum) / float64(maxIso)
+	}
+	if sumRanks > 0 {
+		res.Usability = 10 * (1 - float64(lossNum)/float64(100*sumRanks))
+	}
+	for _, devs := range d.Placements {
+		for _, dev := range devs {
+			dd, ok := cat.Device(dev)
+			if !ok {
+				add("placement uses unknown device %d", dev)
+				continue
+			}
+			res.Cost += dd.Cost
+		}
+	}
+	th := p.Thresholds
+	if res.Isolation*10+1e-9 < float64(th.IsolationTenths) {
+		add("isolation %.2f below threshold %.1f", res.Isolation, float64(th.IsolationTenths)/10)
+	}
+	if res.Usability*10+1e-9 < float64(th.UsabilityTenths) {
+		add("usability %.2f below threshold %.1f", res.Usability, float64(th.UsabilityTenths)/10)
+	}
+	if res.Cost > th.CostBudget {
+		add("cost $%dK exceeds budget $%dK", res.Cost, th.CostBudget)
+	}
+	return res, nil
+}
+
+// verifyPolicies checks the UIC rules against an assignment.
+func verifyPolicies(p *Problem, assignment map[usability.Flow]isolation.PatternID, add func(string, ...any)) {
+	for _, r := range p.Policies.All() {
+		switch rule := r.(type) {
+		case policy.ForbidPattern:
+			for f, pid := range assignment {
+				if (rule.Svc == policy.AnyService || f.Svc == rule.Svc) && pid == rule.Pattern {
+					add("policy %q violated by %v", rule, f)
+				}
+			}
+		case policy.RequirePattern:
+			for f, pid := range assignment {
+				if (rule.Svc == policy.AnyService || f.Svc == rule.Svc) && pid != rule.Pattern {
+					add("policy %q violated by %v (has %d)", rule, f, pid)
+				}
+			}
+		case policy.PinFlow:
+			pid, ok := assignment[rule.Flow]
+			if !ok {
+				add("policy %q references unassigned flow", rule)
+				continue
+			}
+			if rule.Negated && pid == rule.Pattern {
+				add("policy %q violated", rule)
+			}
+			if !rule.Negated && pid != rule.Pattern {
+				add("policy %q violated (has %d)", rule, pid)
+			}
+		case policy.Implication:
+			ifHolds := assignment[rule.If] == rule.IfPattern
+			thenHolds := assignment[rule.Then] == rule.ThenPattern
+			if rule.ThenNegated {
+				thenHolds = !thenHolds
+			}
+			if ifHolds && !thenHolds {
+				add("policy %q violated", rule)
+			}
+		default:
+			add("unsupported policy rule %T", r)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/policy"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+func TestVerifyAcceptsSynthesizedDesign(t *testing.T) {
+	p := tinyProblem(t, Thresholds{IsolationTenths: 30, UsabilityTenths: 30, CostBudget: 60})
+	s := mustSynth(t, p)
+	d, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("synthesized design failed verification:\n%v", res.Violations)
+	}
+	if res.Isolation != d.Isolation || res.Usability != d.Usability {
+		t.Errorf("recomputed scores differ: %v/%v vs %v/%v",
+			res.Isolation, res.Usability, d.Isolation, d.Usability)
+	}
+	if res.Cost != d.Cost {
+		t.Errorf("recomputed cost %d vs %d", res.Cost, d.Cost)
+	}
+}
+
+func TestVerifyCatchesMissingDevice(t *testing.T) {
+	p := tinyProblem(t, Thresholds{IsolationTenths: 30, CostBudget: 60})
+	s := mustSynth(t, p)
+	d, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip all placements: any deny/inspect pattern becomes violated.
+	d.Placements = map[topology.LinkID][]isolation.DeviceID{}
+	res, err := Verify(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("design without placements must fail verification")
+	}
+}
+
+func TestVerifyCatchesDeniedRequirement(t *testing.T) {
+	net, hosts := tinyNet(t, false)
+	flow := usability.Flow{Src: hosts[0], Dst: hosts[1], Svc: 1}
+	reqs := usability.NewRequirements()
+	reqs.Require(flow)
+	p := &Problem{
+		Network:      net,
+		Catalog:      isolation.DefaultCatalog(),
+		Flows:        []usability.Flow{flow},
+		Requirements: reqs,
+		Thresholds:   Thresholds{CostBudget: 50},
+	}
+	s := mustSynth(t, p)
+	d, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually corrupt: deny the required flow (with a firewall so the
+	// simulation itself is clean).
+	d.FlowPatterns[flow] = isolation.AccessDeny
+	routes, _ := net.Routes(hosts[0], hosts[1], topology.RouteOptions{})
+	d.Placements = map[topology.LinkID][]isolation.DeviceID{
+		routes[0][0]: {isolation.Firewall},
+	}
+	res, err := Verify(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("denied requirement must fail verification")
+	}
+}
+
+func TestVerifyCatchesThresholdShortfall(t *testing.T) {
+	p := tinyProblem(t, Thresholds{IsolationTenths: 50, UsabilityTenths: 30, CostBudget: 60})
+	s := mustSynth(t, p)
+	d, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blank every pattern: isolation collapses below the threshold.
+	for f := range d.FlowPatterns {
+		d.FlowPatterns[f] = isolation.PatternNone
+	}
+	res, err := Verify(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("gutted design must fail the isolation threshold")
+	}
+}
+
+func TestVerifyCatchesPolicyViolation(t *testing.T) {
+	p := tinyProblem(t, Thresholds{CostBudget: 60})
+	s := mustSynth(t, p)
+	d, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a policy after the fact that the design violates.
+	p2 := *p
+	pset := policy.NewSet()
+	pset.Add(policy.ForbidPattern{Svc: policy.AnyService, Pattern: isolation.PayloadInspection})
+	p2.Policies = pset
+	// Force one flow to the forbidden pattern, with devices to match.
+	var victim usability.Flow
+	for _, f := range p.Flows {
+		victim = f
+		break
+	}
+	d.FlowPatterns[victim] = isolation.PayloadInspection
+	routes, _ := p.Network.Routes(victim.Src, victim.Dst, topology.RouteOptions{})
+	if d.Placements == nil {
+		d.Placements = map[topology.LinkID][]isolation.DeviceID{}
+	}
+	for _, r := range routes {
+		d.Placements[r[0]] = append(d.Placements[r[0]], isolation.IDS)
+	}
+	res, err := Verify(&p2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("policy violation must fail verification")
+	}
+}

@@ -1,0 +1,320 @@
+// Package isolation models the paper's isolation patterns (Table I),
+// security devices (Table II), the pattern↔device mapping of Eq. (1), and
+// the derivation of complete relative isolation scores from a partial
+// order (paper §III-A, "Score of an Isolation Pattern").
+package isolation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"configsynth/internal/order"
+)
+
+// PatternID identifies a network-level isolation pattern. The IDs mirror
+// the paper's Table I (k values).
+type PatternID int
+
+// The primitive and composite patterns of paper Table I. PatternNone
+// represents "no isolation measure" for a flow. SourceHiding is the
+// paper's §III-A "source identity hiding" pattern (NAT), which Table I
+// omits; ExtendedCatalog enables it.
+const (
+	PatternNone       PatternID = 0
+	AccessDeny        PatternID = 1
+	TrustedComm       PatternID = 2
+	PayloadInspection PatternID = 3
+	ProxyForwarding   PatternID = 4
+	ProxyTrustedComm  PatternID = 5
+	SourceHiding      PatternID = 6
+)
+
+// DeviceID identifies a security device type (paper Table II, d values).
+type DeviceID int
+
+// The security devices of paper Table II, plus the NAT device of §III-A
+// used by the extended catalog.
+const (
+	Firewall DeviceID = 1
+	IPSec    DeviceID = 2
+	IDS      DeviceID = 3
+	Proxy    DeviceID = 4
+	NAT      DeviceID = 5
+)
+
+// Pattern describes one isolation pattern.
+type Pattern struct {
+	ID   PatternID
+	Name string
+	// Devices lists the security devices required to implement the
+	// pattern (more than one for composite patterns), per Eq. (1).
+	Devices []DeviceID
+	// UsabilityPct is the paper's b^k(g) in percent: the usability a flow
+	// retains when this pattern is applied. Access deny is 0; the paper's
+	// simplest valuation gives all other patterns 100.
+	UsabilityPct int
+}
+
+// Device describes one security device type.
+type Device struct {
+	ID   DeviceID
+	Name string
+	// Cost is the average deployment cost C_d, in thousands of dollars.
+	Cost int64
+}
+
+// Relation is a comparison in an isolation-score partial order.
+type Relation int8
+
+// Partial-order relations. These correspond to the comparison column of
+// the paper's input format (1 for =, 2 for >, 3 for >=).
+const (
+	Equal Relation = iota + 1
+	Greater
+	GreaterEq
+)
+
+// OrderConstraint states "score(A) Rel score(B)".
+type OrderConstraint struct {
+	A, B PatternID
+	Rel  Relation
+}
+
+// Errors from catalog construction.
+var (
+	ErrInconsistentOrder = errors.New("isolation: partial order is inconsistent (cycle through a strict comparison)")
+	ErrUnknownPattern    = errors.New("isolation: unknown pattern")
+	ErrUnknownDevice     = errors.New("isolation: unknown device")
+)
+
+// SolveScores derives a complete relative score assignment from a partial
+// order, as the paper's "simple formal model". Every pattern gets the
+// least positive integer score satisfying all constraints; the result is
+// the unique minimal solution. A cycle that passes through a strict
+// comparison is inconsistent.
+func SolveScores(ids []PatternID, constraints []OrderConstraint) (map[PatternID]int, error) {
+	oc := make([]order.Constraint[PatternID], len(constraints))
+	for i, c := range constraints {
+		oc[i] = order.Constraint[PatternID]{A: c.A, B: c.B, Rel: order.Relation(c.Rel)}
+	}
+	scores, err := order.Solve(ids, oc)
+	switch {
+	case errors.Is(err, order.ErrInconsistent):
+		return nil, ErrInconsistentOrder
+	case errors.Is(err, order.ErrUnknownItem):
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
+	case err != nil:
+		return nil, err
+	}
+	return scores, nil
+}
+
+// Catalog is the registry of patterns, devices, and derived scores used
+// by a synthesis run.
+type Catalog struct {
+	patterns map[PatternID]Pattern
+	devices  map[DeviceID]Device
+	scores   map[PatternID]int
+	maxScore int
+	ordered  []PatternID
+}
+
+// NewCatalog builds a catalog and solves the score partial order.
+func NewCatalog(patterns []Pattern, devices []Device, order []OrderConstraint) (*Catalog, error) {
+	c := &Catalog{
+		patterns: make(map[PatternID]Pattern, len(patterns)),
+		devices:  make(map[DeviceID]Device, len(devices)),
+	}
+	for _, d := range devices {
+		c.devices[d.ID] = d
+	}
+	ids := make([]PatternID, 0, len(patterns))
+	for _, p := range patterns {
+		if p.ID == PatternNone {
+			return nil, fmt.Errorf("%w: pattern 0 is reserved for \"no isolation\"", ErrUnknownPattern)
+		}
+		for _, d := range p.Devices {
+			if _, ok := c.devices[d]; !ok {
+				return nil, fmt.Errorf("%w: %d required by pattern %q", ErrUnknownDevice, d, p.Name)
+			}
+		}
+		c.patterns[p.ID] = p
+		ids = append(ids, p.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.ordered = ids
+	scores, err := SolveScores(ids, order)
+	if err != nil {
+		return nil, err
+	}
+	c.scores = scores
+	for _, s := range scores {
+		if s > c.maxScore {
+			c.maxScore = s
+		}
+	}
+	return c, nil
+}
+
+// DefaultOrder returns the paper's example partial order:
+// ∀k≠1 L_k < L_1, L_2 > L_3, L_2 > L_4, L_5 > L_2.
+func DefaultOrder() []OrderConstraint {
+	return []OrderConstraint{
+		{A: AccessDeny, B: TrustedComm, Rel: Greater},
+		{A: AccessDeny, B: PayloadInspection, Rel: Greater},
+		{A: AccessDeny, B: ProxyForwarding, Rel: Greater},
+		{A: AccessDeny, B: ProxyTrustedComm, Rel: Greater},
+		{A: TrustedComm, B: PayloadInspection, Rel: Greater},
+		{A: TrustedComm, B: ProxyForwarding, Rel: Greater},
+		{A: ProxyTrustedComm, B: TrustedComm, Rel: Greater},
+	}
+}
+
+// DefaultPatterns returns the five patterns of paper Table I with the
+// paper's simplest usability valuation (deny 0, everything else 100).
+func DefaultPatterns() []Pattern {
+	return []Pattern{
+		{ID: AccessDeny, Name: "Access Deny", Devices: []DeviceID{Firewall}, UsabilityPct: 0},
+		{ID: TrustedComm, Name: "Trusted Communication", Devices: []DeviceID{IPSec}, UsabilityPct: 100},
+		{ID: PayloadInspection, Name: "Payload Inspection", Devices: []DeviceID{IDS}, UsabilityPct: 100},
+		{ID: ProxyForwarding, Name: "Proxy Forwarding", Devices: []DeviceID{Proxy}, UsabilityPct: 100},
+		{ID: ProxyTrustedComm, Name: "Proxy with Trusted Communication", Devices: []DeviceID{Proxy, IPSec}, UsabilityPct: 100},
+	}
+}
+
+// DefaultDevices returns the devices of paper Table II with default
+// per-device deployment costs in thousands of dollars.
+func DefaultDevices() []Device {
+	return []Device{
+		{ID: Firewall, Name: "Firewall", Cost: 5},
+		{ID: IPSec, Name: "IPSec", Cost: 8},
+		{ID: IDS, Name: "IDS", Cost: 6},
+		{ID: Proxy, Name: "Proxy", Cost: 4},
+	}
+}
+
+// DefaultCatalog builds the catalog of paper Tables I and II.
+func DefaultCatalog() *Catalog {
+	c, err := NewCatalog(DefaultPatterns(), DefaultDevices(), DefaultOrder())
+	if err != nil {
+		// The defaults are statically consistent; reaching this is a
+		// programming error.
+		panic(err)
+	}
+	return c
+}
+
+// ExtendedPatterns returns the Table I patterns plus the paper's §III-A
+// "source identity hiding" pattern implemented by a NAT device. NAT
+// slightly reduces usability (some inbound applications break behind
+// address translation, as the paper's one-way-communication discussion
+// implies).
+func ExtendedPatterns() []Pattern {
+	return append(DefaultPatterns(), Pattern{
+		ID:           SourceHiding,
+		Name:         "Source Identity Hiding",
+		Devices:      []DeviceID{NAT},
+		UsabilityPct: 90,
+	})
+}
+
+// ExtendedDevices returns the Table II devices plus NAT.
+func ExtendedDevices() []Device {
+	return append(DefaultDevices(), Device{ID: NAT, Name: "NAT", Cost: 3})
+}
+
+// ExtendedOrder extends the default partial order: source hiding ranks
+// below access deny (∀k≠1 L_k < L_1 covers it) and at most as high as
+// payload inspection.
+func ExtendedOrder() []OrderConstraint {
+	return append(DefaultOrder(),
+		OrderConstraint{A: AccessDeny, B: SourceHiding, Rel: Greater},
+		OrderConstraint{A: PayloadInspection, B: SourceHiding, Rel: GreaterEq},
+	)
+}
+
+// ExtendedCatalog builds the catalog with the NAT-based source-hiding
+// pattern enabled.
+func ExtendedCatalog() *Catalog {
+	c, err := NewCatalog(ExtendedPatterns(), ExtendedDevices(), ExtendedOrder())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Patterns returns all patterns in ascending ID order.
+func (c *Catalog) Patterns() []Pattern {
+	out := make([]Pattern, 0, len(c.ordered))
+	for _, id := range c.ordered {
+		out = append(out, c.patterns[id])
+	}
+	return out
+}
+
+// Pattern returns the pattern with the given ID.
+func (c *Catalog) Pattern(id PatternID) (Pattern, bool) {
+	p, ok := c.patterns[id]
+	return p, ok
+}
+
+// Devices returns all devices in ascending ID order.
+func (c *Catalog) Devices() []Device {
+	out := make([]Device, 0, len(c.devices))
+	for _, d := range c.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Device returns the device with the given ID.
+func (c *Catalog) Device(id DeviceID) (Device, bool) {
+	d, ok := c.devices[id]
+	return d, ok
+}
+
+// SetDeviceCost overrides the deployment cost of a device.
+func (c *Catalog) SetDeviceCost(id DeviceID, cost int64) error {
+	d, ok := c.devices[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDevice, id)
+	}
+	d.Cost = cost
+	c.devices[id] = d
+	return nil
+}
+
+// Score returns the relative isolation score L_k of a pattern.
+// PatternNone scores 0.
+func (c *Catalog) Score(id PatternID) int {
+	if id == PatternNone {
+		return 0
+	}
+	return c.scores[id]
+}
+
+// MaxScore returns the highest score of any pattern, the normalization
+// denominator of the paper's Ī equation.
+func (c *Catalog) MaxScore() int { return c.maxScore }
+
+// DevicesFor returns the device types an isolation pattern requires.
+func (c *Catalog) DevicesFor(id PatternID) []DeviceID {
+	p, ok := c.patterns[id]
+	if !ok {
+		return nil
+	}
+	out := make([]DeviceID, len(p.Devices))
+	copy(out, p.Devices)
+	return out
+}
+
+// UsabilityPct returns the usability retention b^k of a pattern in
+// percent. PatternNone retains full usability.
+func (c *Catalog) UsabilityPct(id PatternID) int {
+	if id == PatternNone {
+		return 100
+	}
+	return c.patterns[id].UsabilityPct
+}

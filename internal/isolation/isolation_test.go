@@ -1,0 +1,271 @@
+package isolation
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultScoresMatchPaperTableI(t *testing.T) {
+	c := DefaultCatalog()
+	want := map[PatternID]int{
+		AccessDeny:        4,
+		TrustedComm:       2,
+		PayloadInspection: 1,
+		ProxyForwarding:   1,
+		ProxyTrustedComm:  3,
+	}
+	for id, w := range want {
+		if got := c.Score(id); got != w {
+			t.Errorf("score(%d) = %d, want %d (paper Table I)", id, got, w)
+		}
+	}
+	if c.MaxScore() != 4 {
+		t.Errorf("MaxScore = %d, want 4", c.MaxScore())
+	}
+	if c.Score(PatternNone) != 0 {
+		t.Errorf("PatternNone must score 0")
+	}
+}
+
+func TestDefaultDeviceMappingMatchesPaperTableII(t *testing.T) {
+	c := DefaultCatalog()
+	cases := []struct {
+		p    PatternID
+		want []DeviceID
+	}{
+		{AccessDeny, []DeviceID{Firewall}},
+		{TrustedComm, []DeviceID{IPSec}},
+		{PayloadInspection, []DeviceID{IDS}},
+		{ProxyForwarding, []DeviceID{Proxy}},
+		{ProxyTrustedComm, []DeviceID{Proxy, IPSec}},
+	}
+	for _, tc := range cases {
+		got := c.DevicesFor(tc.p)
+		if len(got) != len(tc.want) {
+			t.Fatalf("DevicesFor(%d) = %v, want %v", tc.p, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("DevicesFor(%d) = %v, want %v", tc.p, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestSolveScoresEquality(t *testing.T) {
+	ids := []PatternID{1, 2, 3}
+	scores, err := SolveScores(ids, []OrderConstraint{
+		{A: 1, B: 2, Rel: Greater},
+		{A: 2, B: 3, Rel: Equal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[2] != scores[3] {
+		t.Errorf("equal patterns should share a score: %v", scores)
+	}
+	if scores[1] != scores[2]+1 {
+		t.Errorf("strict order not respected: %v", scores)
+	}
+}
+
+func TestSolveScoresGreaterEq(t *testing.T) {
+	ids := []PatternID{1, 2}
+	scores, err := SolveScores(ids, []OrderConstraint{{A: 1, B: 2, Rel: GreaterEq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[1] < scores[2] {
+		t.Errorf(">= violated: %v", scores)
+	}
+}
+
+func TestSolveScoresCycleDetection(t *testing.T) {
+	ids := []PatternID{1, 2}
+	_, err := SolveScores(ids, []OrderConstraint{
+		{A: 1, B: 2, Rel: Greater},
+		{A: 2, B: 1, Rel: Greater},
+	})
+	if !errors.Is(err, ErrInconsistentOrder) {
+		t.Fatalf("got %v, want ErrInconsistentOrder", err)
+	}
+	// A cycle with an equality collapsing into a strict self-loop is
+	// likewise inconsistent.
+	_, err = SolveScores(ids, []OrderConstraint{
+		{A: 1, B: 2, Rel: Equal},
+		{A: 1, B: 2, Rel: Greater},
+	})
+	if !errors.Is(err, ErrInconsistentOrder) {
+		t.Fatalf("got %v, want ErrInconsistentOrder", err)
+	}
+}
+
+func TestSolveScoresUnknownPattern(t *testing.T) {
+	_, err := SolveScores([]PatternID{1}, []OrderConstraint{{A: 1, B: 9, Rel: Greater}})
+	if !errors.Is(err, ErrUnknownPattern) {
+		t.Fatalf("got %v, want ErrUnknownPattern", err)
+	}
+}
+
+func TestSolveScoresNoConstraintsAllOne(t *testing.T) {
+	scores, err := SolveScores([]PatternID{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range scores {
+		if s != 1 {
+			t.Errorf("score(%d) = %d, want 1", id, s)
+		}
+	}
+}
+
+func TestSolveScoresIsMinimal(t *testing.T) {
+	// A chain 5 > 4 > 3 > 2 > 1 must produce exactly 1..5.
+	ids := []PatternID{1, 2, 3, 4, 5}
+	var cs []OrderConstraint
+	for i := 2; i <= 5; i++ {
+		cs = append(cs, OrderConstraint{A: PatternID(i), B: PatternID(i - 1), Rel: Greater})
+	}
+	scores, err := SolveScores(ids, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if scores[PatternID(i)] != i {
+			t.Errorf("score(%d) = %d, want %d", i, scores[PatternID(i)], i)
+		}
+	}
+}
+
+func TestQuickSolveScoresSatisfyConstraints(t *testing.T) {
+	// Property: for random acyclic strict chains plus random >= edges,
+	// the solved scores satisfy every constraint.
+	f := func(seed uint16) bool {
+		n := int(seed%5) + 2
+		ids := make([]PatternID, n)
+		for i := range ids {
+			ids[i] = PatternID(i + 1)
+		}
+		var cs []OrderConstraint
+		// Strict edges only from higher to lower index: acyclic.
+		r := int(seed)
+		for i := 1; i < n; i++ {
+			if (r>>uint(i))&1 == 1 {
+				cs = append(cs, OrderConstraint{A: ids[i], B: ids[i-1], Rel: Greater})
+			} else {
+				cs = append(cs, OrderConstraint{A: ids[i], B: ids[i-1], Rel: GreaterEq})
+			}
+		}
+		scores, err := SolveScores(ids, cs)
+		if err != nil {
+			return false
+		}
+		for _, c := range cs {
+			switch c.Rel {
+			case Greater:
+				if scores[c.A] <= scores[c.B] {
+					return false
+				}
+			case GreaterEq:
+				if scores[c.A] < scores[c.B] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog([]Pattern{{ID: PatternNone, Name: "bad"}}, DefaultDevices(), nil); err == nil {
+		t.Error("pattern ID 0 must be rejected")
+	}
+	if _, err := NewCatalog([]Pattern{{ID: 1, Name: "x", Devices: []DeviceID{99}}}, DefaultDevices(), nil); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("unknown device: got %v", err)
+	}
+}
+
+func TestSetDeviceCost(t *testing.T) {
+	c := DefaultCatalog()
+	if err := c.SetDeviceCost(Firewall, 11); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := c.Device(Firewall)
+	if !ok || d.Cost != 11 {
+		t.Fatalf("cost not updated: %+v", d)
+	}
+	if err := c.SetDeviceCost(99, 1); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("got %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestUsabilityPct(t *testing.T) {
+	c := DefaultCatalog()
+	if got := c.UsabilityPct(AccessDeny); got != 0 {
+		t.Errorf("deny usability = %d, want 0", got)
+	}
+	if got := c.UsabilityPct(TrustedComm); got != 100 {
+		t.Errorf("trusted usability = %d, want 100", got)
+	}
+	if got := c.UsabilityPct(PatternNone); got != 100 {
+		t.Errorf("none usability = %d, want 100", got)
+	}
+}
+
+func TestExtendedCatalogAddsSourceHiding(t *testing.T) {
+	c := ExtendedCatalog()
+	p, ok := c.Pattern(SourceHiding)
+	if !ok {
+		t.Fatal("source hiding missing")
+	}
+	if len(p.Devices) != 1 || p.Devices[0] != NAT {
+		t.Fatalf("source hiding devices = %v, want [NAT]", p.Devices)
+	}
+	// Ranks below deny and at most inspection.
+	if c.Score(SourceHiding) >= c.Score(AccessDeny) {
+		t.Errorf("source hiding %d should rank below deny %d",
+			c.Score(SourceHiding), c.Score(AccessDeny))
+	}
+	if c.Score(SourceHiding) > c.Score(PayloadInspection) {
+		t.Errorf("source hiding %d should rank <= inspection %d",
+			c.Score(SourceHiding), c.Score(PayloadInspection))
+	}
+	// Table I scores must be unchanged by the extension.
+	if c.Score(AccessDeny) != 4 || c.Score(ProxyTrustedComm) != 3 {
+		t.Errorf("extension disturbed Table I scores: deny=%d proxy+tc=%d",
+			c.Score(AccessDeny), c.Score(ProxyTrustedComm))
+	}
+	if got := c.UsabilityPct(SourceHiding); got != 90 {
+		t.Errorf("NAT usability = %d, want 90", got)
+	}
+	d, ok := c.Device(NAT)
+	if !ok || d.Cost != 3 {
+		t.Errorf("NAT device wrong: %+v %v", d, ok)
+	}
+}
+
+func TestPatternsOrderedAndDevicesSorted(t *testing.T) {
+	c := DefaultCatalog()
+	ps := c.Patterns()
+	if len(ps) != 5 {
+		t.Fatalf("patterns = %d, want 5", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].ID <= ps[i-1].ID {
+			t.Fatal("patterns not ordered by ID")
+		}
+	}
+	ds := c.Devices()
+	if len(ds) != 4 {
+		t.Fatalf("devices = %d, want 4", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].ID <= ds[i-1].ID {
+			t.Fatal("devices not ordered by ID")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package netgen generates synthesis problems: the paper's running
+// example network (§IV-C, Fig. 2) and seeded random test networks
+// following the evaluation methodology of §V-B (hosts 5–100, routers
+// 8–20, 1–3 services per host pair, a fraction of flows as connectivity
+// requirements).
+package netgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"configsynth/internal/core"
+	"configsynth/internal/isolation"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// Config describes a random test network in the paper's terms.
+type Config struct {
+	// Hosts is the number of hosts (paper range 5–100).
+	Hosts int
+	// Routers is the number of core routers (paper range 8–20).
+	Routers int
+	// MaxServices is the maximum number of services per ordered host
+	// pair; each pair gets 1..MaxServices flows (paper: 1–3).
+	MaxServices int
+	// CRFraction is the fraction of flows that are connectivity
+	// requirements (paper: 10%–20%).
+	CRFraction float64
+	// ExtraLinks adds redundant core links beyond the spanning tree
+	// (default Routers/4), creating multiple routes between pairs.
+	ExtraLinks int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Thresholds are the slider values for the generated problem.
+	Thresholds core.Thresholds
+	// Options are passed through to the problem (route caps etc.).
+	Options core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxServices <= 0 {
+		c.MaxServices = 1
+	}
+	if c.ExtraLinks < 0 {
+		c.ExtraLinks = 0
+	} else if c.ExtraLinks == 0 {
+		c.ExtraLinks = c.Routers / 4
+	}
+	if c.Options.Routes.MaxRoutes == 0 {
+		c.Options.Routes.MaxRoutes = 4
+	}
+	if c.Options.Routes.MaxHops == 0 {
+		c.Options.Routes.MaxHops = 12
+	}
+	return c
+}
+
+// Errors from generation.
+var ErrBadConfig = errors.New("netgen: hosts and routers must be positive")
+
+// Generate builds a random synthesis problem per the configuration.
+func Generate(cfg Config) (*core.Problem, error) {
+	if cfg.Hosts <= 0 || cfg.Routers <= 0 {
+		return nil, ErrBadConfig
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	net := topology.New()
+	routers := make([]topology.NodeID, cfg.Routers)
+	for i := range routers {
+		routers[i] = net.AddRouter(fmt.Sprintf("r%d", i+1))
+	}
+	// Random recursive tree over routers (expected logarithmic depth),
+	// then redundant chords for alternative routes.
+	for i := 1; i < cfg.Routers; i++ {
+		if _, err := net.Connect(routers[i], routers[rng.Intn(i)]); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < cfg.ExtraLinks; e++ {
+		a := rng.Intn(cfg.Routers)
+		b := rng.Intn(cfg.Routers)
+		if a == b {
+			continue
+		}
+		// Ignore duplicate-link errors: the chord already exists.
+		if _, err := net.Connect(routers[a], routers[b]); err != nil &&
+			!errors.Is(err, topology.ErrDuplicateLink) {
+			return nil, err
+		}
+	}
+	hosts := make([]topology.NodeID, cfg.Hosts)
+	for i := range hosts {
+		hosts[i] = net.AddHost(fmt.Sprintf("h%d", i+1))
+		if _, err := net.Connect(hosts[i], routers[rng.Intn(cfg.Routers)]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Flows: each ordered host pair runs 1..MaxServices services.
+	reqs := usability.NewRequirements()
+	var flows []usability.Flow
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			n := 1 + rng.Intn(cfg.MaxServices)
+			for svc := 1; svc <= n; svc++ {
+				f := usability.Flow{Src: src, Dst: dst, Svc: usability.Service(svc)}
+				flows = append(flows, f)
+				if rng.Float64() < cfg.CRFraction {
+					reqs.Require(f)
+				}
+			}
+		}
+	}
+
+	return &core.Problem{
+		Network:      net,
+		Catalog:      isolation.DefaultCatalog(),
+		Flows:        flows,
+		Requirements: reqs,
+		Thresholds:   cfg.Thresholds,
+		Options:      cfg.Options,
+	}, nil
+}
+
+// PaperExample builds a problem shaped like the paper's running example
+// (§IV-C): 10 hosts, 8 routers, a single service between every host
+// pair, connectivity requirements in the spirit of Table IV, and slider
+// values Th_I = 4.0, Th_U = 5.0, Th_C = $20K.
+func PaperExample() *core.Problem {
+	net := topology.New()
+	// Core: 8 routers in a ring with two chords, echoing Fig. 2(a)'s
+	// meshed core.
+	r := make([]topology.NodeID, 8)
+	for i := range r {
+		r[i] = net.AddRouter(fmt.Sprintf("r%d", i+1))
+	}
+	mustLink := func(a, b topology.NodeID) {
+		if _, err := net.Connect(a, b); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		mustLink(r[i], r[(i+1)%8])
+	}
+	mustLink(r[0], r[4])
+	mustLink(r[2], r[6])
+	// Hosts 1..10 attached around the core; IDs follow Table V.
+	h := make([]topology.NodeID, 10)
+	attach := []int{0, 0, 1, 2, 3, 4, 4, 5, 6, 7}
+	for i := range h {
+		h[i] = net.AddHost(fmt.Sprintf("h%d", i+1))
+		mustLink(h[i], r[attach[i]])
+	}
+
+	flows := core.AllPairsFlows(net, []usability.Service{1})
+	reqs := usability.NewRequirements()
+	// Connectivity requirements in the spirit of Table IV: a sparse set
+	// of flows that must stay reachable (e.g. host 1 → host 3).
+	crPairs := [][2]int{
+		{1, 3}, {1, 4}, {2, 3}, {3, 1}, {3, 5}, {4, 6},
+		{5, 7}, {6, 8}, {7, 5}, {8, 10}, {9, 10}, {10, 9},
+	}
+	for _, p := range crPairs {
+		reqs.Require(usability.Flow{Src: h[p[0]-1], Dst: h[p[1]-1], Svc: 1})
+	}
+	return &core.Problem{
+		Network:      net,
+		Catalog:      isolation.DefaultCatalog(),
+		Flows:        flows,
+		Requirements: reqs,
+		Thresholds: core.Thresholds{
+			IsolationTenths: 40,
+			UsabilityTenths: 50,
+			CostBudget:      20,
+		},
+		Options: core.Options{
+			Routes: topology.RouteOptions{MaxRoutes: 4, MaxHops: 10},
+		},
+	}
+}

@@ -1,0 +1,175 @@
+package netgen
+
+import (
+	"errors"
+	"testing"
+
+	"configsynth/internal/core"
+	"configsynth/internal/topology"
+)
+
+func TestGenerateBadConfig(t *testing.T) {
+	if _, err := Generate(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+	if _, err := Generate(Config{Hosts: 5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p, err := Generate(Config{Hosts: 10, Routers: 8, MaxServices: 3, CRFraction: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Network.Hosts()); got != 10 {
+		t.Errorf("hosts = %d, want 10", got)
+	}
+	if got := len(p.Network.Routers()); got != 8 {
+		t.Errorf("routers = %d, want 8", got)
+	}
+	minFlows, maxFlows := 10*9, 10*9*3
+	if len(p.Flows) < minFlows || len(p.Flows) > maxFlows {
+		t.Errorf("flows = %d, want in [%d,%d]", len(p.Flows), minFlows, maxFlows)
+	}
+	if p.Requirements.Len() == 0 {
+		t.Error("CR fraction 0.1 should produce some requirements")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated problem invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Hosts: 8, Routers: 6, MaxServices: 2, CRFraction: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Hosts: 8, Routers: 6, MaxServices: 2, CRFraction: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a.Flows), len(b.Flows))
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+	if a.Network.NumLinks() != b.Network.NumLinks() {
+		t.Fatal("link counts differ")
+	}
+	if a.Requirements.Len() != b.Requirements.Len() {
+		t.Fatal("requirement counts differ")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Hosts: 8, Routers: 6, MaxServices: 3, Seed: 1})
+	b, _ := Generate(Config{Hosts: 8, Routers: 6, MaxServices: 3, Seed: 2})
+	if len(a.Flows) == len(b.Flows) && a.Network.NumLinks() == b.Network.NumLinks() {
+		// Extremely unlikely for both to coincide with 3 services; if
+		// they do, at least the flows must differ somewhere.
+		same := true
+		for i := range a.Flows {
+			if i >= len(b.Flows) || a.Flows[i] != b.Flows[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGeneratedNetworkConnected(t *testing.T) {
+	p, err := Generate(Config{Hosts: 12, Routers: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := p.Network.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if !p.Network.Connected(hosts[0], hosts[i]) {
+			t.Fatalf("host %d unreachable from host 0", i)
+		}
+	}
+}
+
+func TestGeneratedProblemSolves(t *testing.T) {
+	p, err := Generate(Config{
+		Hosts: 6, Routers: 5, MaxServices: 1, CRFraction: 0.1, Seed: 3,
+		Thresholds: core.Thresholds{IsolationTenths: 20, UsabilityTenths: 30, CostBudget: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := core.NewSynthesizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Isolation < 2.0 {
+		t.Errorf("isolation %.2f below threshold", d.Isolation)
+	}
+	if d.Cost > 60 {
+		t.Errorf("cost %d over budget", d.Cost)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	p := PaperExample()
+	if got := len(p.Network.Hosts()); got != 10 {
+		t.Errorf("hosts = %d, want 10", got)
+	}
+	if got := len(p.Network.Routers()); got != 8 {
+		t.Errorf("routers = %d, want 8", got)
+	}
+	if got := len(p.Flows); got != 90 {
+		t.Errorf("flows = %d, want 90", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	syn, err := core.NewSynthesizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syn.Solve()
+	if err != nil {
+		t.Fatalf("paper example must be satisfiable: %v", err)
+	}
+	if d.Isolation < 4.0 {
+		t.Errorf("isolation %.2f below Th_I=4.0", d.Isolation)
+	}
+	if d.Usability < 5.0 {
+		t.Errorf("usability %.2f below Th_U=5.0", d.Usability)
+	}
+	if d.Cost > 20 {
+		t.Errorf("cost %d over $20K", d.Cost)
+	}
+	// Every placement must be on a real link.
+	for link := range d.Placements {
+		if _, ok := p.Network.Link(link); !ok {
+			t.Errorf("placement on unknown link %d", link)
+		}
+	}
+}
+
+func TestGenerateRouteOptionsDefaulted(t *testing.T) {
+	p, err := Generate(Config{Hosts: 4, Routers: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Options.Routes.MaxRoutes != 4 || p.Options.Routes.MaxHops != 12 {
+		t.Errorf("route defaults not applied: %+v", p.Options.Routes)
+	}
+	_ = topology.RouteOptions{}
+}

@@ -1,0 +1,290 @@
+package netsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// chain builds h1 - r1 - r2 - r3 - r4 - h2 and returns the network, the
+// hosts, and the five link IDs in path order.
+func chain(t *testing.T) (*topology.Network, topology.NodeID, topology.NodeID, []topology.LinkID) {
+	t.Helper()
+	net := topology.New()
+	h1 := net.AddHost("h1")
+	h2 := net.AddHost("h2")
+	prev := h1
+	var links []topology.LinkID
+	for i := 0; i < 4; i++ {
+		r := net.AddRouter("")
+		id, err := net.Connect(prev, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links = append(links, id)
+		prev = r
+	}
+	id, err := net.Connect(prev, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links = append(links, id)
+	return net, h1, h2, links
+}
+
+func sim(t *testing.T, net *topology.Network, placements map[topology.LinkID][]isolation.DeviceID) *Simulator {
+	t.Helper()
+	s, err := New(Config{Network: net, Placements: placements})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsNilNetwork(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("got %v, want ErrNilNetwork", err)
+	}
+}
+
+func TestDenyRequiresFirewall(t *testing.T) {
+	net, h1, h2, links := chain(t)
+	flow := usability.Flow{Src: h1, Dst: h2, Svc: 1}
+
+	// No firewall: deny is violated.
+	s := sim(t, net, nil)
+	r, err := s.SimulateFlow(flow, isolation.AccessDeny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("deny without firewall must be a violation")
+	}
+	// Firewall anywhere on the single route: satisfied.
+	s = sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[2]: {isolation.Firewall},
+	})
+	r, err = s.SimulateFlow(flow, isolation.AccessDeny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("deny with firewall should pass: %v", r.Violations)
+	}
+	if !r.Routes[0].Blocked {
+		t.Fatal("treatment should record blocking")
+	}
+}
+
+func TestNoIsolationHasNoObligations(t *testing.T) {
+	net, h1, h2, links := chain(t)
+	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[0]: {isolation.Firewall, isolation.IDS},
+	})
+	r, err := s.SimulateFlow(usability.Flow{Src: h1, Dst: h2, Svc: 1}, isolation.PatternNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("no-isolation flow must never be violated: %v", r.Violations)
+	}
+}
+
+func TestInspectionAndProxy(t *testing.T) {
+	net, h1, h2, links := chain(t)
+	flow := usability.Flow{Src: h1, Dst: h2, Svc: 1}
+	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[1]: {isolation.IDS},
+		links[3]: {isolation.Proxy},
+	})
+	r, err := s.SimulateFlow(flow, isolation.PayloadInspection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("inspection should pass: %v", r.Violations)
+	}
+	r, err = s.SimulateFlow(flow, isolation.ProxyForwarding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("proxy should pass: %v", r.Violations)
+	}
+	// Missing device type.
+	s2 := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[1]: {isolation.IDS},
+	})
+	r, err = s2.SimulateFlow(flow, isolation.ProxyForwarding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("proxy pattern without a proxy must be a violation")
+	}
+}
+
+func TestTunnelWindows(t *testing.T) {
+	net, h1, h2, links := chain(t) // 5 links, T=2: entry in {0,1}, exit in {3,4}
+	flow := usability.Flow{Src: h1, Dst: h2, Svc: 1}
+
+	cases := []struct {
+		name  string
+		place []int
+		ok    bool
+	}{
+		{"entry+exit in windows", []int{1, 4}, true},
+		{"entry at first link", []int{0, 3}, true},
+		{"entry too deep", []int{2, 4}, false},
+		{"exit too shallow", []int{1, 2}, false},
+		{"single gateway", []int{1}, false},
+		{"none", nil, false},
+		{"three gateways", []int{0, 2, 4}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			placements := map[topology.LinkID][]isolation.DeviceID{}
+			for _, pos := range tc.place {
+				placements[links[pos]] = []isolation.DeviceID{isolation.IPSec}
+			}
+			s := sim(t, net, placements)
+			r, err := s.SimulateFlow(flow, isolation.TrustedComm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.OK() != tc.ok {
+				t.Fatalf("ok = %v, want %v (violations: %v)", r.OK(), tc.ok, r.Violations)
+			}
+		})
+	}
+}
+
+func TestTunnelTooShort(t *testing.T) {
+	// h1 - r - h2: 2 links < 2T = 4.
+	net := topology.New()
+	h1 := net.AddHost("h1")
+	h2 := net.AddHost("h2")
+	r := net.AddRouter("r")
+	l1, _ := net.Connect(h1, r)
+	l2, _ := net.Connect(r, h2)
+	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		l1: {isolation.IPSec},
+		l2: {isolation.IPSec},
+	})
+	rep, err := s.SimulateFlow(usability.Flow{Src: h1, Dst: h2, Svc: 1}, isolation.TrustedComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tunnel on a 2-link route must be rejected")
+	}
+	if !strings.Contains(strings.Join(rep.Violations, " "), "too short") {
+		t.Fatalf("expected too-short violation, got %v", rep.Violations)
+	}
+}
+
+func TestProxyTrustedCombines(t *testing.T) {
+	net, h1, h2, links := chain(t)
+	flow := usability.Flow{Src: h1, Dst: h2, Svc: 1}
+	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[0]: {isolation.IPSec},
+		links[2]: {isolation.Proxy},
+		links[4]: {isolation.IPSec},
+	})
+	r, err := s.SimulateFlow(flow, isolation.ProxyTrustedComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("proxy+tunnel should pass: %v", r.Violations)
+	}
+	// Remove the proxy: violated.
+	s = sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[0]: {isolation.IPSec},
+		links[4]: {isolation.IPSec},
+	})
+	r, _ = s.SimulateFlow(flow, isolation.ProxyTrustedComm)
+	if r.OK() {
+		t.Fatal("missing proxy must be a violation")
+	}
+}
+
+func TestMultiRouteCoverage(t *testing.T) {
+	// Diamond: two routes; a firewall on only one route leaves deny
+	// violated.
+	net := topology.New()
+	h1 := net.AddHost("h1")
+	h2 := net.AddHost("h2")
+	r1, r2, r3, r4 := net.AddRouter(""), net.AddRouter(""), net.AddRouter(""), net.AddRouter("")
+	lh1, _ := net.Connect(h1, r1)
+	top, _ := net.Connect(r1, r2)
+	bottom, _ := net.Connect(r1, r3)
+	t2, _ := net.Connect(r2, r4)
+	b2, _ := net.Connect(r3, r4)
+	lh2, _ := net.Connect(r4, h2)
+	_ = t2
+	_ = b2
+	flow := usability.Flow{Src: h1, Dst: h2, Svc: 1}
+
+	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		top: {isolation.Firewall},
+	})
+	r, err := s.SimulateFlow(flow, isolation.AccessDeny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("firewall on one of two routes must leave deny violated")
+	}
+	// Covering both routes (or the shared access link) passes.
+	for _, placements := range []map[topology.LinkID][]isolation.DeviceID{
+		{top: {isolation.Firewall}, bottom: {isolation.Firewall}},
+		{lh1: {isolation.Firewall}},
+		{lh2: {isolation.Firewall}},
+	} {
+		s := sim(t, net, placements)
+		r, err := s.SimulateFlow(flow, isolation.AccessDeny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK() {
+			t.Fatalf("placements %v should cover both routes: %v", placements, r.Violations)
+		}
+	}
+}
+
+func TestSimulateAllAndReport(t *testing.T) {
+	net, h1, h2, links := chain(t)
+	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
+		links[0]: {isolation.Firewall},
+	})
+	report, err := s.SimulateAll(map[usability.Flow]isolation.PatternID{
+		{Src: h1, Dst: h2, Svc: 1}: isolation.AccessDeny,
+		{Src: h2, Dst: h1, Svc: 1}: isolation.PayloadInspection, // violated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("expected a violation")
+	}
+	if len(report.Violations()) != 1 {
+		t.Fatalf("violations = %d, want 1", len(report.Violations()))
+	}
+	if !strings.Contains(report.String(), "1 violations") {
+		t.Fatalf("String() = %q", report.String())
+	}
+	ok, err := s.SimulateAll(map[usability.Flow]isolation.PatternID{
+		{Src: h1, Dst: h2, Svc: 1}: isolation.AccessDeny,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok.OK() || !strings.Contains(ok.String(), "all treatments match") {
+		t.Fatalf("clean report wrong: %v", ok.String())
+	}
+}

@@ -1,0 +1,103 @@
+// Package order derives complete integer rankings from partial-order
+// specifications. The paper uses this "simple formal model" twice: to
+// turn a partial order over isolation patterns into isolation scores
+// (Table I) and to turn a partial order over service flows into demand
+// ranks (§III-B).
+package order
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Relation is a comparison between two ranked items.
+type Relation int8
+
+// Relations, matching the paper's input encoding (1 for =, 2 for >, 3
+// for >=).
+const (
+	Equal Relation = iota + 1
+	Greater
+	GreaterEq
+)
+
+// Constraint states "rank(A) Rel rank(B)".
+type Constraint[T comparable] struct {
+	A, B T
+	Rel  Relation
+}
+
+// Errors from Solve.
+var (
+	ErrInconsistent = errors.New("order: inconsistent (cycle through a strict comparison)")
+	ErrUnknownItem  = errors.New("order: constraint references unknown item")
+)
+
+// Solve assigns each item the least positive integer rank satisfying all
+// constraints (the unique minimal solution). Items not mentioned by any
+// constraint rank 1.
+func Solve[T comparable](ids []T, constraints []Constraint[T]) (map[T]int, error) {
+	known := make(map[T]bool, len(ids))
+	for _, id := range ids {
+		known[id] = true
+	}
+	parent := make(map[T]T, len(ids))
+	var find func(T) T
+	find = func(x T) T {
+		if parent[x] == x {
+			return x
+		}
+		root := find(parent[x])
+		parent[x] = root
+		return root
+	}
+	for _, id := range ids {
+		parent[id] = id
+	}
+	for _, c := range constraints {
+		if !known[c.A] || !known[c.B] {
+			return nil, fmt.Errorf("%w: %v or %v", ErrUnknownItem, c.A, c.B)
+		}
+		if c.Rel == Equal {
+			parent[find(c.A)] = find(c.B)
+		}
+	}
+	type edgeT struct {
+		from, to T
+		gap      int
+	}
+	var edges []edgeT
+	for _, c := range constraints {
+		switch c.Rel {
+		case Greater:
+			edges = append(edges, edgeT{find(c.B), find(c.A), 1})
+		case GreaterEq:
+			edges = append(edges, edgeT{find(c.B), find(c.A), 0})
+		}
+	}
+	rank := make(map[T]int, len(ids))
+	for _, id := range ids {
+		rank[find(id)] = 1
+	}
+	n := len(rank)
+	for round := 0; ; round++ {
+		changed := false
+		for _, e := range edges {
+			if want := rank[e.from] + e.gap; rank[e.to] < want {
+				rank[e.to] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+1 {
+			return nil, ErrInconsistent
+		}
+	}
+	out := make(map[T]int, len(ids))
+	for _, id := range ids {
+		out[id] = rank[find(id)]
+	}
+	return out, nil
+}

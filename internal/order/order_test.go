@@ -1,0 +1,124 @@
+package order
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveEmpty(t *testing.T) {
+	ranks, err := Solve([]string{"a", "b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks["a"] != 1 || ranks["b"] != 1 {
+		t.Fatalf("unconstrained items must rank 1: %v", ranks)
+	}
+}
+
+func TestSolveChainOfStrings(t *testing.T) {
+	ranks, err := Solve([]string{"web", "dns", "ssh"}, []Constraint[string]{
+		{A: "ssh", B: "dns", Rel: Greater},
+		{A: "dns", B: "web", Rel: Greater},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks["web"] != 1 || ranks["dns"] != 2 || ranks["ssh"] != 3 {
+		t.Fatalf("chain ranks wrong: %v", ranks)
+	}
+}
+
+func TestSolveEqualityMerges(t *testing.T) {
+	ranks, err := Solve([]int{1, 2, 3}, []Constraint[int]{
+		{A: 1, B: 2, Rel: Equal},
+		{A: 3, B: 1, Rel: Greater},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[1] != ranks[2] {
+		t.Fatalf("equality not merged: %v", ranks)
+	}
+	if ranks[3] != ranks[1]+1 {
+		t.Fatalf("strict edge through class wrong: %v", ranks)
+	}
+}
+
+func TestSolveCycle(t *testing.T) {
+	_, err := Solve([]int{1, 2, 3}, []Constraint[int]{
+		{A: 1, B: 2, Rel: Greater},
+		{A: 2, B: 3, Rel: GreaterEq},
+		{A: 3, B: 1, Rel: GreaterEq},
+	})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("got %v, want ErrInconsistent", err)
+	}
+}
+
+func TestSolveGreaterEqCycleIsFine(t *testing.T) {
+	// A pure >= cycle is satisfiable with equal ranks.
+	ranks, err := Solve([]int{1, 2}, []Constraint[int]{
+		{A: 1, B: 2, Rel: GreaterEq},
+		{A: 2, B: 1, Rel: GreaterEq},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[1] != ranks[2] {
+		t.Fatalf("pure >= cycle should equalize: %v", ranks)
+	}
+}
+
+func TestSolveUnknown(t *testing.T) {
+	_, err := Solve([]int{1}, []Constraint[int]{{A: 1, B: 2, Rel: Greater}})
+	if !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("got %v, want ErrUnknownItem", err)
+	}
+}
+
+func TestQuickMinimality(t *testing.T) {
+	// Property: for random forests of strict edges i+1 > i, lowering any
+	// item's rank by one violates some constraint (minimality).
+	f := func(mask uint8) bool {
+		n := 6
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		var cs []Constraint[int]
+		for i := 0; i+1 < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				cs = append(cs, Constraint[int]{A: i + 1, B: i, Rel: Greater})
+			}
+		}
+		ranks, err := Solve(ids, cs)
+		if err != nil {
+			return false
+		}
+		for _, c := range cs {
+			if ranks[c.A] <= ranks[c.B] {
+				return false
+			}
+		}
+		// Minimality: every rank r>1 is forced by an incoming edge.
+		for _, id := range ids {
+			if ranks[id] == 1 {
+				continue
+			}
+			forced := false
+			for _, c := range cs {
+				if c.A == id && ranks[c.B]+1 == ranks[id] {
+					forced = true
+				}
+			}
+			if !forced {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}

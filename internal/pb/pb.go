@@ -1,0 +1,235 @@
+// Package pb implements a pseudo-Boolean linear-arithmetic theory for the
+// CDCL solver in internal/sat, in the DPLL(T) style.
+//
+// A constraint has the form
+//
+//	w1*l1 + w2*l2 + ... + wn*ln <= bound
+//
+// where each li is a literal contributing wi (> 0) when true. This is
+// exactly the fragment of quantifier-free linear integer arithmetic that
+// the ConfigSynth model needs: all isolation, usability, and cost sums
+// range over 0/1 decision variables with integer weights.
+//
+// The theory uses counter propagation: it maintains the sum of weights of
+// currently-true literals per constraint, detects violations in O(1), and
+// propagates ¬l for any unassigned literal whose weight exceeds the
+// remaining slack. Explanations are the set of currently-true literals of
+// the constraint, which is a correct (if not minimal) reason clause.
+package pb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"configsynth/internal/sat"
+)
+
+// ErrBadConstraint reports a malformed constraint (non-positive weight,
+// mismatched slice lengths, or duplicate variables).
+var ErrBadConstraint = errors.New("pb: malformed constraint")
+
+type constraint struct {
+	lits    []sat.Lit // sorted by descending weight
+	weights []int64
+	bound   int64
+	sum     int64 // total weight of currently-true literals
+}
+
+func (c *constraint) slack() int64 { return c.bound - c.sum }
+
+type occEntry struct {
+	id     int32
+	weight int64
+}
+
+// Theory is a pseudo-Boolean constraint store attached to a sat.Solver.
+// It implements sat.Theory.
+type Theory struct {
+	solver      *sat.Solver
+	constraints []*constraint
+	occ         [][]occEntry // lit -> constraints where lit contributes
+	touched     []int32
+	onQueue     []bool
+	rootViol    bool
+
+	// scratch buffers
+	expl []sat.Lit
+}
+
+var _ sat.Theory = (*Theory)(nil)
+
+// New creates a theory bound to s and registers it with the solver.
+func New(s *sat.Solver) *Theory {
+	t := &Theory{solver: s}
+	s.SetTheory(t)
+	return t
+}
+
+// NumConstraints returns the number of constraints added so far.
+func (t *Theory) NumConstraints() int { return len(t.constraints) }
+
+// RootViolated reports whether some constraint is already violated by the
+// root-level (level 0) assignment at the time it was added. Such a store
+// is unsatisfiable.
+func (t *Theory) RootViolated() bool { return t.rootViol }
+
+// AddAtMost adds the constraint sum(weights[i]*lits[i]) <= bound. Literals
+// must be over distinct variables and weights must be positive. Literals
+// with weight greater than the bound are immediately forced false via a
+// unit clause.
+func (t *Theory) AddAtMost(lits []sat.Lit, weights []int64, bound int64) error {
+	if len(lits) != len(weights) {
+		return fmt.Errorf("%w: %d literals vs %d weights", ErrBadConstraint, len(lits), len(weights))
+	}
+	seen := make(map[sat.Var]bool, len(lits))
+	for i, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("%w: weight %d at index %d", ErrBadConstraint, w, i)
+		}
+		v := lits[i].Var()
+		if seen[v] {
+			return fmt.Errorf("%w: duplicate variable v%d", ErrBadConstraint, v)
+		}
+		seen[v] = true
+	}
+	if bound < 0 {
+		t.rootViol = true
+		return nil
+	}
+	c := &constraint{
+		lits:    append([]sat.Lit(nil), lits...),
+		weights: append([]int64(nil), weights...),
+		bound:   bound,
+	}
+	sort.Sort(byWeightDesc{c})
+	id := int32(len(t.constraints))
+	t.constraints = append(t.constraints, c)
+	t.onQueue = append(t.onQueue, false)
+
+	for i, l := range c.lits {
+		t.growOcc(l)
+		t.occ[l] = append(t.occ[l], occEntry{id: id, weight: c.weights[i]})
+		// Account for literals already true at the root level.
+		if t.solver.ValueLit(l) == sat.True {
+			c.sum += c.weights[i]
+		}
+	}
+	if c.sum > c.bound {
+		t.rootViol = true
+		return nil
+	}
+	t.push(id)
+	return nil
+}
+
+type byWeightDesc struct{ c *constraint }
+
+func (b byWeightDesc) Len() int { return len(b.c.lits) }
+func (b byWeightDesc) Less(i, j int) bool {
+	return b.c.weights[i] > b.c.weights[j]
+}
+func (b byWeightDesc) Swap(i, j int) {
+	b.c.lits[i], b.c.lits[j] = b.c.lits[j], b.c.lits[i]
+	b.c.weights[i], b.c.weights[j] = b.c.weights[j], b.c.weights[i]
+}
+
+func (t *Theory) growOcc(l sat.Lit) {
+	for int(l) >= len(t.occ) {
+		t.occ = append(t.occ, nil)
+	}
+}
+
+func (t *Theory) push(id int32) {
+	if !t.onQueue[id] {
+		t.onQueue[id] = true
+		t.touched = append(t.touched, id)
+	}
+}
+
+// Assign implements sat.Theory.
+func (t *Theory) Assign(l sat.Lit) {
+	if int(l) >= len(t.occ) {
+		return
+	}
+	for _, e := range t.occ[l] {
+		t.constraints[e.id].sum += e.weight
+		t.push(e.id)
+	}
+}
+
+// Unassign implements sat.Theory.
+func (t *Theory) Unassign(l sat.Lit) {
+	if int(l) >= len(t.occ) {
+		return
+	}
+	for _, e := range t.occ[l] {
+		t.constraints[e.id].sum -= e.weight
+	}
+}
+
+// explain builds a reason clause for constraint c: head (the implied
+// literal, or LitUndef for a conflict) followed by negations of
+// currently-true literals of c whose weights alone already exceed
+// target. Greedily taking heavy literals first keeps explanations short,
+// which keeps learnt clauses sharp. The result aliases t.expl and is
+// only valid until the next call.
+func (t *Theory) explain(c *constraint, head sat.Lit, target int64) []sat.Lit {
+	t.expl = t.expl[:0]
+	if head != sat.LitUndef {
+		t.expl = append(t.expl, head)
+	}
+	var acc int64
+	for i, l := range c.lits {
+		if acc > target {
+			break
+		}
+		if l.Var() != head.Var() && t.solver.ValueLit(l) == sat.True {
+			t.expl = append(t.expl, l.Not())
+			acc += c.weights[i]
+		}
+	}
+	return t.expl
+}
+
+// Propagate implements sat.Theory. It processes all constraints whose sum
+// changed since the last call, reporting a conflict clause or implying
+// literals via s.TheoryEnqueue.
+func (t *Theory) Propagate(s *sat.Solver) []sat.Lit {
+	for len(t.touched) > 0 {
+		id := t.touched[len(t.touched)-1]
+		t.touched = t.touched[:len(t.touched)-1]
+		t.onQueue[id] = false
+		c := t.constraints[id]
+
+		if c.sum > c.bound {
+			expl := t.explain(c, sat.LitUndef, c.bound)
+			conflict := make([]sat.Lit, len(expl))
+			copy(conflict, expl)
+			return conflict
+		}
+		// Weights are sorted descending: once w <= slack no further
+		// literal can propagate.
+		slack := c.slack()
+		if len(c.lits) == 0 || c.weights[0] <= slack {
+			continue
+		}
+		for i, l := range c.lits {
+			if c.weights[i] <= slack {
+				break
+			}
+			if s.ValueLit(l) != sat.Undef {
+				continue
+			}
+			reason := t.explain(c, l.Not(), c.bound-c.weights[i])
+			if !s.TheoryEnqueue(l.Not(), reason) {
+				// l is already true: the reason clause is fully false,
+				// i.e., a conflict.
+				conflict := make([]sat.Lit, len(reason))
+				copy(conflict, reason)
+				return conflict
+			}
+		}
+	}
+	return nil
+}

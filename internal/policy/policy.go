@@ -1,0 +1,116 @@
+// Package policy models the paper's user-defined isolation policy
+// constraints (UIC, Eq. 11) and provides the vocabulary the synthesizer
+// interprets. Examples from the paper:
+//
+//   - UIC1: IPSec must not be deployed for SSH flows
+//     → ForbidPattern{Svc: SSH, Pattern: TrustedComm}
+//   - UIC2: access from i to ĵ is allowed if the Internet is denied to i
+//     → Implication{If: deny(internet→i), Then: deny(i→ĵ), ThenNegated: true}
+//   - UIC3: no web service protected by trusted communication
+//     → ForbidPattern{Svc: WEB, Pattern: TrustedComm}
+package policy
+
+import (
+	"fmt"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/usability"
+)
+
+// Rule is a user-defined constraint on the synthesized design.
+type Rule interface {
+	isRule()
+	fmt.Stringer
+}
+
+// AnyService matches every service in service-scoped rules.
+const AnyService usability.Service = -1
+
+// ForbidPattern forbids an isolation pattern for every flow of a service
+// (or of all services with AnyService).
+type ForbidPattern struct {
+	Svc     usability.Service
+	Pattern isolation.PatternID
+}
+
+func (ForbidPattern) isRule() {}
+
+// String describes the rule.
+func (r ForbidPattern) String() string {
+	return fmt.Sprintf("forbid pattern %d for service %d", r.Pattern, r.Svc)
+}
+
+// RequirePattern forces an isolation pattern on every flow of a service.
+type RequirePattern struct {
+	Svc     usability.Service
+	Pattern isolation.PatternID
+}
+
+func (RequirePattern) isRule() {}
+
+// String describes the rule.
+func (r RequirePattern) String() string {
+	return fmt.Sprintf("require pattern %d for service %d", r.Pattern, r.Svc)
+}
+
+// PinFlow forces (Negated=false) or forbids (Negated=true) a pattern on
+// one specific flow.
+type PinFlow struct {
+	Flow    usability.Flow
+	Pattern isolation.PatternID
+	Negated bool
+}
+
+func (PinFlow) isRule() {}
+
+// String describes the rule.
+func (r PinFlow) String() string {
+	verb := "pin"
+	if r.Negated {
+		verb = "forbid"
+	}
+	return fmt.Sprintf("%s pattern %d on %v", verb, r.Pattern, r.Flow)
+}
+
+// Implication asserts y_IfPattern(If) → y_ThenPattern(Then), optionally
+// negating the consequent. This covers the paper's UIC2 form.
+type Implication struct {
+	If          usability.Flow
+	IfPattern   isolation.PatternID
+	Then        usability.Flow
+	ThenPattern isolation.PatternID
+	ThenNegated bool
+}
+
+func (Implication) isRule() {}
+
+// String describes the rule.
+func (r Implication) String() string {
+	neg := ""
+	if r.ThenNegated {
+		neg = "not "
+	}
+	return fmt.Sprintf("if pattern %d on %v then %spattern %d on %v",
+		r.IfPattern, r.If, neg, r.ThenPattern, r.Then)
+}
+
+// Set is an ordered collection of rules.
+type Set struct {
+	rules []Rule
+}
+
+// NewSet returns an empty rule set.
+func NewSet() *Set { return &Set{} }
+
+// Add appends rules to the set.
+func (s *Set) Add(rules ...Rule) { s.rules = append(s.rules, rules...) }
+
+// All returns the rules in insertion order.
+func (s *Set) All() []Rule {
+	out := make([]Rule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// Len returns the number of rules.
+func (s *Set) Len() int { return len(s.rules) }

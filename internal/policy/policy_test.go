@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/usability"
+)
+
+func TestSetCollectsRulesInOrder(t *testing.T) {
+	s := NewSet()
+	if s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	r1 := ForbidPattern{Svc: 22, Pattern: isolation.TrustedComm}
+	r2 := RequirePattern{Svc: 80, Pattern: isolation.PayloadInspection}
+	s.Add(r1, r2)
+	all := s.All()
+	if len(all) != 2 {
+		t.Fatalf("Len = %d, want 2", len(all))
+	}
+	if all[0] != Rule(r1) || all[1] != Rule(r2) {
+		t.Fatal("rules out of order")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	s := NewSet()
+	s.Add(ForbidPattern{Svc: 1, Pattern: 2})
+	all := s.All()
+	all[0] = RequirePattern{Svc: 9, Pattern: 9}
+	if _, ok := s.All()[0].(ForbidPattern); !ok {
+		t.Fatal("mutating the returned slice must not affect the set")
+	}
+}
+
+func TestRuleStrings(t *testing.T) {
+	f := usability.Flow{Src: 1, Dst: 2, Svc: 3}
+	cases := []struct {
+		rule Rule
+		want string
+	}{
+		{ForbidPattern{Svc: 22, Pattern: 2}, "forbid pattern 2 for service 22"},
+		{RequirePattern{Svc: 80, Pattern: 3}, "require pattern 3 for service 80"},
+		{PinFlow{Flow: f, Pattern: 1}, "pin pattern 1"},
+		{PinFlow{Flow: f, Pattern: 1, Negated: true}, "forbid pattern 1"},
+		{Implication{If: f, IfPattern: 1, Then: f, ThenPattern: 1, ThenNegated: true}, "not pattern 1"},
+	}
+	for _, tc := range cases {
+		if got := tc.rule.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("String() = %q, want substring %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrDimacs reports a malformed DIMACS CNF input.
+var ErrDimacs = errors.New("sat: malformed DIMACS input")
+
+// LoadDimacs reads a DIMACS CNF formula into the solver and returns the
+// variables it allocated (index i holds DIMACS variable i+1). Comment
+// lines ('c ...') and the problem line ('p cnf V C') are honoured; extra
+// clauses beyond the declared count are accepted. If the formula is
+// unsatisfiable at the root level the solver records it and Solve will
+// return Unsat; LoadDimacs itself still succeeds.
+func LoadDimacs(s *Solver, r io.Reader) ([]Var, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		vars    []Var
+		clause  []Lit
+		sawProb bool
+	)
+	ensure := func(v int) error {
+		if v <= 0 {
+			return fmt.Errorf("%w: variable %d", ErrDimacs, v)
+		}
+		for len(vars) < v {
+			vars = append(vars, s.NewVar())
+		}
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("%w: line %d: bad problem line", ErrDimacs, lineNo)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad variable count", ErrDimacs, lineNo)
+			}
+			if err := ensureN(&vars, s, nv); err != nil {
+				return nil, err
+			}
+			sawProb = true
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: token %q", ErrDimacs, lineNo, tok)
+			}
+			if n == 0 {
+				if err := s.AddClause(clause...); err != nil && !errors.Is(err, ErrAddAfterUnsat) {
+					return nil, err
+				}
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if err := ensure(v); err != nil {
+				return nil, err
+			}
+			clause = append(clause, MkLit(vars[v-1], n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		// Tolerate a missing trailing 0.
+		if err := s.AddClause(clause...); err != nil && !errors.Is(err, ErrAddAfterUnsat) {
+			return nil, err
+		}
+	}
+	if !sawProb && len(vars) == 0 {
+		return nil, fmt.Errorf("%w: no problem line and no clauses", ErrDimacs)
+	}
+	return vars, nil
+}
+
+func ensureN(vars *[]Var, s *Solver, n int) error {
+	for len(*vars) < n {
+		*vars = append(*vars, s.NewVar())
+	}
+	return nil
+}
+
+// WriteDimacs renders a CNF in DIMACS format. The clauses are given as
+// literal slices over variables allocated in this solver.
+func WriteDimacs(w io.Writer, numVars int, clauses [][]Lit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", numVars, len(clauses))
+	for _, cl := range clauses {
+		for _, l := range cl {
+			n := int(l.Var()) + 1
+			if l.Neg() {
+				n = -n
+			}
+			fmt.Fprintf(bw, "%d ", n)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}

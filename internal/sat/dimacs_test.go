@@ -1,0 +1,119 @@
+package sat
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLoadDimacsSat(t *testing.T) {
+	in := `c a simple satisfiable formula
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s := New()
+	vars, err := LoadDimacs(s, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 3 {
+		t.Fatalf("vars = %d, want 3", len(vars))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	// -1 forces v1 false; clause 1: -2 must hold; clause 2: 3 must hold.
+	if s.ModelValue(PosLit(vars[0])) != False {
+		t.Error("v1 should be false")
+	}
+	if s.ModelValue(PosLit(vars[1])) != False {
+		t.Error("v2 should be false")
+	}
+	if s.ModelValue(PosLit(vars[2])) != True {
+		t.Error("v3 should be true")
+	}
+}
+
+func TestLoadDimacsUnsat(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	s := New()
+	if _, err := LoadDimacs(s, strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestLoadDimacsMissingTrailingZero(t *testing.T) {
+	in := "p cnf 2 1\n1 2"
+	s := New()
+	if _, err := LoadDimacs(s, strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestLoadDimacsErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 1\n1 0\n",
+		"p dnf 1 1\n1 0\n",
+		"p cnf 1 1\nfoo 0\n",
+		"",
+	}
+	for _, in := range cases {
+		s := New()
+		if _, err := LoadDimacs(s, strings.NewReader(in)); !errors.Is(err, ErrDimacs) {
+			t.Errorf("input %q: got %v, want ErrDimacs", in, err)
+		}
+	}
+}
+
+func TestDimacsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		nVars := 3 + rng.Intn(6)
+		nClauses := 1 + rng.Intn(20)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+			}
+			cnf[i] = cl
+		}
+		var sb strings.Builder
+		if err := WriteDimacs(&sb, nVars, cnf); err != nil {
+			t.Fatal(err)
+		}
+		// Solve the original and the round-tripped formula; results must
+		// agree.
+		direct := New()
+		for v := 0; v < nVars; v++ {
+			direct.NewVar()
+		}
+		directUnsat := false
+		for _, cl := range cnf {
+			if direct.AddClause(cl...) != nil {
+				directUnsat = true
+			}
+		}
+		want := direct.Solve()
+		if directUnsat {
+			want = Unsat
+		}
+		loaded := New()
+		if _, err := LoadDimacs(loaded, strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if got := loaded.Solve(); got != want {
+			t.Fatalf("iter %d: round trip %v, direct %v", iter, got, want)
+		}
+	}
+}

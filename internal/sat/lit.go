@@ -1,0 +1,107 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver with incremental solving under assumptions, unsat-core
+// extraction, and a theory-propagation hook (DPLL(T)).
+//
+// The solver is the bottom layer of the SMT substrate that replaces Z3 in
+// this reproduction: internal/pb contributes a pseudo-Boolean
+// linear-arithmetic theory on top of this package, and internal/smt wraps
+// both behind a Z3-like API.
+package sat
+
+import "strconv"
+
+// Var is a Boolean variable index. Variables are allocated densely
+// starting from 0 via Solver.NewVar.
+type Var int32
+
+// Lit is a literal: a variable together with a sign. The encoding follows
+// the MiniSat convention: literal 2*v is the positive literal of variable
+// v and 2*v+1 the negative one.
+type Lit int32
+
+// LitUndef is the sentinel for "no literal".
+const LitUndef Lit = -1
+
+// MkLit builds the literal for variable v, negated if neg is true.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v) << 1 }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v)<<1 | 1 }
+
+// Var returns the variable underlying the literal.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as v<N> or ~v<N>.
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	s := "v" + strconv.Itoa(int(l.Var()))
+	if l.Neg() {
+		return "~" + s
+	}
+	return s
+}
+
+// LBool is a three-valued Boolean used for assignments.
+type LBool int8
+
+// Three-valued assignment states.
+const (
+	Undef LBool = iota
+	True
+	False
+)
+
+// Not returns the negation of the three-valued Boolean (Undef stays Undef).
+func (b LBool) Not() LBool {
+	switch b {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Undef
+	}
+}
+
+// Status is the result of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Unknown means the solver was interrupted (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}

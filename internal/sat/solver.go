@@ -1,0 +1,821 @@
+package sat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrAddAfterUnsat is returned when clauses are added to a solver that is
+// already unsatisfiable at the root level.
+var ErrAddAfterUnsat = errors.New("sat: formula is already unsatisfiable")
+
+// Theory is the DPLL(T) hook. A theory receives assignment notifications,
+// may imply further literals with explanations, and may report conflicts.
+//
+// The solver guarantees that Assign/Unassign calls are properly nested:
+// every literal is unassigned in reverse assignment order during
+// backtracking.
+type Theory interface {
+	// Assign notifies the theory that l became true.
+	Assign(l Lit)
+	// Unassign notifies the theory that l is being undone.
+	Unassign(l Lit)
+	// Propagate runs theory propagation to fixpoint. The implementation
+	// may call s.TheoryEnqueue to imply literals. It returns a non-nil
+	// conflict clause (all of whose literals are currently false) if the
+	// partial assignment is theory-inconsistent, and nil otherwise.
+	Propagate(s *Solver) []Lit
+}
+
+type clause struct {
+	lits   []Lit
+	act    float32
+	learnt bool
+}
+
+type watcher struct {
+	cref    int32 // index into Solver.clauses
+	blocker Lit
+}
+
+const (
+	reasonNone   int32 = -1
+	reasonTheory int32 = -2 // theory reasons live in theoryReasons, keyed by var
+)
+
+type varOrder struct {
+	heap    []Var // binary max-heap on activity
+	indices []int32
+	act     *[]float64
+}
+
+func (o *varOrder) less(a, b Var) bool { return (*o.act)[a] > (*o.act)[b] }
+
+func (o *varOrder) contains(v Var) bool {
+	return int(v) < len(o.indices) && o.indices[v] >= 0
+}
+
+func (o *varOrder) push(v Var) {
+	if o.contains(v) {
+		return
+	}
+	for int(v) >= len(o.indices) {
+		o.indices = append(o.indices, -1)
+	}
+	o.indices[v] = int32(len(o.heap))
+	o.heap = append(o.heap, v)
+	o.up(len(o.heap) - 1)
+}
+
+func (o *varOrder) up(i int) {
+	v := o.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !o.less(v, o.heap[p]) {
+			break
+		}
+		o.heap[i] = o.heap[p]
+		o.indices[o.heap[p]] = int32(i)
+		i = p
+	}
+	o.heap[i] = v
+	o.indices[v] = int32(i)
+}
+
+func (o *varOrder) down(i int) {
+	v := o.heap[i]
+	n := len(o.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && o.less(o.heap[r], o.heap[l]) {
+			c = r
+		}
+		if !o.less(o.heap[c], v) {
+			break
+		}
+		o.heap[i] = o.heap[c]
+		o.indices[o.heap[c]] = int32(i)
+		i = c
+	}
+	o.heap[i] = v
+	o.indices[v] = int32(i)
+}
+
+func (o *varOrder) pop() Var {
+	v := o.heap[0]
+	last := o.heap[len(o.heap)-1]
+	o.heap = o.heap[:len(o.heap)-1]
+	o.indices[v] = -1
+	if len(o.heap) > 0 {
+		o.heap[0] = last
+		o.indices[last] = 0
+		o.down(0)
+	}
+	return v
+}
+
+func (o *varOrder) update(v Var) {
+	if o.contains(v) {
+		o.up(int(o.indices[v]))
+	}
+}
+
+// Stats aggregates solver counters, used by the performance experiments.
+type Stats struct {
+	Vars          int
+	Clauses       int
+	Learnts       int
+	Conflicts     int64
+	Decisions     int64
+	Propagations  int64
+	TheoryProps   int64
+	Restarts      int64
+	MaxTrail      int
+	LearntLitsSum int64
+}
+
+// Solver is an incremental CDCL SAT solver.
+//
+// The zero value is not usable; construct with New.
+type Solver struct {
+	clauses []*clause // problem + learnt clauses; index = cref
+	free    []int32   // recycled clause slots
+	watches [][]watcher
+
+	assigns  []LBool
+	level    []int32
+	reason   []int32 // cref, reasonNone, or reasonTheory
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varOrder
+	polarity []bool // saved phase: true = last assigned false
+
+	claInc float64
+
+	seen      []byte
+	analyzeTs []Lit
+
+	theories      []Theory
+	theoryReasons map[Var][]Lit
+
+	assumptions []Lit
+	conflictSet []Lit // failed assumptions after Unsat
+
+	rootUnsat   bool
+	numLearnts  int
+	maxLearnts  float64
+	budget      int64 // max conflicts; <0 = unlimited
+	stats       Stats
+	model       []LBool
+	lubyRestart int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:        1,
+		claInc:        1,
+		budget:        -1,
+		theoryReasons: make(map[Var][]Lit),
+	}
+	s.order.act = &s.activity
+	return s
+}
+
+// SetTheory attaches a theory propagator. It must be called at the root
+// level (before the first Solve); a theory attached after clauses were
+// added is responsible for folding the current root-level assignment
+// into its initial state, since it will not receive Assign calls for
+// literals already on the trail. Multiple theories may be attached; they
+// are propagated in attachment order.
+func (s *Solver) SetTheory(t Theory) { s.theories = append(s.theories, t) }
+
+// SetBudget limits the number of conflicts a Solve call may spend;
+// negative means unlimited. When the budget is exhausted Solve returns
+// Unknown.
+func (s *Solver) SetBudget(conflicts int64) { s.budget = conflicts }
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// Stats returns a snapshot of the solver counters.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.Vars = len(s.assigns)
+	st.Clauses = len(s.clauses) - len(s.free) - s.numLearnts
+	st.Learnts = s.numLearnts
+	return st
+}
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, Undef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, reasonNone)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// Value returns the current assignment of v.
+func (s *Solver) Value(v Var) LBool { return s.assigns[v] }
+
+// ValueLit returns the current truth value of l.
+func (s *Solver) ValueLit(l Lit) LBool {
+	b := s.assigns[l.Var()]
+	if l.Neg() {
+		return b.Not()
+	}
+	return b
+}
+
+// ModelValue returns l's value in the model found by the last Sat result.
+func (s *Solver) ModelValue(l Lit) LBool {
+	b := s.model[l.Var()]
+	if l.Neg() {
+		return b.Not()
+	}
+	return b
+}
+
+// Level returns the decision level at which v was assigned.
+func (s *Solver) Level(v Var) int { return int(s.level[v]) }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns
+// ErrAddAfterUnsat if the formula is detected unsatisfiable at the root
+// level. The slice is not retained.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if s.rootUnsat {
+		return ErrAddAfterUnsat
+	}
+	if s.decisionLevel() != 0 {
+		// Clauses may only be added at the root level.
+		return errors.New("sat: AddClause called during search")
+	}
+	// Simplify: drop false/duplicate literals, detect tautologies.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch s.ValueLit(l) {
+		case True:
+			return nil // already satisfied
+		case False:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return nil // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.rootUnsat = true
+		return ErrAddAfterUnsat
+	case 1:
+		if !s.enqueue(out[0], reasonNone) {
+			s.rootUnsat = true
+			return ErrAddAfterUnsat
+		}
+		if s.propagate() != nil {
+			s.rootUnsat = true
+			return ErrAddAfterUnsat
+		}
+		return nil
+	}
+	s.attachNew(out, false)
+	return nil
+}
+
+func (s *Solver) attachNew(lits []Lit, learnt bool) int32 {
+	c := &clause{lits: lits, learnt: learnt}
+	var cref int32
+	if n := len(s.free); n > 0 {
+		cref = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.clauses[cref] = c
+	} else {
+		cref = int32(len(s.clauses))
+		s.clauses = append(s.clauses, c)
+	}
+	if learnt {
+		s.numLearnts++
+		c.act = float32(s.claInc)
+	}
+	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{cref, lits[1]})
+	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cref, lits[0]})
+	return cref
+}
+
+func (s *Solver) detach(cref int32) {
+	c := s.clauses[cref]
+	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[w]
+		for i := range ws {
+			if ws[i].cref == cref {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+	if c.learnt {
+		s.numLearnts--
+	}
+	s.clauses[cref] = nil
+	s.free = append(s.free, cref)
+}
+
+func (s *Solver) enqueue(p Lit, from int32) bool {
+	switch s.ValueLit(p) {
+	case True:
+		return true
+	case False:
+		return false
+	}
+	v := p.Var()
+	if p.Neg() {
+		s.assigns[v] = False
+	} else {
+		s.assigns[v] = True
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, p)
+	if len(s.trail) > s.stats.MaxTrail {
+		s.stats.MaxTrail = len(s.trail)
+	}
+	for _, t := range s.theories {
+		t.Assign(p)
+	}
+	return true
+}
+
+// TheoryEnqueue implies literal p with the given reason clause. The
+// reason must have p as its first literal, and every other literal must
+// currently be false. It returns false if p is already false (the caller
+// should then report a conflict using the same explanation).
+func (s *Solver) TheoryEnqueue(p Lit, reason []Lit) bool {
+	if s.ValueLit(p) == False {
+		return false
+	}
+	if s.ValueLit(p) == True {
+		return true
+	}
+	r := make([]Lit, len(reason))
+	copy(r, reason)
+	s.theoryReasons[p.Var()] = r
+	s.stats.TheoryProps++
+	return s.enqueue(p, reasonTheory)
+}
+
+// propagate performs Boolean constraint propagation and theory
+// propagation to fixpoint. It returns a conflicting clause's literals, or
+// nil if no conflict was found.
+func (s *Solver) propagate() []Lit {
+	for {
+		if confl := s.bcp(); confl != nil {
+			return confl
+		}
+		if len(s.theories) == 0 {
+			return nil
+		}
+		before := len(s.trail)
+		for _, t := range s.theories {
+			if confl := t.Propagate(s); confl != nil {
+				return confl
+			}
+		}
+		if len(s.trail) == before {
+			return nil
+		}
+	}
+}
+
+func (s *Solver) bcp() []Lit {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.ValueLit(w.blocker) == True {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := s.clauses[w.cref]
+			lits := c.lits
+			// Ensure the false literal is lits[1].
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.ValueLit(first) == True {
+				ws[j] = watcher{w.cref, first}
+				j++
+				continue
+			}
+			// Look for a new watch.
+			for k := 2; k < len(lits); k++ {
+				if s.ValueLit(lits[k]) != False {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{w.cref, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{w.cref, first}
+			j++
+			if s.ValueLit(first) == False {
+				// Conflict: copy remaining watchers and bail out.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return lits
+			}
+			s.enqueue(first, w.cref)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	lim := int(s.trailLim[lvl])
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		p := s.trail[i]
+		v := p.Var()
+		for _, t := range s.theories {
+			t.Unassign(p)
+		}
+		s.assigns[v] = Undef
+		s.polarity[v] = p.Neg()
+		if s.reason[v] == reasonTheory {
+			delete(s.theoryReasons, v)
+		}
+		s.reason[v] = reasonNone
+		s.order.push(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) reasonLits(v Var) []Lit {
+	switch s.reason[v] {
+	case reasonNone:
+		return nil
+	case reasonTheory:
+		return s.theoryReasons[v]
+	default:
+		return s.clauses[s.reason[v]].lits
+	}
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, cl := range s.clauses {
+			if cl != nil && cl.learnt {
+				cl.act *= 1e-20
+			}
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl []Lit) ([]Lit, int) {
+	learnt := []Lit{LitUndef}
+	counter := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+	s.analyzeTs = s.analyzeTs[:0]
+
+	for {
+		start := 0
+		if p != LitUndef {
+			// Reason clauses store the implied literal first (both unit
+			// propagation and TheoryEnqueue maintain this invariant).
+			start = 1
+		}
+		for _, q := range confl[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.analyzeTs = append(s.analyzeTs, q)
+				s.bumpVar(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to expand.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reasonLits(p.Var())
+		if r := s.reason[p.Var()]; r >= 0 && s.clauses[r].learnt {
+			s.bumpClause(s.clauses[r])
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: drop literals implied by the rest.
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	learnt = out
+
+	for _, q := range s.analyzeTs {
+		s.seen[q.Var()] = 0
+	}
+
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	s.stats.LearntLitsSum += int64(len(learnt))
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q in a learnt clause is implied by
+// the remaining literals (local, non-recursive check).
+func (s *Solver) redundant(q Lit) bool {
+	r := s.reasonLits(q.Var())
+	if r == nil {
+		return false
+	}
+	for _, x := range r {
+		if x.Var() == q.Var() {
+			continue
+		}
+		if s.seen[x.Var()] == 0 && s.level[x.Var()] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the subset of assumptions responsible for
+// assumption a being false under the current trail. The core contains a
+// and earlier assumptions, each as passed to Solve.
+func (s *Solver) analyzeFinal(a Lit) {
+	s.conflictSet = append(s.conflictSet[:0], a)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[a.Var()] = 1
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if r := s.reasonLits(v); r == nil {
+			// Decision, i.e. an assumption.
+			if v != a.Var() {
+				s.conflictSet = append(s.conflictSet, s.trail[i])
+			}
+		} else {
+			for _, q := range r {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[a.Var()] = 0
+}
+
+func (s *Solver) reduceDB() {
+	// Collect learnt clauses that are not reasons, sort by activity and
+	// drop the less active half.
+	type la struct {
+		cref int32
+		act  float32
+	}
+	var learnts []la
+	locked := func(cref int32) bool {
+		c := s.clauses[cref]
+		v := c.lits[0].Var()
+		return s.assigns[v] != Undef && s.reason[v] == cref
+	}
+	for cref, c := range s.clauses {
+		if c != nil && c.learnt && !locked(int32(cref)) && len(c.lits) > 2 {
+			learnts = append(learnts, la{int32(cref), c.act})
+		}
+	}
+	if len(learnts) == 0 {
+		return
+	}
+	sort.Slice(learnts, func(i, j int) bool { return learnts[i].act < learnts[j].act })
+	for _, e := range learnts[:len(learnts)/2] {
+		s.detach(e.cref)
+	}
+}
+
+func luby(y float64, x int64) float64 {
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return math.Pow(y, float64(seq))
+}
+
+// Solve searches for a model under the given assumptions. It returns Sat,
+// Unsat, or Unknown (budget exhausted). After Unsat, UnsatCore returns
+// the subset of assumptions responsible. After Sat, ModelValue reads the
+// model.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.rootUnsat {
+		s.conflictSet = s.conflictSet[:0]
+		return Unsat
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.conflictSet = s.conflictSet[:0]
+	s.maxLearnts = math.Max(float64(len(s.clauses))*0.4, 5000)
+	s.lubyRestart = 0
+	conflictsAtStart := s.stats.Conflicts
+
+	defer s.cancelUntil(0)
+
+	for {
+		restartBudget := int64(100 * luby(2, s.lubyRestart))
+		status := s.search(restartBudget)
+		if status != Unknown {
+			return status
+		}
+		if s.budget >= 0 && s.stats.Conflicts-conflictsAtStart >= s.budget {
+			return Unknown
+		}
+		s.lubyRestart++
+		s.stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+func (s *Solver) search(maxConflicts int64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			// A theory conflict may mention only literals below the
+			// current decision level; back up so that analysis sees at
+			// least one literal at the conflicting level.
+			maxLvl := 0
+			for _, q := range confl {
+				if int(s.level[q.Var()]) > maxLvl {
+					maxLvl = int(s.level[q.Var()])
+				}
+			}
+			if maxLvl == 0 {
+				s.rootUnsat = true
+				return Unsat
+			}
+			s.cancelUntil(maxLvl)
+			if s.decisionLevel() == 0 {
+				s.rootUnsat = true
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], reasonNone)
+			} else {
+				cref := s.attachNew(learnt, true)
+				s.enqueue(learnt[0], cref)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if float64(s.numLearnts) > s.maxLearnts {
+				s.reduceDB()
+				s.maxLearnts *= 1.1
+			}
+			continue
+		}
+		if conflicts >= maxConflicts {
+			return Unknown
+		}
+		// Assumptions first.
+		next := LitUndef
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.ValueLit(p) {
+			case True:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case False:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+			}
+			break
+		}
+		if next == LitUndef {
+			next = s.pickBranch()
+			if next == LitUndef {
+				// Full assignment: theory has confirmed consistency
+				// via propagate, so this is a model.
+				s.model = append(s.model[:0], s.assigns...)
+				return Sat
+			}
+			s.stats.Decisions++
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.enqueue(next, reasonNone)
+	}
+}
+
+func (s *Solver) pickBranch() Lit {
+	for len(s.order.heap) > 0 {
+		v := s.order.pop()
+		if s.assigns[v] == Undef {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+// UnsatCore returns the subset of the last Solve's assumptions that were
+// used to derive unsatisfiability. The literals are returned as passed to
+// Solve. The result is only meaningful after Solve returned Unsat; an
+// empty core means the formula is unsatisfiable regardless of
+// assumptions.
+func (s *Solver) UnsatCore() []Lit {
+	core := make([]Lit, len(s.conflictSet))
+	copy(core, s.conflictSet)
+	return core
+}

@@ -1,0 +1,451 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newVars(s *Solver, n int) []Lit {
+	lits := make([]Lit, n)
+	for i := range lits {
+		lits[i] = PosLit(s.NewVar())
+	}
+	return lits
+}
+
+func TestLitEncoding(t *testing.T) {
+	for v := Var(0); v < 10; v++ {
+		p := PosLit(v)
+		n := NegLit(v)
+		if p.Var() != v || n.Var() != v {
+			t.Fatalf("Var round trip failed for %d", v)
+		}
+		if p.Neg() || !n.Neg() {
+			t.Fatalf("sign wrong for %d", v)
+		}
+		if p.Not() != n || n.Not() != p {
+			t.Fatalf("Not wrong for %d", v)
+		}
+		if MkLit(v, false) != p || MkLit(v, true) != n {
+			t.Fatalf("MkLit wrong for %d", v)
+		}
+	}
+}
+
+func TestLitString(t *testing.T) {
+	if got := PosLit(3).String(); got != "v3" {
+		t.Errorf("PosLit(3) = %q", got)
+	}
+	if got := NegLit(3).String(); got != "~v3" {
+		t.Errorf("NegLit(3) = %q", got)
+	}
+	if got := LitUndef.String(); got != "undef" {
+		t.Errorf("LitUndef = %q", got)
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("empty formula: got %v, want sat", got)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := New()
+	a := PosLit(s.NewVar())
+	if err := s.AddClause(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if s.ModelValue(a) != True {
+		t.Fatal("unit literal not true in model")
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New()
+	a := PosLit(s.NewVar())
+	if err := s.AddClause(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(a.Not()); err != ErrAddAfterUnsat {
+		t.Fatalf("got %v, want ErrAddAfterUnsat", err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := PosLit(s.NewVar())
+	if err := s.AddClause(a, a.Not()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	v := newVars(s, 5)
+	// v0 and chain v0->v1->...->v4
+	if err := s.AddClause(v[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.AddClause(v[i].Not(), v[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	for i, l := range v {
+		if s.ModelValue(l) != True {
+			t.Fatalf("v%d not true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: classic small UNSAT instance that needs real
+	// conflict analysis.
+	s := New()
+	const pigeons, holes = 4, 3
+	p := make([][]Lit, pigeons)
+	for i := range p {
+		p[i] = newVars(s, holes)
+		if err := s.AddClause(p[i]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < pigeons; i++ {
+			for j := i + 1; j < pigeons; j++ {
+				if err := s.AddClause(p[i][h].Not(), p[j][h].Not()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole: got %v, want unsat", got)
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// 3 pigeons, 3 holes is satisfiable.
+	s := New()
+	const n = 3
+	p := make([][]Lit, n)
+	for i := range p {
+		p[i] = newVars(s, n)
+		if err := s.AddClause(p[i]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < n; h++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if err := s.AddClause(p[i][h].Not(), p[j][h].Not()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	// Each pigeon must occupy at least one hole in the model.
+	for i := range p {
+		ok := false
+		for _, l := range p[i] {
+			if s.ModelValue(l) == True {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("pigeon %d unplaced", i)
+		}
+	}
+}
+
+func TestAssumptionsSatAndUnsat(t *testing.T) {
+	s := New()
+	a, b := PosLit(s.NewVar()), PosLit(s.NewVar())
+	if err := s.AddClause(a.Not(), b); err != nil { // a -> b
+		t.Fatal(err)
+	}
+	if got := s.Solve(a, b.Not()); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	core := s.UnsatCore()
+	if len(core) == 0 || len(core) > 2 {
+		t.Fatalf("core size %d, want 1..2: %v", len(core), core)
+	}
+	// Solver stays usable incrementally.
+	if got := s.Solve(a, b); got != Sat {
+		t.Fatalf("incremental re-solve: got %v, want sat", got)
+	}
+	if got := s.Solve(a.Not(), b.Not()); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestUnsatCoreSubsetOfAssumptions(t *testing.T) {
+	s := New()
+	a, b, c, d := PosLit(s.NewVar()), PosLit(s.NewVar()), PosLit(s.NewVar()), PosLit(s.NewVar())
+	if err := s.AddClause(a.Not(), b.Not()); err != nil { // not both a and b
+		t.Fatal(err)
+	}
+	if got := s.Solve(c, a, d, b); got != Unsat {
+		t.Fatal("want unsat")
+	}
+	core := s.UnsatCore()
+	inCore := map[Lit]bool{}
+	for _, l := range core {
+		inCore[l] = true
+	}
+	if !inCore[a] || !inCore[b] {
+		t.Fatalf("core %v should contain a and b", core)
+	}
+	if inCore[c] || inCore[d] {
+		t.Fatalf("core %v should not contain irrelevant assumptions", core)
+	}
+}
+
+func TestRootUnsatCoreIsEmpty(t *testing.T) {
+	s := New()
+	a := PosLit(s.NewVar())
+	_ = s.AddClause(a)
+	_ = s.AddClause(a.Not())
+	if got := s.Solve(PosLit(s.NewVar())); got != Unsat {
+		t.Fatal("want unsat")
+	}
+	if core := s.UnsatCore(); len(core) != 0 {
+		t.Fatalf("root-level unsat should have empty core, got %v", core)
+	}
+}
+
+// verifyModel checks a model against the raw CNF.
+func verifyModel(t *testing.T, s *Solver, cnf [][]Lit) {
+	t.Helper()
+	for _, cl := range cnf {
+		ok := false
+		for _, l := range cl {
+			if s.ModelValue(l) == True {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model violates clause %v", cl)
+		}
+	}
+}
+
+// bruteForceSat decides satisfiability of a tiny CNF by enumeration.
+func bruteForceSat(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(40)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		newVars(s, nVars)
+		unsatDuringAdd := false
+		for _, cl := range cnf {
+			if err := s.AddClause(cl...); err != nil {
+				unsatDuringAdd = true
+				break
+			}
+		}
+		want := bruteForceSat(nVars, cnf)
+		if unsatDuringAdd {
+			if want {
+				t.Fatalf("iter %d: add reported unsat but formula is sat", iter)
+			}
+			continue
+		}
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("iter %d: got %v, want sat", iter, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("iter %d: got %v, want unsat", iter, got)
+		}
+		if got == Sat {
+			verifyModel(t, s, cnf)
+		}
+	}
+}
+
+func TestRandomAssumptionCoresAreSound(t *testing.T) {
+	// Property: re-solving with only the core assumptions is still UNSAT.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		nVars := 4 + rng.Intn(6)
+		nClauses := 5 + rng.Intn(25)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		newVars(s, nVars)
+		ok := true
+		for _, cl := range cnf {
+			if s.AddClause(cl...) != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var assumptions []Lit
+		for v := 0; v < nVars; v++ {
+			if rng.Intn(2) == 0 {
+				assumptions = append(assumptions, MkLit(Var(v), rng.Intn(2) == 0))
+			}
+		}
+		if s.Solve(assumptions...) != Unsat {
+			continue
+		}
+		core := s.UnsatCore()
+		if s.Solve(core...) != Unsat {
+			t.Fatalf("iter %d: core %v is not itself unsat", iter, core)
+		}
+	}
+}
+
+func TestBudgetReturnsUnknown(t *testing.T) {
+	// A hard instance (8 pigeons, 7 holes) with a conflict budget of 1
+	// must give Unknown.
+	s := New()
+	const pigeons, holes = 8, 7
+	p := make([][]Lit, pigeons)
+	for i := range p {
+		p[i] = newVars(s, holes)
+		if err := s.AddClause(p[i]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < pigeons; i++ {
+			for j := i + 1; j < pigeons; j++ {
+				if err := s.AddClause(p[i][h].Not(), p[j][h].Not()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	s.SetBudget(1)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v, want unknown under tiny budget", got)
+	}
+	s.SetBudget(-1)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat without budget", got)
+	}
+}
+
+func TestStatsAreCounted(t *testing.T) {
+	s := New()
+	v := newVars(s, 20)
+	for i := 0; i+2 < len(v); i++ {
+		if err := s.AddClause(v[i], v[i+1].Not(), v[i+2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatal("want sat")
+	}
+	st := s.Stats()
+	if st.Vars != 20 {
+		t.Errorf("Vars = %d, want 20", st.Vars)
+	}
+	if st.Clauses == 0 {
+		t.Error("Clauses should be non-zero")
+	}
+}
+
+func TestQuickXorChainEquivalence(t *testing.T) {
+	// Property-based: for random parity constraints encoded in CNF over 4
+	// vars, the solver agrees with direct evaluation.
+	f := func(bits uint8) bool {
+		want := bits&1 ^ bits>>1&1 ^ bits>>2&1 ^ bits>>3&1
+		s := New()
+		v := newVars(s, 4)
+		// Fix the inputs.
+		for i := 0; i < 4; i++ {
+			l := v[i]
+			if bits>>uint(i)&1 == 0 {
+				l = l.Not()
+			}
+			if err := s.AddClause(l); err != nil {
+				return false
+			}
+		}
+		// out = v0 xor v1 xor v2 xor v3 via two intermediates.
+		t1, t2, out := PosLit(s.NewVar()), PosLit(s.NewVar()), PosLit(s.NewVar())
+		addXor := func(z, x, y Lit) {
+			_ = s.AddClause(z.Not(), x, y)
+			_ = s.AddClause(z.Not(), x.Not(), y.Not())
+			_ = s.AddClause(z, x.Not(), y)
+			_ = s.AddClause(z, x, y.Not())
+		}
+		addXor(t1, v[0], v[1])
+		addXor(t2, t1, v[2])
+		addXor(out, t2, v[3])
+		if s.Solve() != Sat {
+			return false
+		}
+		return (s.ModelValue(out) == True) == (want == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package smt provides a small Z3-like solver façade over the CDCL SAT
+// core (internal/sat) and the pseudo-Boolean theory (internal/pb).
+//
+// It supports Boolean terms, clauses, cardinality helpers, linear
+// pseudo-Boolean constraints (optionally guarded by an indicator
+// literal), incremental checking under assumptions, model extraction,
+// unsat cores, and maximization of linear objectives — everything the
+// ConfigSynth synthesis model in internal/core needs from an SMT solver.
+package smt
+
+import (
+	"errors"
+	"fmt"
+
+	"configsynth/internal/pb"
+	"configsynth/internal/sat"
+)
+
+// Status is the outcome of a Check call.
+type Status int8
+
+// Check outcomes.
+const (
+	// Unknown means the solve budget was exhausted.
+	Unknown Status = iota
+	// Sat means the assertions (plus assumptions) are satisfiable.
+	Sat
+	// Unsat means they are not.
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Bool is a Boolean term: a variable or its negation.
+type Bool struct{ lit sat.Lit }
+
+// Not returns the negation of the term.
+func (b Bool) Not() Bool { return Bool{b.lit.Not()} }
+
+// Lit exposes the underlying SAT literal of the term, for integrating
+// custom theory propagators. Most callers should not need this.
+func (b Bool) Lit() sat.Lit { return b.lit }
+
+// Valid reports whether the term refers to an allocated variable.
+func (b Bool) Valid() bool { return b.lit > sat.LitUndef }
+
+// Sum is a linear pseudo-Boolean expression Σ weightᵢ·termᵢ where a term
+// contributes its weight when true. Weights must be positive.
+type Sum struct {
+	terms   []Bool
+	weights []int64
+	total   int64
+}
+
+// Add appends w*b to the sum. Weights must be positive; zero-weight terms
+// are dropped.
+func (s *Sum) Add(b Bool, w int64) {
+	if w == 0 {
+		return
+	}
+	s.terms = append(s.terms, b)
+	s.weights = append(s.weights, w)
+	s.total += w
+}
+
+// Len returns the number of terms.
+func (s *Sum) Len() int { return len(s.terms) }
+
+// Total returns the maximum possible value of the sum.
+func (s *Sum) Total() int64 { return s.total }
+
+// Solver is an incremental SMT-style solver for Boolean logic plus linear
+// pseudo-Boolean arithmetic.
+type Solver struct {
+	sat       *sat.Solver
+	th        *pb.Theory
+	names     map[sat.Var]string
+	rootUnsat bool
+	trueTerm  Bool
+	hasTrue   bool
+
+	model []bool
+	core  []Bool
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := sat.New()
+	return &Solver{
+		sat:   s,
+		th:    pb.New(s),
+		names: make(map[sat.Var]string),
+	}
+}
+
+// SetBudget limits the conflicts spent per Check; negative is unlimited.
+func (s *Solver) SetBudget(conflicts int64) { s.sat.SetBudget(conflicts) }
+
+// SAT exposes the underlying SAT solver so that callers can attach
+// custom theory propagators (sat.Solver.SetTheory). Mutating solver
+// state through it directly is not supported.
+func (s *Solver) SAT() *sat.Solver { return s.sat }
+
+// NewBool allocates a fresh Boolean term. The name is used only for
+// diagnostics.
+func (s *Solver) NewBool(name string) Bool {
+	v := s.sat.NewVar()
+	if name != "" {
+		s.names[v] = name
+	}
+	return Bool{sat.PosLit(v)}
+}
+
+// Name returns the diagnostic name of the term's variable.
+func (s *Solver) Name(b Bool) string {
+	if n, ok := s.names[b.lit.Var()]; ok {
+		if b.lit.Neg() {
+			return "!" + n
+		}
+		return n
+	}
+	return b.lit.String()
+}
+
+// True returns a term that is constrained to be true.
+func (s *Solver) True() Bool {
+	if !s.hasTrue {
+		s.trueTerm = s.NewBool("$true")
+		s.AddClause(s.trueTerm)
+		s.hasTrue = true
+	}
+	return s.trueTerm
+}
+
+// False returns a term that is constrained to be false.
+func (s *Solver) False() Bool { return s.True().Not() }
+
+// AddClause asserts the disjunction of the given terms.
+func (s *Solver) AddClause(terms ...Bool) {
+	if s.rootUnsat {
+		return
+	}
+	lits := make([]sat.Lit, len(terms))
+	for i, t := range terms {
+		lits[i] = t.lit
+	}
+	if err := s.sat.AddClause(lits...); err != nil {
+		s.rootUnsat = true
+	}
+}
+
+// AddUnit asserts that b is true.
+func (s *Solver) AddUnit(b Bool) { s.AddClause(b) }
+
+// AddImplies asserts a → (c1 ∨ c2 ∨ ...).
+func (s *Solver) AddImplies(a Bool, consequent ...Bool) {
+	s.AddClause(append([]Bool{a.Not()}, consequent...)...)
+}
+
+// AddIff asserts a ↔ b.
+func (s *Solver) AddIff(a, b Bool) {
+	s.AddClause(a.Not(), b)
+	s.AddClause(b.Not(), a)
+}
+
+// AddAtMostOne asserts that at most one of the terms is true (pairwise
+// encoding; intended for small groups such as the isolation patterns of
+// one flow).
+func (s *Solver) AddAtMostOne(terms ...Bool) {
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			s.AddClause(terms[i].Not(), terms[j].Not())
+		}
+	}
+}
+
+// AddExactlyOne asserts that exactly one of the terms is true.
+func (s *Solver) AddExactlyOne(terms ...Bool) {
+	s.AddClause(terms...)
+	s.AddAtMostOne(terms...)
+}
+
+// AssertAtMost asserts sum ≤ bound.
+func (s *Solver) AssertAtMost(sum *Sum, bound int64) {
+	if s.rootUnsat {
+		return
+	}
+	if bound < 0 {
+		// The minimum value of a sum is 0, so this is unsatisfiable.
+		s.rootUnsat = true
+		return
+	}
+	if bound >= sum.total {
+		return // trivially true
+	}
+	lits := make([]sat.Lit, len(sum.terms))
+	for i, t := range sum.terms {
+		lits[i] = t.lit
+	}
+	if err := s.th.AddAtMost(lits, sum.weights, bound); err != nil || s.th.RootViolated() {
+		s.rootUnsat = true
+	}
+}
+
+// AssertAtLeast asserts sum ≥ bound.
+func (s *Solver) AssertAtLeast(sum *Sum, bound int64) {
+	if s.rootUnsat {
+		return
+	}
+	if bound <= 0 {
+		return // trivially true
+	}
+	if bound > sum.total {
+		s.rootUnsat = true
+		return
+	}
+	// Σ w·t ≥ K  ⇔  Σ w·¬t ≤ W−K.
+	lits := make([]sat.Lit, len(sum.terms))
+	for i, t := range sum.terms {
+		lits[i] = t.lit.Not()
+	}
+	if err := s.th.AddAtMost(lits, sum.weights, sum.total-bound); err != nil || s.th.RootViolated() {
+		s.rootUnsat = true
+	}
+}
+
+// AssertAtMostIf asserts cond → (sum ≤ bound) using a big-M guard:
+// Σ w·t + (W−K)·cond ≤ W, which reduces to the bound when cond is true
+// and is vacuous otherwise.
+func (s *Solver) AssertAtMostIf(cond Bool, sum *Sum, bound int64) {
+	if s.rootUnsat || bound >= sum.total {
+		return // trivially true under any assignment
+	}
+	if bound < 0 {
+		// cond can never hold.
+		s.AddClause(cond.Not())
+		return
+	}
+	lits := make([]sat.Lit, 0, len(sum.terms)+1)
+	weights := make([]int64, 0, len(sum.terms)+1)
+	for i, t := range sum.terms {
+		lits = append(lits, t.lit)
+		weights = append(weights, sum.weights[i])
+	}
+	lits = append(lits, cond.lit)
+	weights = append(weights, sum.total-bound)
+	if err := s.th.AddAtMost(lits, weights, sum.total); err != nil || s.th.RootViolated() {
+		s.rootUnsat = true
+	}
+}
+
+// AssertAtLeastIf asserts cond → (sum ≥ bound).
+func (s *Solver) AssertAtLeastIf(cond Bool, sum *Sum, bound int64) {
+	if s.rootUnsat || bound <= 0 {
+		return
+	}
+	if bound > sum.total {
+		s.AddClause(cond.Not())
+		return
+	}
+	neg := &Sum{
+		terms:   make([]Bool, len(sum.terms)),
+		weights: append([]int64(nil), sum.weights...),
+		total:   sum.total,
+	}
+	for i, t := range sum.terms {
+		neg.terms[i] = t.Not()
+	}
+	s.AssertAtMostIf(cond, neg, sum.total-bound)
+}
+
+// Check solves the current assertions under the given assumptions.
+func (s *Solver) Check(assumptions ...Bool) Status {
+	s.core = s.core[:0]
+	if s.rootUnsat || s.th.RootViolated() {
+		return Unsat
+	}
+	lits := make([]sat.Lit, len(assumptions))
+	for i, a := range assumptions {
+		lits[i] = a.lit
+	}
+	switch s.sat.Solve(lits...) {
+	case sat.Sat:
+		s.captureModel()
+		return Sat
+	case sat.Unsat:
+		for _, l := range s.sat.UnsatCore() {
+			s.core = append(s.core, Bool{l})
+		}
+		return Unsat
+	default:
+		return Unknown
+	}
+}
+
+func (s *Solver) captureModel() {
+	n := s.sat.NumVars()
+	if cap(s.model) < n {
+		s.model = make([]bool, n)
+	}
+	s.model = s.model[:n]
+	for v := 0; v < n; v++ {
+		s.model[v] = s.sat.ModelValue(sat.PosLit(sat.Var(v))) == sat.True
+	}
+}
+
+// Value returns b's value in the model of the last Sat check.
+func (s *Solver) Value(b Bool) bool {
+	v := b.lit.Var()
+	if int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v] != b.lit.Neg()
+}
+
+// EvalSum evaluates the sum against the last model.
+func (s *Solver) EvalSum(sum *Sum) int64 {
+	var total int64
+	for i, t := range sum.terms {
+		if s.Value(t) {
+			total += sum.weights[i]
+		}
+	}
+	return total
+}
+
+// Core returns the failed assumptions of the last Unsat check, as passed
+// to Check. An empty core after Unsat means the assertions are
+// unsatisfiable regardless of assumptions.
+func (s *Solver) Core() []Bool {
+	out := make([]Bool, len(s.core))
+	copy(out, s.core)
+	return out
+}
+
+// ErrNoModel is returned by Maximize when even the unconstrained problem
+// is unsatisfiable under the assumptions.
+var ErrNoModel = errors.New("smt: unsatisfiable, no objective value exists")
+
+// ErrBudget is returned when a solve budget expires during optimization.
+var ErrBudget = errors.New("smt: solve budget exhausted")
+
+// Maximize finds the maximum achievable value of the objective sum under
+// the given assumptions, by binary search with indicator-guarded bound
+// probes. On success the solver's model is the maximizing assignment.
+func (s *Solver) Maximize(objective *Sum, assumptions ...Bool) (int64, error) {
+	if st := s.Check(assumptions...); st != Sat {
+		if st == Unknown {
+			return 0, ErrBudget
+		}
+		return 0, ErrNoModel
+	}
+	lo := s.EvalSum(objective)
+	hi := objective.total
+	bestModel := append([]bool(nil), s.model...)
+	probe := 0
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		probe++
+		g := s.NewBool(fmt.Sprintf("$max_probe_%d", probe))
+		s.AssertAtLeastIf(g, objective, mid)
+		switch s.Check(append(append([]Bool(nil), assumptions...), g)...) {
+		case Sat:
+			lo = s.EvalSum(objective)
+			bestModel = append(bestModel[:0], s.model...)
+		case Unsat:
+			hi = mid - 1
+		default:
+			return 0, ErrBudget
+		}
+		// Permanently relax the probe so later checks are unaffected.
+		s.AddClause(g.Not())
+	}
+	s.model = append(s.model[:0], bestModel...)
+	return lo, nil
+}
+
+// Minimize finds the minimum achievable value of the objective sum under
+// the given assumptions, via Maximize on the complemented sum. On success
+// the solver's model is the minimizing assignment.
+func (s *Solver) Minimize(objective *Sum, assumptions ...Bool) (int64, error) {
+	neg := &Sum{
+		terms:   make([]Bool, len(objective.terms)),
+		weights: append([]int64(nil), objective.weights...),
+		total:   objective.total,
+	}
+	for i, t := range objective.terms {
+		neg.terms[i] = t.Not()
+	}
+	best, err := s.Maximize(neg, assumptions...)
+	if err != nil {
+		return 0, err
+	}
+	return objective.total - best, nil
+}
+
+// Stats describes the size of the solver state, used by the Table VI
+// (memory) experiment.
+type Stats struct {
+	Vars          int
+	Clauses       int
+	Learnts       int
+	PBConstraints int
+	Conflicts     int64
+	Decisions     int64
+	Propagations  int64
+	Restarts      int64
+}
+
+// Stats returns a snapshot of solver counters.
+func (s *Solver) Stats() Stats {
+	st := s.sat.Stats()
+	return Stats{
+		Vars:          st.Vars,
+		Clauses:       st.Clauses,
+		Learnts:       st.Learnts,
+		PBConstraints: s.th.NumConstraints(),
+		Conflicts:     st.Conflicts,
+		Decisions:     st.Decisions,
+		Propagations:  st.Propagations,
+		Restarts:      st.Restarts,
+	}
+}

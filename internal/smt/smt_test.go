@@ -1,0 +1,391 @@
+package smt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicClauseLogic(t *testing.T) {
+	s := NewSolver()
+	a := s.NewBool("a")
+	b := s.NewBool("b")
+	s.AddImplies(a, b)
+	s.AddUnit(a)
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if !s.Value(a) || !s.Value(b) {
+		t.Fatal("a -> b with a asserted must set both")
+	}
+}
+
+func TestIff(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewBool("a"), s.NewBool("b")
+	s.AddIff(a, b)
+	s.AddUnit(a.Not())
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	if s.Value(b) {
+		t.Fatal("iff: b must follow a")
+	}
+}
+
+func TestTrueFalseTerms(t *testing.T) {
+	s := NewSolver()
+	if got := s.Check(); got != Sat {
+		t.Fatal("empty solver must be sat")
+	}
+	tt, ff := s.True(), s.False()
+	if got := s.Check(); got != Sat {
+		t.Fatal("want sat")
+	}
+	if !s.Value(tt) || s.Value(ff) {
+		t.Fatal("True/False terms wrong")
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	s := NewSolver()
+	terms := []Bool{s.NewBool("x1"), s.NewBool("x2"), s.NewBool("x3"), s.NewBool("x4")}
+	s.AddExactlyOne(terms...)
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	n := 0
+	for _, x := range terms {
+		if s.Value(x) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("exactly-one violated: %d true", n)
+	}
+	// Forcing two of them is unsat.
+	if got := s.Check(terms[0], terms[2]); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestAtMostAndAtLeast(t *testing.T) {
+	s := NewSolver()
+	var sum Sum
+	terms := make([]Bool, 4)
+	for i := range terms {
+		terms[i] = s.NewBool("")
+		sum.Add(terms[i], int64(i+1)) // weights 1..4, total 10
+	}
+	if sum.Total() != 10 {
+		t.Fatalf("total = %d", sum.Total())
+	}
+	s.AssertAtMost(&sum, 6)
+	s.AssertAtLeast(&sum, 4)
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	v := s.EvalSum(&sum)
+	if v < 4 || v > 6 {
+		t.Fatalf("sum %d outside [4,6]", v)
+	}
+	// 4 alone has weight 4, adding 3 makes 7 > 6.
+	if got := s.Check(terms[3], terms[2]); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestAtLeastGreaterThanTotalIsUnsat(t *testing.T) {
+	s := NewSolver()
+	var sum Sum
+	sum.Add(s.NewBool(""), 3)
+	s.AssertAtLeast(&sum, 4)
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestAtMostNegativeBoundIsUnsat(t *testing.T) {
+	s := NewSolver()
+	var sum Sum
+	sum.Add(s.NewBool(""), 1)
+	s.AssertAtMost(&sum, -1)
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestGuardedAtMost(t *testing.T) {
+	s := NewSolver()
+	g := s.NewBool("g")
+	var sum Sum
+	terms := make([]Bool, 3)
+	for i := range terms {
+		terms[i] = s.NewBool("")
+		sum.Add(terms[i], 2)
+	}
+	s.AssertAtMostIf(g, &sum, 2) // if g: at most one term
+	// Without the guard, all three can be true.
+	if got := s.Check(terms[0], terms[1], terms[2]); got != Sat {
+		t.Fatalf("unguarded: got %v", got)
+	}
+	// With the guard, two terms exceed the bound.
+	if got := s.Check(g, terms[0], terms[1]); got != Unsat {
+		t.Fatalf("guarded: got %v, want unsat", got)
+	}
+	if got := s.Check(g, terms[0]); got != Sat {
+		t.Fatalf("guarded single: got %v, want sat", got)
+	}
+}
+
+func TestGuardedAtLeast(t *testing.T) {
+	s := NewSolver()
+	g := s.NewBool("g")
+	var sum Sum
+	terms := make([]Bool, 3)
+	for i := range terms {
+		terms[i] = s.NewBool("")
+		sum.Add(terms[i], 1)
+	}
+	s.AssertAtLeastIf(g, &sum, 2)
+	if got := s.Check(g, terms[0].Not(), terms[1].Not()); got != Unsat {
+		t.Fatalf("got %v, want unsat (only one term left)", got)
+	}
+	if got := s.Check(g); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if s.EvalSum(&sum) < 2 {
+		t.Fatalf("guarded at-least not enforced: sum=%d", s.EvalSum(&sum))
+	}
+	// Guard false: no obligation.
+	if got := s.Check(g.Not(), terms[0].Not(), terms[1].Not(), terms[2].Not()); got != Sat {
+		t.Fatalf("got %v, want sat with guard off", got)
+	}
+}
+
+func TestGuardedAtLeastImpossibleBoundForcesGuardOff(t *testing.T) {
+	s := NewSolver()
+	g := s.NewBool("g")
+	var sum Sum
+	sum.Add(s.NewBool(""), 1)
+	s.AssertAtLeastIf(g, &sum, 5)
+	if got := s.Check(g); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestCoreNamesAssumptions(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewBool("thI"), s.NewBool("thU")
+	c := s.NewBool("other")
+	s.AddClause(a.Not(), b.Not())
+	if got := s.Check(c, a, b); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+	core := s.Core()
+	names := map[string]bool{}
+	for _, x := range core {
+		names[s.Name(x)] = true
+	}
+	if !names["thI"] || !names["thU"] || names["other"] {
+		t.Fatalf("core names wrong: %v", names)
+	}
+}
+
+func TestMaximizeSimple(t *testing.T) {
+	s := NewSolver()
+	var obj Sum
+	terms := make([]Bool, 5)
+	for i := range terms {
+		terms[i] = s.NewBool("")
+		obj.Add(terms[i], int64(i+1)) // total 15
+	}
+	var cap5 Sum
+	for i, x := range terms {
+		cap5.Add(x, int64(i+1))
+	}
+	s.AssertAtMost(&cap5, 9)
+	best, err := s.Maximize(&obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 9 {
+		t.Fatalf("best = %d, want 9", best)
+	}
+	if got := s.EvalSum(&obj); got != 9 {
+		t.Fatalf("model sum = %d, want 9", got)
+	}
+}
+
+func TestMaximizeUnderAssumptions(t *testing.T) {
+	s := NewSolver()
+	var obj Sum
+	a := s.NewBool("a")
+	b := s.NewBool("b")
+	c := s.NewBool("c")
+	obj.Add(a, 5)
+	obj.Add(b, 3)
+	obj.Add(c, 2)
+	s.AddClause(a.Not(), b.Not()) // a and b exclusive
+	best, err := s.Maximize(&obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 7 { // a + c
+		t.Fatalf("best = %d, want 7", best)
+	}
+	best, err = s.Maximize(&obj, a.Not())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 5 { // b + c
+		t.Fatalf("best with !a = %d, want 5", best)
+	}
+	// Maximize must not poison later checks.
+	if got := s.Check(a, c); got != Sat {
+		t.Fatalf("after maximize: got %v, want sat", got)
+	}
+}
+
+func TestMaximizeUnsat(t *testing.T) {
+	s := NewSolver()
+	a := s.NewBool("a")
+	s.AddUnit(a)
+	var obj Sum
+	obj.Add(a, 1)
+	if _, err := s.Maximize(&obj, a.Not()); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("got %v, want ErrNoModel", err)
+	}
+}
+
+func TestMaximizeRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 60; iter++ {
+		n := 3 + rng.Intn(5)
+		s := NewSolver()
+		terms := make([]Bool, n)
+		weights := make([]int64, n)
+		var obj Sum
+		for i := range terms {
+			terms[i] = s.NewBool("")
+			weights[i] = int64(1 + rng.Intn(7))
+			obj.Add(terms[i], weights[i])
+		}
+		// A random at-most budget plus a couple of random binary clauses.
+		bound := int64(rng.Intn(int(obj.Total()) + 1))
+		var capSum Sum
+		for i := range terms {
+			capSum.Add(terms[i], weights[i])
+		}
+		s.AssertAtMost(&capSum, bound)
+		type bin struct {
+			a, b   int
+			na, nb bool
+		}
+		var bins []bin
+		for i := 0; i < rng.Intn(4); i++ {
+			x := bin{rng.Intn(n), rng.Intn(n), rng.Intn(2) == 0, rng.Intn(2) == 0}
+			bins = append(bins, x)
+			la, lb := terms[x.a], terms[x.b]
+			if x.na {
+				la = la.Not()
+			}
+			if x.nb {
+				lb = lb.Not()
+			}
+			s.AddClause(la, lb)
+		}
+		// Brute-force optimum.
+		want := int64(-1)
+		for m := 0; m < 1<<n; m++ {
+			var sum int64
+			for i := 0; i < n; i++ {
+				if m>>i&1 == 1 {
+					sum += weights[i]
+				}
+			}
+			if sum > bound {
+				continue
+			}
+			ok := true
+			for _, x := range bins {
+				av := m>>x.a&1 == 1
+				bv := m>>x.b&1 == 1
+				if x.na {
+					av = !av
+				}
+				if x.nb {
+					bv = !bv
+				}
+				if !av && !bv {
+					ok = false
+					break
+				}
+			}
+			if ok && sum > want {
+				want = sum
+			}
+		}
+		got, err := s.Maximize(&obj)
+		if want < 0 {
+			if !errors.Is(err, ErrNoModel) {
+				t.Fatalf("iter %d: want ErrNoModel, got %v/%d", iter, err, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: maximize = %d, want %d", iter, got, want)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := NewSolver()
+	var sum Sum
+	for i := 0; i < 10; i++ {
+		sum.Add(s.NewBool(""), 1)
+	}
+	s.AssertAtMost(&sum, 5)
+	if got := s.Check(); got != Sat {
+		t.Fatal("want sat")
+	}
+	st := s.Stats()
+	if st.Vars < 10 || st.PBConstraints != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestQuickSumEvaluation(t *testing.T) {
+	// Property: for a forced assignment, EvalSum equals direct
+	// evaluation.
+	f := func(mask uint8) bool {
+		s := NewSolver()
+		var sum Sum
+		var want int64
+		for i := 0; i < 8; i++ {
+			b := s.NewBool("")
+			w := int64(i + 1)
+			sum.Add(b, w)
+			if mask>>uint(i)&1 == 1 {
+				s.AddUnit(b)
+				want += w
+			} else {
+				s.AddUnit(b.Not())
+			}
+		}
+		if s.Check() != Sat {
+			return false
+		}
+		return s.EvalSum(&sum) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package spec parses ConfigSynth input files and renders synthesis
+// results. The input format mirrors the paper's Table IV: sections for
+// security devices, isolation partial orders, device costs, topology
+// size, links, connectivity requirements, and slider values, with
+// '#'-prefixed comment lines.
+//
+// Grammar (sections in order, blank lines and #-comments ignored):
+//
+//	devices      <n>                      number of device types in use
+//	order        <a> <b> <rel>            rel: 1 '=', 2 '>', 3 '>='  (repeatable)
+//	costs        <c1> <c2> ... <cn>       per-device costs in $K
+//	nodes        <hosts> <routers>
+//	link         <nodeA> <nodeB>          node numbering: hosts 1..H, routers H+1..H+R (repeatable)
+//	services     <count>                  services per host pair (flows are all-pairs)
+//	require      <src> <dst> [svc]        connectivity requirement (repeatable)
+//	sliders      <isolation> <usability> <cost$K>   isolation/usability on 0–10, decimals allowed
+package spec
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"configsynth/internal/core"
+	"configsynth/internal/isolation"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// ErrSyntax reports a malformed input file.
+var ErrSyntax = errors.New("spec: syntax error")
+
+// Parse reads a problem description.
+func Parse(r io.Reader) (*core.Problem, error) {
+	var (
+		nDevices     int
+		orders       []isolation.OrderConstraint
+		costs        []int64
+		hosts        int
+		routers      int
+		links        [][2]int
+		services     = 1
+		requirements [][3]int
+		sliders      []float64
+		lineNo       int
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key, args := fields[0], fields[1:]
+		fail := func(msg string) error {
+			return fmt.Errorf("%w: line %d: %s", ErrSyntax, lineNo, msg)
+		}
+		switch key {
+		case "devices":
+			if len(args) != 1 {
+				return nil, fail("devices expects one integer")
+			}
+			nDevices, _ = strconv.Atoi(args[0])
+		case "order":
+			if len(args) != 3 {
+				return nil, fail("order expects <a> <b> <rel>")
+			}
+			a, err1 := strconv.Atoi(args[0])
+			b, err2 := strconv.Atoi(args[1])
+			rel, err3 := strconv.Atoi(args[2])
+			if err1 != nil || err2 != nil || err3 != nil || rel < 1 || rel > 3 {
+				return nil, fail("order arguments must be integers with rel in 1..3")
+			}
+			orders = append(orders, isolation.OrderConstraint{
+				A:   isolation.PatternID(a),
+				B:   isolation.PatternID(b),
+				Rel: isolation.Relation(rel),
+			})
+		case "costs":
+			for _, a := range args {
+				c, err := strconv.ParseInt(a, 10, 64)
+				if err != nil || c < 0 {
+					return nil, fail("costs must be non-negative integers")
+				}
+				costs = append(costs, c)
+			}
+		case "nodes":
+			if len(args) != 2 {
+				return nil, fail("nodes expects <hosts> <routers>")
+			}
+			hosts, _ = strconv.Atoi(args[0])
+			routers, _ = strconv.Atoi(args[1])
+			if hosts <= 0 || routers < 0 {
+				return nil, fail("nodes counts must be positive")
+			}
+		case "link":
+			if len(args) != 2 {
+				return nil, fail("link expects <a> <b>")
+			}
+			a, err1 := strconv.Atoi(args[0])
+			b, err2 := strconv.Atoi(args[1])
+			if err1 != nil || err2 != nil {
+				return nil, fail("link endpoints must be integers")
+			}
+			links = append(links, [2]int{a, b})
+		case "services":
+			if len(args) != 1 {
+				return nil, fail("services expects one integer")
+			}
+			services, _ = strconv.Atoi(args[0])
+			if services <= 0 {
+				return nil, fail("services must be positive")
+			}
+		case "require":
+			if len(args) != 2 && len(args) != 3 {
+				return nil, fail("require expects <src> <dst> [svc]")
+			}
+			src, err1 := strconv.Atoi(args[0])
+			dst, err2 := strconv.Atoi(args[1])
+			svc := 1
+			var err3 error
+			if len(args) == 3 {
+				svc, err3 = strconv.Atoi(args[2])
+			}
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("require arguments must be integers")
+			}
+			requirements = append(requirements, [3]int{src, dst, svc})
+		case "sliders":
+			if len(args) != 3 {
+				return nil, fail("sliders expects <isolation> <usability> <cost>")
+			}
+			for _, a := range args {
+				v, err := strconv.ParseFloat(a, 64)
+				if err != nil || v < 0 {
+					return nil, fail("slider values must be non-negative numbers")
+				}
+				sliders = append(sliders, v)
+			}
+		default:
+			return nil, fail(fmt.Sprintf("unknown directive %q", key))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if hosts == 0 {
+		return nil, fmt.Errorf("%w: missing nodes directive", ErrSyntax)
+	}
+	if len(sliders) != 3 {
+		return nil, fmt.Errorf("%w: missing sliders directive", ErrSyntax)
+	}
+
+	// Catalog: the default patterns/devices restricted to nDevices, with
+	// cost overrides and the given partial order (falling back to the
+	// paper's defaults when none given).
+	patterns := isolation.DefaultPatterns()
+	devices := isolation.DefaultDevices()
+	if nDevices > 0 && nDevices < len(devices) {
+		devices = devices[:nDevices]
+		kept := make(map[isolation.DeviceID]bool, nDevices)
+		for _, d := range devices {
+			kept[d.ID] = true
+		}
+		var ps []isolation.Pattern
+		for _, p := range patterns {
+			ok := true
+			for _, d := range p.Devices {
+				if !kept[d] {
+					ok = false
+				}
+			}
+			if ok {
+				ps = append(ps, p)
+			}
+		}
+		patterns = ps
+	}
+	for i, c := range costs {
+		if i < len(devices) {
+			devices[i].Cost = c
+		}
+	}
+	if len(orders) == 0 {
+		orders = restrictOrder(isolation.DefaultOrder(), patterns)
+	}
+	catalog, err := isolation.NewCatalog(patterns, devices, restrictOrder(orders, patterns))
+	if err != nil {
+		return nil, fmt.Errorf("spec: catalog: %w", err)
+	}
+
+	// Topology: hosts numbered 1..H, routers H+1..H+R.
+	net := topology.New()
+	ids := make([]topology.NodeID, hosts+routers+1)
+	for i := 1; i <= hosts; i++ {
+		ids[i] = net.AddHost(fmt.Sprintf("h%d", i))
+	}
+	for i := hosts + 1; i <= hosts+routers; i++ {
+		ids[i] = net.AddRouter(fmt.Sprintf("r%d", i-hosts))
+	}
+	for _, l := range links {
+		if l[0] < 1 || l[0] > hosts+routers || l[1] < 1 || l[1] > hosts+routers {
+			return nil, fmt.Errorf("%w: link %d-%d out of range", ErrSyntax, l[0], l[1])
+		}
+		if _, err := net.Connect(ids[l[0]], ids[l[1]]); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+
+	svcIDs := make([]usability.Service, services)
+	for i := range svcIDs {
+		svcIDs[i] = usability.Service(i + 1)
+	}
+	flows := core.AllPairsFlows(net, svcIDs)
+	reqs := usability.NewRequirements()
+	for _, r := range requirements {
+		if r[0] < 1 || r[0] > hosts || r[1] < 1 || r[1] > hosts {
+			return nil, fmt.Errorf("%w: requirement %d->%d out of host range", ErrSyntax, r[0], r[1])
+		}
+		reqs.Require(usability.Flow{
+			Src: ids[r[0]],
+			Dst: ids[r[1]],
+			Svc: usability.Service(r[2]),
+		})
+	}
+
+	return &core.Problem{
+		Network:      net,
+		Catalog:      catalog,
+		Flows:        flows,
+		Requirements: reqs,
+		Thresholds: core.Thresholds{
+			IsolationTenths: int(math.Round(sliders[0] * 10)),
+			UsabilityTenths: int(math.Round(sliders[1] * 10)),
+			CostBudget:      int64(math.Round(sliders[2])),
+		},
+	}, nil
+}
+
+// restrictOrder drops order constraints that mention patterns outside the
+// catalog.
+func restrictOrder(orders []isolation.OrderConstraint, patterns []isolation.Pattern) []isolation.OrderConstraint {
+	known := make(map[isolation.PatternID]bool, len(patterns))
+	for _, p := range patterns {
+		known[p.ID] = true
+	}
+	var out []isolation.OrderConstraint
+	for _, o := range orders {
+		if known[o.A] && known[o.B] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// WriteDesign renders a synthesized design as the paper's output file:
+// the isolation pattern per flow (Table V shape) followed by the device
+// placements (Fig. 2(b) shape).
+func WriteDesign(w io.Writer, p *core.Problem, d *core.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# synthesized security design\n")
+	fmt.Fprintf(bw, "# isolation=%.2f usability=%.2f cost=$%dK devices=%d\n",
+		d.Isolation, d.Usability, d.Cost, d.DeviceCount())
+
+	fmt.Fprintf(bw, "\n## isolation patterns per destination host\n")
+	type row struct {
+		dst  topology.NodeID
+		name string
+	}
+	byDst := make(map[topology.NodeID]map[isolation.PatternID][]string)
+	var rows []row
+	seen := map[topology.NodeID]bool{}
+	for f, pid := range d.FlowPatterns {
+		if byDst[f.Dst] == nil {
+			byDst[f.Dst] = make(map[isolation.PatternID][]string)
+		}
+		srcName := nodeName(p.Network, f.Src)
+		byDst[f.Dst][pid] = append(byDst[f.Dst][pid], srcName)
+		if !seen[f.Dst] {
+			seen[f.Dst] = true
+			rows = append(rows, row{f.Dst, nodeName(p.Network, f.Dst)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].dst < rows[j].dst })
+	for _, r := range rows {
+		fmt.Fprintf(bw, "host %s:\n", r.name)
+		pids := make([]isolation.PatternID, 0, len(byDst[r.dst]))
+		for pid := range byDst[r.dst] {
+			pids = append(pids, pid)
+		}
+		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+		for _, pid := range pids {
+			srcs := byDst[r.dst][pid]
+			sort.Strings(srcs)
+			name := "no isolation"
+			if pid != isolation.PatternNone {
+				if pat, ok := p.Catalog.Pattern(pid); ok {
+					name = pat.Name
+				}
+			}
+			fmt.Fprintf(bw, "  %-32s from %s\n", name, strings.Join(srcs, ", "))
+		}
+	}
+
+	fmt.Fprintf(bw, "\n## device placements\n")
+	type placement struct {
+		link topology.LinkID
+		devs []isolation.DeviceID
+	}
+	var placements []placement
+	for link, devs := range d.Placements {
+		placements = append(placements, placement{link, devs})
+	}
+	sort.Slice(placements, func(i, j int) bool { return placements[i].link < placements[j].link })
+	for _, pl := range placements {
+		l, _ := p.Network.Link(pl.link)
+		names := make([]string, len(pl.devs))
+		for i, dev := range pl.devs {
+			dd, _ := p.Catalog.Device(dev)
+			names[i] = dd.Name
+		}
+		fmt.Fprintf(bw, "link %s -- %s: %s\n",
+			nodeName(p.Network, l.A), nodeName(p.Network, l.B), strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+func nodeName(net *topology.Network, id topology.NodeID) string {
+	if n, ok := net.Node(id); ok {
+		return n.Name
+	}
+	return fmt.Sprintf("n%d", id)
+}
+
+// DeviceLabels builds link labels for topology.DOT from a design.
+func DeviceLabels(p *core.Problem, d *core.Design) map[topology.LinkID]string {
+	labels := make(map[topology.LinkID]string, len(d.Placements))
+	for link, devs := range d.Placements {
+		names := make([]string, len(devs))
+		for i, dev := range devs {
+			dd, _ := p.Catalog.Device(dev)
+			names[i] = dd.Name
+		}
+		labels[link] = strings.Join(names, ",")
+	}
+	return labels
+}

@@ -1,0 +1,340 @@
+// Package topology models the network as the paper's ⟨N, L⟩ graph: a set
+// of nodes N = H ∪ R (hosts and routers) and a set of undirected links L.
+// It provides deterministic flow-route enumeration (all simple paths,
+// bounded), which the synthesizer uses to place security devices on the
+// links of every route between a host pair (paper §III-C).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node (host or router).
+type NodeID int32
+
+// LinkID identifies an undirected link.
+type LinkID int32
+
+// NodeKind distinguishes hosts from routers.
+type NodeKind int8
+
+// Node kinds.
+const (
+	Host NodeKind = iota + 1
+	Router
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Router:
+		return "router"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is a network element.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Name string
+}
+
+// Link is an undirected connection between two nodes.
+type Link struct {
+	ID   LinkID
+	A, B NodeID
+}
+
+// Other returns the endpoint opposite to n, or -1 if n is not an
+// endpoint.
+func (l Link) Other(n NodeID) NodeID {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		return -1
+	}
+}
+
+type edge struct {
+	peer NodeID
+	link LinkID
+}
+
+// Network is the topology graph. Build it with AddHost/AddRouter/Connect;
+// it is not safe for concurrent mutation.
+type Network struct {
+	nodes []Node
+	links []Link
+	adj   [][]edge
+}
+
+// Errors reported by topology construction and queries.
+var (
+	ErrUnknownNode   = errors.New("topology: unknown node")
+	ErrSelfLink      = errors.New("topology: self link")
+	ErrDuplicateLink = errors.New("topology: duplicate link")
+)
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{}
+}
+
+func (n *Network) addNode(kind NodeKind, name string) NodeID {
+	id := NodeID(len(n.nodes))
+	if name == "" {
+		name = fmt.Sprintf("%s%d", kind, id)
+	}
+	n.nodes = append(n.nodes, Node{ID: id, Kind: kind, Name: name})
+	n.adj = append(n.adj, nil)
+	return id
+}
+
+// AddHost adds a host node. An empty name is auto-generated.
+func (n *Network) AddHost(name string) NodeID { return n.addNode(Host, name) }
+
+// AddRouter adds a router node. An empty name is auto-generated.
+func (n *Network) AddRouter(name string) NodeID { return n.addNode(Router, name) }
+
+// Connect adds an undirected link between a and b.
+func (n *Network) Connect(a, b NodeID) (LinkID, error) {
+	if !n.valid(a) || !n.valid(b) {
+		return -1, fmt.Errorf("%w: %d-%d", ErrUnknownNode, a, b)
+	}
+	if a == b {
+		return -1, fmt.Errorf("%w: %d", ErrSelfLink, a)
+	}
+	for _, e := range n.adj[a] {
+		if e.peer == b {
+			return -1, fmt.Errorf("%w: %d-%d", ErrDuplicateLink, a, b)
+		}
+	}
+	id := LinkID(len(n.links))
+	n.links = append(n.links, Link{ID: id, A: a, B: b})
+	n.adj[a] = append(n.adj[a], edge{peer: b, link: id})
+	n.adj[b] = append(n.adj[b], edge{peer: a, link: id})
+	return id, nil
+}
+
+func (n *Network) valid(id NodeID) bool { return id >= 0 && int(id) < len(n.nodes) }
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) (Node, bool) {
+	if !n.valid(id) {
+		return Node{}, false
+	}
+	return n.nodes[id], true
+}
+
+// Link returns the link with the given ID.
+func (n *Network) Link(id LinkID) (Link, bool) {
+	if id < 0 || int(id) >= len(n.links) {
+		return Link{}, false
+	}
+	return n.links[id], true
+}
+
+// LinkBetween returns the link connecting a and b, if one exists.
+func (n *Network) LinkBetween(a, b NodeID) (LinkID, bool) {
+	if !n.valid(a) || !n.valid(b) {
+		return -1, false
+	}
+	for _, e := range n.adj[a] {
+		if e.peer == b {
+			return e.link, true
+		}
+	}
+	return -1, false
+}
+
+// Hosts returns the IDs of all hosts, in insertion order.
+func (n *Network) Hosts() []NodeID { return n.byKind(Host) }
+
+// Routers returns the IDs of all routers, in insertion order.
+func (n *Network) Routers() []NodeID { return n.byKind(Router) }
+
+func (n *Network) byKind(k NodeKind) []NodeID {
+	var out []NodeID
+	for _, nd := range n.nodes {
+		if nd.Kind == k {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// Links returns a copy of all links.
+func (n *Network) Links() []Link {
+	out := make([]Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
+// NumNodes returns the total number of nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumLinks returns the total number of links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// Degree returns the number of links incident to id.
+func (n *Network) Degree(id NodeID) int {
+	if !n.valid(id) {
+		return 0
+	}
+	return len(n.adj[id])
+}
+
+// RouteOptions bounds route enumeration. Zero values select defaults.
+type RouteOptions struct {
+	// MaxRoutes caps the number of routes returned per pair (default 8).
+	MaxRoutes int
+	// MaxHops caps the route length in links (default 16).
+	MaxHops int
+}
+
+func (o RouteOptions) withDefaults() RouteOptions {
+	if o.MaxRoutes <= 0 {
+		o.MaxRoutes = 8
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 16
+	}
+	return o
+}
+
+// Route is an ordered sequence of link IDs forming a simple path.
+type Route []LinkID
+
+// Routes enumerates simple paths from src to dst whose interior nodes are
+// routers (traffic is not forwarded through hosts). Results are
+// deterministic: shorter routes first, ties broken lexicographically by
+// link ID. Enumeration honours the caps in opts.
+func (n *Network) Routes(src, dst NodeID, opts RouteOptions) ([]Route, error) {
+	if !n.valid(src) || !n.valid(dst) {
+		return nil, fmt.Errorf("%w: %d or %d", ErrUnknownNode, src, dst)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	opts = opts.withDefaults()
+	// DFS may enumerate exponentially many paths in dense cores; stop
+	// collecting after a generous multiple of the requested cap so the
+	// shortest-first sort below still has candidates to choose from.
+	searchCap := opts.MaxRoutes * 4
+	if searchCap < 32 {
+		searchCap = 32
+	}
+
+	visited := make([]bool, len(n.nodes))
+	visited[src] = true
+	var (
+		path   Route
+		found  []Route
+		search func(at NodeID) bool
+	)
+	search = func(at NodeID) bool {
+		if len(path) >= opts.MaxHops || len(found) >= searchCap {
+			return false
+		}
+		// Deterministic neighbour order by link ID.
+		edges := n.adj[at]
+		order := make([]edge, len(edges))
+		copy(order, edges)
+		sort.Slice(order, func(i, j int) bool { return order[i].link < order[j].link })
+		for _, e := range order {
+			if e.peer == dst {
+				r := make(Route, len(path)+1)
+				copy(r, path)
+				r[len(path)] = e.link
+				found = append(found, r)
+				continue
+			}
+			nd := n.nodes[e.peer]
+			if nd.Kind != Router || visited[e.peer] {
+				continue
+			}
+			visited[e.peer] = true
+			path = append(path, e.link)
+			search(e.peer)
+			path = path[:len(path)-1]
+			visited[e.peer] = false
+		}
+		return false
+	}
+	search(src)
+	sort.SliceStable(found, func(i, j int) bool {
+		if len(found[i]) != len(found[j]) {
+			return len(found[i]) < len(found[j])
+		}
+		for k := range found[i] {
+			if found[i][k] != found[j][k] {
+				return found[i][k] < found[j][k]
+			}
+		}
+		return false
+	})
+	if len(found) > opts.MaxRoutes {
+		found = found[:opts.MaxRoutes]
+	}
+	return found, nil
+}
+
+// Connected reports whether at least one route exists between src and
+// dst under default options.
+func (n *Network) Connected(src, dst NodeID) bool {
+	routes, err := n.Routes(src, dst, RouteOptions{})
+	return err == nil && len(routes) > 0
+}
+
+// Validate checks structural sanity: every host attaches to at least one
+// link, and every pair of hosts is connected through the router core.
+func (n *Network) Validate() error {
+	hosts := n.Hosts()
+	for _, h := range hosts {
+		if len(n.adj[h]) == 0 {
+			return fmt.Errorf("topology: host %s has no links", n.nodes[h].Name)
+		}
+	}
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			if !n.Connected(hosts[i], hosts[j]) {
+				return fmt.Errorf("topology: hosts %s and %s are not connected",
+					n.nodes[hosts[i]].Name, n.nodes[hosts[j]].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// DOT renders the network in Graphviz format. Device labels, if
+// provided, annotate links (used to visualise a synthesized design).
+func (n *Network) DOT(linkLabels map[LinkID]string) string {
+	var b strings.Builder
+	b.WriteString("graph network {\n")
+	for _, nd := range n.nodes {
+		shape := "ellipse"
+		if nd.Kind == Router {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", nd.ID, nd.Name, shape)
+	}
+	for _, l := range n.links {
+		if lbl, ok := linkLabels[l.ID]; ok && lbl != "" {
+			fmt.Fprintf(&b, "  n%d -- n%d [label=%q color=red];\n", l.A, l.B, lbl)
+		} else {
+			fmt.Fprintf(&b, "  n%d -- n%d;\n", l.A, l.B)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,343 @@
+package topology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// line builds h1 - r1 - r2 - ... - rN - h2.
+func line(routers int) (*Network, NodeID, NodeID) {
+	n := New()
+	h1 := n.AddHost("h1")
+	h2 := n.AddHost("h2")
+	prev := h1
+	for i := 0; i < routers; i++ {
+		r := n.AddRouter("")
+		if _, err := n.Connect(prev, r); err != nil {
+			panic(err)
+		}
+		prev = r
+	}
+	if _, err := n.Connect(prev, h2); err != nil {
+		panic(err)
+	}
+	return n, h1, h2
+}
+
+func TestAddAndLookup(t *testing.T) {
+	n := New()
+	h := n.AddHost("web")
+	r := n.AddRouter("core")
+	if nd, ok := n.Node(h); !ok || nd.Name != "web" || nd.Kind != Host {
+		t.Fatalf("host lookup failed: %+v %v", nd, ok)
+	}
+	if nd, ok := n.Node(r); !ok || nd.Kind != Router {
+		t.Fatalf("router lookup failed: %+v %v", nd, ok)
+	}
+	if _, ok := n.Node(99); ok {
+		t.Fatal("lookup of unknown node must fail")
+	}
+	id, err := n.Connect(h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := n.Link(id)
+	if !ok || l.Other(h) != r || l.Other(r) != h {
+		t.Fatalf("link lookup failed: %+v", l)
+	}
+	if l.Other(42) != -1 {
+		t.Fatal("Other with non-endpoint must be -1")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	if _, err := n.Connect(a, a); !errors.Is(err, ErrSelfLink) {
+		t.Errorf("self link: got %v", err)
+	}
+	if _, err := n.Connect(a, 100); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: got %v", err)
+	}
+	if _, err := n.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(b, a); !errors.Is(err, ErrDuplicateLink) {
+		t.Errorf("duplicate: got %v", err)
+	}
+}
+
+func TestHostsAndRouters(t *testing.T) {
+	n := New()
+	n.AddHost("h1")
+	n.AddRouter("r1")
+	n.AddHost("h2")
+	if got := len(n.Hosts()); got != 2 {
+		t.Errorf("Hosts = %d, want 2", got)
+	}
+	if got := len(n.Routers()); got != 1 {
+		t.Errorf("Routers = %d, want 1", got)
+	}
+	if n.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", n.NumNodes())
+	}
+}
+
+func TestLineRouteLength(t *testing.T) {
+	for routers := 1; routers <= 5; routers++ {
+		n, h1, h2 := line(routers)
+		routes, err := n.Routes(h1, h2, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(routes) != 1 {
+			t.Fatalf("routers=%d: %d routes, want 1", routers, len(routes))
+		}
+		if got := len(routes[0]); got != routers+1 {
+			t.Fatalf("routers=%d: route length %d, want %d", routers, got, routers+1)
+		}
+	}
+}
+
+func TestRoutesDoNotPassThroughHosts(t *testing.T) {
+	// h1 - r - h3 - r2 - h2 : no path from h1 to h2 because h3 is a host.
+	n := New()
+	h1, h2, h3 := n.AddHost("h1"), n.AddHost("h2"), n.AddHost("h3")
+	r1, r2 := n.AddRouter("r1"), n.AddRouter("r2")
+	mustConnect(t, n, h1, r1)
+	mustConnect(t, n, r1, h3)
+	mustConnect(t, n, h3, r2)
+	mustConnect(t, n, r2, h2)
+	routes, err := n.Routes(h1, h2, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 0 {
+		t.Fatalf("routes through a host must be excluded, got %v", routes)
+	}
+}
+
+func mustConnect(t *testing.T, n *Network, a, b NodeID) LinkID {
+	t.Helper()
+	id, err := n.Connect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestDiamondHasTwoRoutes(t *testing.T) {
+	// h1 - r1 - {r2|r3} - r4 - h2
+	n := New()
+	h1, h2 := n.AddHost("h1"), n.AddHost("h2")
+	r1, r2, r3, r4 := n.AddRouter(""), n.AddRouter(""), n.AddRouter(""), n.AddRouter("")
+	mustConnect(t, n, h1, r1)
+	mustConnect(t, n, r1, r2)
+	mustConnect(t, n, r1, r3)
+	mustConnect(t, n, r2, r4)
+	mustConnect(t, n, r3, r4)
+	mustConnect(t, n, r4, h2)
+	routes, err := n.Routes(h1, h2, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Fatalf("%d routes, want 2", len(routes))
+	}
+	for _, r := range routes {
+		if len(r) != 4 {
+			t.Fatalf("route length %d, want 4", len(r))
+		}
+	}
+}
+
+func TestRoutesRespectCaps(t *testing.T) {
+	// Complete graph over 5 routers gives many paths; caps must bind.
+	n := New()
+	h1, h2 := n.AddHost("h1"), n.AddHost("h2")
+	var rs []NodeID
+	for i := 0; i < 5; i++ {
+		rs = append(rs, n.AddRouter(""))
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			mustConnect(t, n, rs[i], rs[j])
+		}
+	}
+	mustConnect(t, n, h1, rs[0])
+	mustConnect(t, n, h2, rs[4])
+	routes, err := n.Routes(h1, h2, RouteOptions{MaxRoutes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 3 {
+		t.Fatalf("%d routes, want capped 3", len(routes))
+	}
+	// Shortest-first ordering.
+	for i := 1; i < len(routes); i++ {
+		if len(routes[i]) < len(routes[i-1]) {
+			t.Fatal("routes not sorted by length")
+		}
+	}
+	short, err := n.Routes(h1, h2, RouteOptions{MaxHops: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range short {
+		if len(r) > 3 {
+			t.Fatalf("route %v exceeds MaxHops", r)
+		}
+	}
+}
+
+func TestRoutesDeterministic(t *testing.T) {
+	n := New()
+	h1, h2 := n.AddHost("h1"), n.AddHost("h2")
+	var rs []NodeID
+	for i := 0; i < 4; i++ {
+		rs = append(rs, n.AddRouter(""))
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			mustConnect(t, n, rs[i], rs[j])
+		}
+	}
+	mustConnect(t, n, h1, rs[0])
+	mustConnect(t, n, h2, rs[3])
+	first, err := n.Routes(h1, h2, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := n.Routes(h1, h2, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic route count")
+		}
+		for j := range again {
+			if len(again[j]) != len(first[j]) {
+				t.Fatal("nondeterministic route shape")
+			}
+			for k := range again[j] {
+				if again[j][k] != first[j][k] {
+					t.Fatal("nondeterministic route contents")
+				}
+			}
+		}
+	}
+}
+
+func TestRoutesAreSimplePaths(t *testing.T) {
+	// Property: every returned route is a connected simple path from src
+	// to dst with no repeated links.
+	n := New()
+	h1, h2 := n.AddHost("h1"), n.AddHost("h2")
+	var rs []NodeID
+	for i := 0; i < 6; i++ {
+		rs = append(rs, n.AddRouter(""))
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if (i+j)%2 == 0 {
+				mustConnect(t, n, rs[i], rs[j])
+			}
+		}
+	}
+	mustConnect(t, n, h1, rs[0])
+	mustConnect(t, n, h2, rs[5])
+	mustConnect(t, n, rs[0], rs[5])
+	routes, err := n.Routes(h1, h2, RouteOptions{MaxRoutes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 {
+		t.Fatal("expected routes")
+	}
+	for _, r := range routes {
+		at := h1
+		seenLink := map[LinkID]bool{}
+		seenNode := map[NodeID]bool{at: true}
+		for _, lid := range r {
+			if seenLink[lid] {
+				t.Fatalf("route %v repeats link %d", r, lid)
+			}
+			seenLink[lid] = true
+			l, ok := n.Link(lid)
+			if !ok {
+				t.Fatalf("route %v has unknown link", r)
+			}
+			next := l.Other(at)
+			if next == -1 {
+				t.Fatalf("route %v is not connected at link %d", r, lid)
+			}
+			if seenNode[next] {
+				t.Fatalf("route %v revisits node %d", r, next)
+			}
+			seenNode[next] = true
+			at = next
+		}
+		if at != h2 {
+			t.Fatalf("route %v does not end at dst", r)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n, _, _ := line(2)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("line network should validate: %v", err)
+	}
+	bad := New()
+	bad.AddHost("isolated")
+	bad.AddHost("other")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("disconnected network must fail validation")
+	}
+}
+
+func TestSelfRoutesEmpty(t *testing.T) {
+	n, h1, _ := line(1)
+	routes, err := n.Routes(h1, h1, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 0 {
+		t.Fatal("self routes must be empty")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	n, h1, _ := line(1)
+	_ = h1
+	dot := n.DOT(map[LinkID]string{0: "Firewall"})
+	if !strings.Contains(dot, "graph network") {
+		t.Fatal("missing graph header")
+	}
+	if !strings.Contains(dot, "Firewall") {
+		t.Fatal("missing link label")
+	}
+	if !strings.Contains(dot, "shape=box") {
+		t.Fatal("routers should be boxes")
+	}
+}
+
+func TestQuickLineRouteLengths(t *testing.T) {
+	// Property: in a line of k routers, the unique route has k+1 links.
+	f := func(k uint8) bool {
+		routers := int(k%6) + 1
+		n, h1, h2 := line(routers)
+		routes, err := n.Routes(h1, h2, RouteOptions{})
+		if err != nil || len(routes) != 1 {
+			return false
+		}
+		return len(routes[0]) == routers+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

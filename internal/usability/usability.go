@@ -1,0 +1,140 @@
+// Package usability models the paper's business constraints on network
+// usability (§III-B): service flows, connectivity requirements (the CR
+// rules of Eq. 5), and flow demand ranks derived from partial orders.
+package usability
+
+import (
+	"fmt"
+	"sort"
+
+	"configsynth/internal/order"
+	"configsynth/internal/topology"
+)
+
+// Service identifies a network service (the paper encodes a service as an
+// integer ID standing for a protocol-port pair).
+type Service int32
+
+// Flow is a directed service flow g(i, j): service Svc from host Src to
+// host Dst.
+type Flow struct {
+	Src, Dst topology.NodeID
+	Svc      Service
+}
+
+// String renders the flow as g<svc>(src->dst).
+func (f Flow) String() string {
+	return fmt.Sprintf("g%d(%d->%d)", f.Svc, f.Src, f.Dst)
+}
+
+// Requirements is the set of connectivity requirements: flows that must
+// be able to communicate (c = 1 in the paper's CR rules). Flows not
+// present are unspecified (c = 0): they may be allowed or denied.
+type Requirements struct {
+	must map[Flow]bool
+}
+
+// NewRequirements returns an empty requirement set.
+func NewRequirements() *Requirements {
+	return &Requirements{must: make(map[Flow]bool)}
+}
+
+// Require marks the flow as a connectivity requirement.
+func (r *Requirements) Require(f Flow) { r.must[f] = true }
+
+// Required reports whether the flow must be allowed.
+func (r *Requirements) Required(f Flow) bool { return r.must[f] }
+
+// Len returns the number of required flows.
+func (r *Requirements) Len() int { return len(r.must) }
+
+// All returns the required flows in a deterministic order.
+func (r *Requirements) All() []Flow {
+	out := make([]Flow, 0, len(r.must))
+	for f := range r.must {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Svc < b.Svc
+	})
+	return out
+}
+
+// Ranks assigns each flow a demand rank a_{i,j}(g). If nothing is
+// specified all flows rank equally (the paper's default). Service-level
+// ranks apply to every flow of the service; flow-level ranks override
+// them.
+type Ranks struct {
+	base       int
+	perService map[Service]int
+	perFlow    map[Flow]int
+	maxRank    int
+}
+
+// NewRanks returns a rank table where every flow ranks 1.
+func NewRanks() *Ranks {
+	return &Ranks{
+		base:       1,
+		perService: make(map[Service]int),
+		perFlow:    make(map[Flow]int),
+		maxRank:    1,
+	}
+}
+
+// RanksFromServiceOrder derives service-level ranks from a partial order
+// over services, using the same minimal-solution model as the isolation
+// scores.
+func RanksFromServiceOrder(services []Service, constraints []order.Constraint[Service]) (*Ranks, error) {
+	solved, err := order.Solve(services, constraints)
+	if err != nil {
+		return nil, fmt.Errorf("service ranks: %w", err)
+	}
+	r := NewRanks()
+	for svc, rank := range solved {
+		r.SetServiceRank(svc, rank)
+	}
+	return r, nil
+}
+
+// SetServiceRank assigns a rank to every flow of a service.
+func (r *Ranks) SetServiceRank(svc Service, rank int) {
+	if rank < 1 {
+		rank = 1
+	}
+	r.perService[svc] = rank
+	if rank > r.maxRank {
+		r.maxRank = rank
+	}
+}
+
+// SetFlowRank assigns a rank to one specific flow.
+func (r *Ranks) SetFlowRank(f Flow, rank int) {
+	if rank < 1 {
+		rank = 1
+	}
+	r.perFlow[f] = rank
+	if rank > r.maxRank {
+		r.maxRank = rank
+	}
+}
+
+// Rank returns the demand rank of a flow.
+func (r *Ranks) Rank(f Flow) int {
+	if v, ok := r.perFlow[f]; ok {
+		return v
+	}
+	if v, ok := r.perService[f.Svc]; ok {
+		return v
+	}
+	return r.base
+}
+
+// MaxRank returns the largest rank assigned, used for normalization.
+func (r *Ranks) MaxRank() int { return r.maxRank }
