@@ -2,6 +2,8 @@ package configsynth_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -17,6 +19,16 @@ import (
 // benchmark; run with -benchtime=1x for a single regeneration pass.
 
 func benchExperiment(b *testing.B, name string) {
+	// CONFSYNTH_WORKERS=N sweeps data points on N goroutines and races
+	// N diversified solvers per probe, mirroring confsweep -workers.
+	if env := os.Getenv("CONFSYNTH_WORKERS"); env != "" {
+		w, err := strconv.Atoi(env)
+		if err != nil {
+			b.Fatalf("CONFSYNTH_WORKERS=%q: %v", env, err)
+		}
+		experiments.SetWorkers(w, w)
+		defer experiments.SetWorkers(1, 1)
+	}
 	fn, ok := experiments.All()[name]
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)

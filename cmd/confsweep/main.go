@@ -6,14 +6,23 @@
 //	confsweep -exp fig3a          one experiment
 //	confsweep -exp all            every experiment (slow)
 //	confsweep -list               list experiment names
+//	confsweep -exp fig4a -workers 4
+//	                              sweep data points on 4 goroutines and
+//	                              race 4 diversified solvers per probe
+//	confsweep -exp fig3a -json -outdir out
+//	                              also write out/BENCH_fig3a.json with
+//	                              wall-clock and solver statistics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"configsynth/internal/experiments"
 )
@@ -25,11 +34,25 @@ func main() {
 	}
 }
 
+// benchReport is the schema of a BENCH_<experiment>.json file.
+type benchReport struct {
+	Name          string                   `json:"name"`
+	SweepWorkers  int                      `json:"sweep_workers"`
+	SolverWorkers int                      `json:"solver_workers"`
+	ElapsedMS     float64                  `json:"elapsed_ms"`
+	Header        []string                 `json:"header"`
+	Rows          [][]string               `json:"rows"`
+	Solver        experiments.SolverTotals `json:"solver"`
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("confsweep", flag.ContinueOnError)
 	var (
-		exp  = fs.String("exp", "", "experiment name, or 'all'")
-		list = fs.Bool("list", false, "list experiment names")
+		exp     = fs.String("exp", "", "experiment name, or 'all'")
+		list    = fs.Bool("list", false, "list experiment names")
+		workers = fs.Int("workers", 1, "sweep data points concurrently and race this many diversified solvers per probe")
+		jsonOut = fs.Bool("json", false, "also write BENCH_<experiment>.json with wall-clock and solver stats")
+		outdir  = fs.String("outdir", ".", "directory for -json reports")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	if *exp == "" {
 		return fmt.Errorf("-exp <name> required; names: %s", strings.Join(experiments.Names(), ", "))
 	}
+	experiments.SetWorkers(*workers, *workers)
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experiments.Names()
@@ -53,16 +77,47 @@ func run(args []string, stdout io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q; names: %s", name, strings.Join(experiments.Names(), ", "))
 		}
+		start := time.Now()
 		res, err := fn()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		elapsed := time.Since(start)
 		fmt.Fprintf(stdout, "# %s\n", res.Name)
 		fmt.Fprintln(stdout, strings.Join(res.Header, ","))
 		for _, row := range res.Rows {
 			fmt.Fprintln(stdout, strings.Join(row, ","))
 		}
 		fmt.Fprintln(stdout)
+		if *jsonOut {
+			if err := writeBench(*outdir, res, elapsed); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
 	}
 	return nil
+}
+
+// writeBench writes the experiment's benchmark report to
+// <outdir>/BENCH_<name>.json.
+func writeBench(outdir string, res experiments.Result, elapsed time.Duration) error {
+	sweep, solver := experiments.Workers()
+	report := benchReport{
+		Name:          res.Name,
+		SweepWorkers:  sweep,
+		SolverWorkers: solver,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		Header:        res.Header,
+		Rows:          res.Rows,
+		Solver:        res.Totals,
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(filepath.Join(outdir, "BENCH_"+res.Name+".json"), data, 0o644)
 }

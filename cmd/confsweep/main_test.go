@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"configsynth/internal/experiments"
 )
 
 func TestList(t *testing.T) {
@@ -42,5 +47,40 @@ func TestRunTable5(t *testing.T) {
 	}
 	if !strings.Contains(got, "isolation") || !strings.Contains(got, "cost_K") {
 		t.Errorf("missing rows:\n%s", got)
+	}
+}
+
+// TestRunJSONReport runs an experiment with workers and the JSON report
+// enabled, and checks the BENCH file records the configuration, rows,
+// and solver effort.
+func TestRunJSONReport(t *testing.T) {
+	defer experiments.SetWorkers(1, 1)
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-exp", "table5", "-workers", "2", "-json", "-outdir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_table5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Name != "table5" {
+		t.Errorf("name = %q", report.Name)
+	}
+	if report.SweepWorkers != 2 || report.SolverWorkers != 2 {
+		t.Errorf("workers = %d/%d, want 2/2", report.SweepWorkers, report.SolverWorkers)
+	}
+	if report.ElapsedMS <= 0 {
+		t.Errorf("elapsed_ms = %v", report.ElapsedMS)
+	}
+	if len(report.Rows) == 0 || len(report.Header) == 0 {
+		t.Errorf("report missing data: %+v", report)
+	}
+	if report.Solver.Decisions == 0 && report.Solver.Propagations == 0 {
+		t.Errorf("report shows no solver effort: %+v", report.Solver)
 	}
 }

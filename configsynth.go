@@ -43,6 +43,7 @@ import (
 	"configsynth/internal/isolation"
 	"configsynth/internal/netgen"
 	"configsynth/internal/policy"
+	"configsynth/internal/portfolio"
 	"configsynth/internal/spec"
 	"configsynth/internal/topology"
 	"configsynth/internal/usability"
@@ -137,8 +138,11 @@ type (
 	Thresholds = core.Thresholds
 	// Options tune the synthesis model.
 	Options = core.Options
-	// Synthesizer answers queries against the encoded model.
-	Synthesizer = core.Synthesizer
+	// Synthesizer answers queries against the encoded model. With
+	// Options.Workers > 1 it is a parallel portfolio: every
+	// satisfiability probe is raced across diversified solvers with
+	// deterministic results (see internal/portfolio).
+	Synthesizer = portfolio.Solver
 	// Design is a synthesized security configuration.
 	Design = core.Design
 	// ThresholdConflictError reports an UNSAT result with its core.
@@ -205,7 +209,10 @@ func AllPairsFlows(net *Network, services []Service) []Flow {
 type VerifyResult = core.VerifyResult
 
 // New validates the problem and encodes it into the SMT substrate.
-func New(p *Problem) (*Synthesizer, error) { return core.NewSynthesizer(p) }
+// With Options.Workers > 1 the returned synthesizer solves queries as a
+// parallel portfolio of diversified solvers; the default (0 or 1) is
+// the single-threaded solver.
+func New(p *Problem) (*Synthesizer, error) { return portfolio.New(p, p.Options.Workers) }
 
 // Verify independently checks a design against a problem by simulating
 // every flow through the placed devices and re-deriving the scores. Use

@@ -58,6 +58,38 @@ func TestPublicAPISynthesis(t *testing.T) {
 	}
 }
 
+// TestPublicAPIWorkers solves the same problem single-threaded and as a
+// 4-worker portfolio through the public API; the designs must agree on
+// scores.
+func TestPublicAPIWorkers(t *testing.T) {
+	th := configsynth.Thresholds{IsolationTenths: 30, UsabilityTenths: 30, CostBudget: 40}
+	solo, err := configsynth.New(buildSmall(t, th))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := buildSmall(t, th)
+	pp.Options.Workers = 4
+	port, err := configsynth.New(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Workers() != 4 {
+		t.Fatalf("portfolio reports %d workers, want 4", port.Workers())
+	}
+	d1, err := solo.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := port.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Isolation != d4.Isolation || d1.Usability != d4.Usability || d1.Cost != d4.Cost {
+		t.Errorf("portfolio design (%v,%v,%v) differs from solo (%v,%v,%v)",
+			d4.Isolation, d4.Usability, d4.Cost, d1.Isolation, d1.Usability, d1.Cost)
+	}
+}
+
 func TestPublicAPIUnsatAndExplain(t *testing.T) {
 	p := buildSmall(t, configsynth.Thresholds{
 		IsolationTenths: 100,

@@ -231,14 +231,14 @@ func (s *Synthesizer) Assist(usabilityLevels []int) ([]AssistEntry, error) {
 			UsabilityTenths: level,
 			IsolationTenths: int(iso*10 + 0.5),
 			Mix:             mix,
-			Note:            describeMix(s.prob.Catalog, mix),
+			Note:            DescribeMix(s.prob.Catalog, mix),
 		})
 	}
 	return entries, nil
 }
 
-// describeMix summarizes a pattern mix in the style of Table III.
-func describeMix(cat *isolation.Catalog, mix map[isolation.PatternID]float64) string {
+// DescribeMix summarizes a pattern mix in the style of Table III.
+func DescribeMix(cat *isolation.Catalog, mix map[isolation.PatternID]float64) string {
 	type entry struct {
 		id   isolation.PatternID
 		frac float64

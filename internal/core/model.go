@@ -62,7 +62,7 @@ func NewSynthesizer(p *Problem) (*Synthesizer, error) {
 	p = p.normalized()
 	s := &Synthesizer{
 		prob:       p,
-		sol:        smt.NewSolver(),
+		sol:        smt.NewSolverWith(p.Options.Solver),
 		flows:      sortedFlows(p.Flows),
 		patterns:   p.Catalog.Patterns(),
 		y:          make(map[usability.Flow]map[isolation.PatternID]smt.Bool, len(p.Flows)),
@@ -407,6 +407,14 @@ type ModelStats struct {
 	Conflicts     int64
 	Decisions     int64
 	Propagations  int64
+	// Restarts counts solver restarts, split by schedule below.
+	Restarts     int64
+	LubyRestarts int64
+	GeomRestarts int64
+	// Interrupts counts checks abandoned by portfolio cancellation;
+	// RandomDecisions counts diversified branching decisions.
+	Interrupts      int64
+	RandomDecisions int64
 	// EstimatedBytes approximates the resident model size from structure
 	// counts (the paper's Table VI reports MB against problem size).
 	EstimatedBytes int64
@@ -417,16 +425,21 @@ func (s *Synthesizer) Stats() ModelStats {
 	st := s.sol.Stats()
 	pbTerms := s.isoSum.Len() + s.lossSum.Len() + s.costSum.Len()
 	return ModelStats{
-		Flows:         len(s.flows),
-		HostPairs:     len(s.routes),
-		Routes:        s.nRoutes,
-		Vars:          st.Vars,
-		Clauses:       st.Clauses + st.Learnts,
-		PBConstraints: st.PBConstraints,
-		PBTerms:       pbTerms,
-		Conflicts:     st.Conflicts,
-		Decisions:     st.Decisions,
-		Propagations:  st.Propagations,
+		Flows:           len(s.flows),
+		HostPairs:       len(s.routes),
+		Routes:          s.nRoutes,
+		Vars:            st.Vars,
+		Clauses:         st.Clauses + st.Learnts,
+		PBConstraints:   st.PBConstraints,
+		PBTerms:         pbTerms,
+		Conflicts:       st.Conflicts,
+		Decisions:       st.Decisions,
+		Propagations:    st.Propagations,
+		Restarts:        st.Restarts,
+		LubyRestarts:    st.LubyRestarts,
+		GeomRestarts:    st.GeomRestarts,
+		Interrupts:      st.Interrupts,
+		RandomDecisions: st.RandomDecisions,
 		EstimatedBytes: int64(st.Vars)*64 +
 			int64(st.Clauses+st.Learnts)*96 +
 			int64(pbTerms)*24,

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"configsynth/internal/smt"
+)
+
+// This file is the Synthesizer surface consumed by internal/portfolio:
+// status-only probes, cooperative cancellation, and the bounds the
+// portfolio's central binary searches need. Everything here is safe to
+// drive from a portfolio coordinator as long as each Synthesizer is
+// touched by one goroutine at a time (Interrupt/ClearInterrupt excepted,
+// which are safe concurrently with a running probe).
+
+// ProbeStatus checks satisfiability at the given thresholds and reports
+// only the status, without extracting a design. With limited true the
+// check runs under Options.ProbeBudget (anytime probe semantics, as in
+// the optimization descents); otherwise under Options.SolverBudget.
+// Guard literals are created on demand exactly as for CheckAt, so a
+// fixed probe sequence allocates identical guards on every worker.
+func (s *Synthesizer) ProbeStatus(th Thresholds, limited bool) smt.Status {
+	if limited {
+		if b := s.prob.Options.ProbeBudget; b > 0 {
+			s.sol.SetBudget(b)
+			defer s.restoreBudget()
+		}
+	}
+	return s.sol.Check(
+		s.guardIsolation(th.IsolationTenths),
+		s.guardUsability(th.UsabilityTenths),
+		s.guardCost(th.CostBudget),
+	)
+}
+
+// Interrupt asks the solver to abandon its current check as soon as
+// possible (the check reports Unknown). Safe to call from another
+// goroutine; the flag is sticky until ClearInterrupt.
+func (s *Synthesizer) Interrupt() { s.sol.Interrupt() }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Synthesizer) ClearInterrupt() { s.sol.ClearInterrupt() }
+
+// CostUpperBound returns the total cost of placing every candidate
+// device on every candidate link — a trivially sufficient budget, used
+// as the upper end of cost binary searches.
+func (s *Synthesizer) CostUpperBound() int64 { return s.costSum.Total() }

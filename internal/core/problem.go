@@ -13,6 +13,7 @@ import (
 
 	"configsynth/internal/isolation"
 	"configsynth/internal/policy"
+	"configsynth/internal/smt"
 	"configsynth/internal/topology"
 	"configsynth/internal/usability"
 )
@@ -55,6 +56,14 @@ type Options struct {
 	// only. This exists for the ablation benchmarks; production use
 	// should leave it false.
 	DisableFlowTheory bool
+	// Workers selects portfolio solving at the configsynth API level:
+	// K > 1 races K diversified solvers per query with deterministic
+	// results. 0 or 1 keeps the single-threaded solver (the default).
+	Workers int
+	// Solver diversifies the underlying CDCL search (seed, random
+	// decision rate, phase polarity, restart schedule). The portfolio
+	// layer sets this per worker; the zero value is the default solver.
+	Solver smt.SolverConfig
 }
 
 func (o Options) withDefaults() Options {

@@ -15,11 +15,13 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"configsynth/internal/core"
 	"configsynth/internal/isolation"
 	"configsynth/internal/netgen"
+	"configsynth/internal/portfolio"
 )
 
 // Result is one regenerated table or figure.
@@ -30,6 +32,105 @@ type Result struct {
 	Header []string
 	// Rows are the data series.
 	Rows [][]string
+	// Totals aggregates solver counters across every synthesis the
+	// experiment ran (reported by confsweep -json).
+	Totals SolverTotals
+}
+
+// SolverTotals sums the solver's dynamic search counters over an
+// experiment, including the portfolio diversification machinery
+// (restarts per schedule, cooperative interrupts, random decisions).
+type SolverTotals struct {
+	Conflicts       int64 `json:"conflicts"`
+	Decisions       int64 `json:"decisions"`
+	Propagations    int64 `json:"propagations"`
+	Restarts        int64 `json:"restarts"`
+	LubyRestarts    int64 `json:"luby_restarts"`
+	GeomRestarts    int64 `json:"geom_restarts"`
+	Interrupts      int64 `json:"interrupts"`
+	RandomDecisions int64 `json:"random_decisions"`
+}
+
+func (t *SolverTotals) add(st core.ModelStats) {
+	t.Conflicts += st.Conflicts
+	t.Decisions += st.Decisions
+	t.Propagations += st.Propagations
+	t.Restarts += st.Restarts
+	t.LubyRestarts += st.LubyRestarts
+	t.GeomRestarts += st.GeomRestarts
+	t.Interrupts += st.Interrupts
+	t.RandomDecisions += st.RandomDecisions
+}
+
+// Worker knobs, set once before running experiments (confsweep -workers,
+// or CONFSYNTH_WORKERS for the benchmark harness). sweepWorkers bounds
+// how many data points of a scaling sweep run concurrently; each point
+// builds its own problem and solver, so rows are independent and only
+// the wall-clock timing columns vary run to run. solverWorkers selects
+// the portfolio size for solver-level racing in the optimization
+// experiments (fig3a, fig3b, table3).
+var (
+	workersMu     sync.RWMutex
+	sweepWorkers  = 1
+	solverWorkers = 1
+)
+
+// SetWorkers configures sweep- and solver-level parallelism; values
+// below 1 are clamped to 1 (the sequential default).
+func SetWorkers(sweep, solver int) {
+	if sweep < 1 {
+		sweep = 1
+	}
+	if solver < 1 {
+		solver = 1
+	}
+	workersMu.Lock()
+	sweepWorkers, solverWorkers = sweep, solver
+	workersMu.Unlock()
+}
+
+// Workers reports the configured sweep and solver parallelism.
+func Workers() (sweep, solver int) {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return sweepWorkers, solverWorkers
+}
+
+// newSynth builds the solver the experiments measure: the plain
+// synthesizer by default, a racing portfolio when solver workers are
+// configured.
+func newSynth(prob *core.Problem) (*portfolio.Solver, error) {
+	_, solver := Workers()
+	return portfolio.New(prob, solver)
+}
+
+// runRows computes n data rows concurrently on a worker pool bounded by
+// the sweep parallelism, preserving input order.
+func runRows(n int, f func(i int) ([]string, core.ModelStats, error)) ([][]string, SolverTotals, error) {
+	sweep, _ := Workers()
+	rows := make([][]string, n)
+	stats := make([]core.ModelStats, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, sweep)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows[i], stats[i], errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	var tot SolverTotals
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, tot, errs[i]
+		}
+		tot.add(stats[i])
+	}
+	return rows, tot, nil
 }
 
 // quickProbeBudget bounds each optimization probe so sweeps stay
@@ -55,7 +156,7 @@ func Fig3a() (Result, error) {
 	}
 	prob := netgen.PaperExample()
 	prob.Options.ProbeBudget = quickProbeBudget
-	syn, err := core.NewSynthesizer(prob)
+	syn, err := newSynth(prob)
 	if err != nil {
 		return res, err
 	}
@@ -74,6 +175,7 @@ func Fig3a() (Result, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	res.Totals.add(syn.Stats())
 	return res, nil
 }
 
@@ -86,7 +188,7 @@ func Fig3b() (Result, error) {
 	}
 	prob := netgen.PaperExample()
 	prob.Options.ProbeBudget = quickProbeBudget
-	syn, err := core.NewSynthesizer(prob)
+	syn, err := newSynth(prob)
 	if err != nil {
 		return res, err
 	}
@@ -105,6 +207,7 @@ func Fig3b() (Result, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	res.Totals.add(syn.Stats())
 	return res, nil
 }
 
@@ -117,7 +220,7 @@ func timing(cfg netgen.Config) (time.Duration, core.ModelStats, string, error) {
 	}
 	prob.Options.SolverBudget = solveBudget
 	start := time.Now()
-	syn, err := core.NewSynthesizer(prob)
+	syn, err := newSynth(prob)
 	if err != nil {
 		return 0, core.ModelStats{}, "", err
 	}
@@ -150,8 +253,11 @@ func Fig4a() (Result, error) {
 		Name:   "fig4a",
 		Header: []string{"hosts", "flows", "time_ms_cr10", "time_ms_cr20"},
 	}
-	for _, hosts := range []int{10, 20, 30, 40, 50} {
+	hostGrid := []int{10, 20, 30, 40, 50}
+	rows, totals, err := runRows(len(hostGrid), func(i int) ([]string, core.ModelStats, error) {
+		hosts := hostGrid[i]
 		row := []string{fmt.Sprintf("%d", hosts)}
+		var sum core.ModelStats
 		var flowCount int
 		for _, cr := range []float64{0.10, 0.20} {
 			cfg := netgen.Config{
@@ -161,7 +267,7 @@ func Fig4a() (Result, error) {
 			}
 			elapsed, stats, status, err := timing(cfg)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			if status != "sat" {
 				row = append(row, status)
@@ -169,11 +275,28 @@ func Fig4a() (Result, error) {
 				row = append(row, ms(elapsed))
 			}
 			flowCount = stats.Flows
+			sumStats(&sum, stats)
 		}
 		row = append(row[:1], append([]string{fmt.Sprintf("%d", flowCount)}, row[1:]...)...)
-		res.Rows = append(res.Rows, row)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
+}
+
+// sumStats accumulates the dynamic solver counters of b into a.
+func sumStats(a *core.ModelStats, b core.ModelStats) {
+	a.Conflicts += b.Conflicts
+	a.Decisions += b.Decisions
+	a.Propagations += b.Propagations
+	a.Restarts += b.Restarts
+	a.LubyRestarts += b.LubyRestarts
+	a.GeomRestarts += b.GeomRestarts
+	a.Interrupts += b.Interrupts
+	a.RandomDecisions += b.RandomDecisions
 }
 
 // Fig4b reproduces Fig. 4(b): synthesis time vs the number of routers.
@@ -182,26 +305,34 @@ func Fig4b() (Result, error) {
 		Name:   "fig4b",
 		Header: []string{"routers", "time_ms_cr10", "time_ms_cr20"},
 	}
-	for _, routers := range []int{8, 12, 16, 20} {
+	routerGrid := []int{8, 12, 16, 20}
+	rows, totals, err := runRows(len(routerGrid), func(i int) ([]string, core.ModelStats, error) {
+		routers := routerGrid[i]
 		row := []string{fmt.Sprintf("%d", routers)}
+		var sum core.ModelStats
 		for _, cr := range []float64{0.10, 0.20} {
 			cfg := netgen.Config{
 				Hosts: 20, Routers: routers, MaxServices: 3,
 				CRFraction: cr, Seed: int64(routers),
 				Thresholds: moderate(20),
 			}
-			elapsed, _, status, err := timing(cfg)
+			elapsed, stats, status, err := timing(cfg)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			if status != "sat" {
 				row = append(row, status)
 			} else {
 				row = append(row, ms(elapsed))
 			}
+			sumStats(&sum, stats)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
 }
 
@@ -212,26 +343,34 @@ func Fig4c() (Result, error) {
 		Name:   "fig4c",
 		Header: []string{"cr_percent", "time_ms_hosts20", "time_ms_hosts30"},
 	}
-	for _, crPct := range []int{5, 10, 15, 20, 25, 30} {
+	crGrid := []int{5, 10, 15, 20, 25, 30}
+	rows, totals, err := runRows(len(crGrid), func(i int) ([]string, core.ModelStats, error) {
+		crPct := crGrid[i]
 		row := []string{fmt.Sprintf("%d", crPct)}
+		var sum core.ModelStats
 		for _, hosts := range []int{20, 30} {
 			cfg := netgen.Config{
 				Hosts: hosts, Routers: 10, MaxServices: 3,
 				CRFraction: float64(crPct) / 100, Seed: int64(crPct),
 				Thresholds: moderate(hosts),
 			}
-			elapsed, _, status, err := timing(cfg)
+			elapsed, stats, status, err := timing(cfg)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			if status != "sat" {
 				row = append(row, status)
 			} else {
 				row = append(row, ms(elapsed))
 			}
+			sumStats(&sum, stats)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
 }
 
@@ -242,8 +381,11 @@ func Fig5a() (Result, error) {
 		Name:   "fig5a",
 		Header: []string{"isolation", "time_ms_usability3", "time_ms_usability5"},
 	}
-	for iso := 10; iso <= 60; iso += 10 {
+	isoGrid := []int{10, 20, 30, 40, 50, 60}
+	rows, totals, err := runRows(len(isoGrid), func(i int) ([]string, core.ModelStats, error) {
+		iso := isoGrid[i]
 		row := []string{f1(float64(iso) / 10)}
+		var sum core.ModelStats
 		for _, u := range []int{30, 50} {
 			cfg := netgen.Config{
 				Hosts: 30, Routers: 10, MaxServices: 3,
@@ -254,14 +396,19 @@ func Fig5a() (Result, error) {
 					CostBudget:      150,
 				},
 			}
-			elapsed, _, status, err := timing(cfg)
+			elapsed, stats, status, err := timing(cfg)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			row = append(row, ms(elapsed)+"/"+status)
+			sumStats(&sum, stats)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
 }
 
@@ -272,8 +419,11 @@ func Fig5b() (Result, error) {
 		Name:   "fig5b",
 		Header: []string{"cost", "time_ms_usability3", "time_ms_usability5"},
 	}
-	for _, cost := range []int64{40, 60, 80, 100, 120, 150} {
+	costGrid := []int64{40, 60, 80, 100, 120, 150}
+	rows, totals, err := runRows(len(costGrid), func(i int) ([]string, core.ModelStats, error) {
+		cost := costGrid[i]
 		row := []string{fmt.Sprintf("%d", cost)}
+		var sum core.ModelStats
 		for _, u := range []int{30, 50} {
 			cfg := netgen.Config{
 				Hosts: 30, Routers: 10, MaxServices: 3,
@@ -284,14 +434,19 @@ func Fig5b() (Result, error) {
 					CostBudget:      cost,
 				},
 			}
-			elapsed, _, status, err := timing(cfg)
+			elapsed, stats, status, err := timing(cfg)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			row = append(row, ms(elapsed)+"/"+status)
+			sumStats(&sum, stats)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
 }
 
@@ -303,32 +458,41 @@ func Fig5c() (Result, error) {
 		Name:   "fig5c",
 		Header: []string{"hosts", "time_ms_sat", "time_ms_unsat"},
 	}
-	for _, hosts := range []int{10, 20, 30, 40} {
+	hostGrid := []int{10, 20, 30, 40}
+	rows, totals, err := runRows(len(hostGrid), func(i int) ([]string, core.ModelStats, error) {
+		hosts := hostGrid[i]
 		row := []string{fmt.Sprintf("%d", hosts)}
+		var sum core.ModelStats
 		// SAT: moderate thresholds.
 		cfg := netgen.Config{
 			Hosts: hosts, Routers: 10, MaxServices: 3,
 			CRFraction: 0.10, Seed: int64(hosts),
 			Thresholds: moderate(hosts),
 		}
-		elapsed, _, status, err := timing(cfg)
+		elapsed, stats, status, err := timing(cfg)
 		if err != nil {
-			return res, err
+			return nil, sum, err
 		}
 		row = append(row, ms(elapsed)+"/"+status)
+		sumStats(&sum, stats)
 		// UNSAT: isolation demand above what usability 8 permits.
 		cfg.Thresholds = core.Thresholds{
 			IsolationTenths: 90,
 			UsabilityTenths: 80,
 			CostBudget:      int64(hosts) * 10,
 		}
-		elapsed, _, status, err = timing(cfg)
+		elapsed, stats, status, err = timing(cfg)
 		if err != nil {
-			return res, err
+			return nil, sum, err
 		}
 		row = append(row, ms(elapsed)+"/"+status)
-		res.Rows = append(res.Rows, row)
+		sumStats(&sum, stats)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
 }
 
@@ -342,7 +506,7 @@ func TableIII() (Result, error) {
 	}
 	prob := netgen.PaperExample()
 	prob.Options.ProbeBudget = quickProbeBudget
-	syn, err := core.NewSynthesizer(prob)
+	syn, err := newSynth(prob)
 	if err != nil {
 		return res, err
 	}
@@ -357,6 +521,7 @@ func TableIII() (Result, error) {
 			e.Note,
 		})
 	}
+	res.Totals.add(syn.Stats())
 	return res, nil
 }
 
@@ -369,7 +534,7 @@ func TableV() (Result, error) {
 	}
 	prob := netgen.PaperExample()
 	start := time.Now()
-	syn, err := core.NewSynthesizer(prob)
+	syn, err := newSynth(prob)
 	if err != nil {
 		return res, err
 	}
@@ -378,6 +543,7 @@ func TableV() (Result, error) {
 		return res, err
 	}
 	elapsed := time.Since(start)
+	res.Totals.add(syn.Stats())
 	mix := design.PatternMix()
 	res.Rows = append(res.Rows,
 		[]string{"time_ms", ms(elapsed)},
@@ -402,8 +568,11 @@ func TableVI() (Result, error) {
 		Name:   "table6",
 		Header: []string{"hosts", "mem_mb_iso3", "mem_mb_iso5"},
 	}
-	for _, hosts := range []int{10, 20, 30, 40, 50} {
+	hostGrid := []int{10, 20, 30, 40, 50}
+	rows, totals, err := runRows(len(hostGrid), func(i int) ([]string, core.ModelStats, error) {
+		hosts := hostGrid[i]
 		row := []string{fmt.Sprintf("%d", hosts)}
+		var sum core.ModelStats
 		for _, iso := range []int{30, 50} {
 			cfg := netgen.Config{
 				Hosts: hosts, Routers: 10, MaxServices: 3,
@@ -416,18 +585,24 @@ func TableVI() (Result, error) {
 			}
 			prob, err := netgen.Generate(cfg)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			prob.Options.SolverBudget = solveBudget
-			syn, err := core.NewSynthesizer(prob)
+			syn, err := newSynth(prob)
 			if err != nil {
-				return res, err
+				return nil, sum, err
 			}
 			_, _ = syn.Solve()
-			row = append(row, f2(float64(syn.Stats().EstimatedBytes)/(1<<20)))
+			st := syn.Stats()
+			sumStats(&sum, st)
+			row = append(row, f2(float64(st.EstimatedBytes)/(1<<20)))
 		}
-		res.Rows = append(res.Rows, row)
+		return row, sum, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows, res.Totals = rows, totals
 	return res, nil
 }
 
@@ -514,10 +689,11 @@ func AblationMaximize() (Result, error) {
 		Name:   "ablation_maximize",
 		Header: []string{"strategy", "isolation", "time_ms"},
 	}
-	// Binary search (the built-in MaxIsolation).
+	// Binary search (the built-in MaxIsolation, portfolio-raced when
+	// solver workers are configured).
 	prob := netgen.PaperExample()
 	prob.Options.ProbeBudget = quickProbeBudget
-	syn, err := core.NewSynthesizer(prob)
+	syn, err := newSynth(prob)
 	if err != nil {
 		return res, err
 	}
@@ -526,6 +702,7 @@ func AblationMaximize() (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Totals.add(syn.Stats())
 	res.Rows = append(res.Rows, []string{"binary_search", f2(iso), ms(time.Since(start))})
 
 	// Linear scan: raise the isolation slider one tenth at a time on a

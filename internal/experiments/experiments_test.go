@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"testing"
 )
@@ -76,6 +77,29 @@ func TestTableVIShape(t *testing.T) {
 			}
 			prev[col-1] = v
 		}
+	}
+}
+
+// TestTableVIParallelSweepMatchesSequential runs the memory sweep with
+// a 4-goroutine data-point pool and compares against the sequential
+// run: Table VI's cells are structural (no wall-clock), so the rows
+// must be identical.
+func TestTableVIParallelSweepMatchesSequential(t *testing.T) {
+	seq, err := TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(4, 1)
+	defer SetWorkers(1, 1)
+	par, err := TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Errorf("parallel sweep changed rows:\nseq: %v\npar: %v", seq.Rows, par.Rows)
+	}
+	if par.Totals != seq.Totals {
+		t.Errorf("parallel sweep changed solver totals:\nseq: %+v\npar: %+v", seq.Totals, par.Totals)
 	}
 }
 

@@ -1,0 +1,378 @@
+// Package portfolio implements parallel portfolio solving for
+// ConfigSynth: the same synthesis problem is encoded into K independent
+// solver instances whose searches are diversified (PRNG seed with a
+// small random-decision fraction, initial phase polarity, restart
+// schedule), and each satisfiability probe is raced across the K
+// workers on goroutines. The first worker to reach a definitive answer
+// (Sat or Unsat) wins the probe; the losers are cancelled cooperatively
+// and rejoin before the next probe.
+//
+// Results are deterministic regardless of which worker wins a race:
+//
+//   - probe outcomes are used as statuses only, and Sat/Unsat is a
+//     semantic property of the formula, identical for every worker;
+//   - optimization queries run a central binary-search descent over
+//     threshold guards, driven purely by those statuses;
+//   - the final design (or unsat core) is always extracted by a
+//     dedicated canonical synthesizer that never participates in races
+//     and is never interrupted, so its model — and hence the reported
+//     scores and pruned placements — depends only on the (unique)
+//     optimum, not on race timing.
+//
+// The only caveat is conflict budgets: a probe reports Unknown only if
+// every worker exhausts its budget, and an interrupted worker's learnt
+// clauses depend on when the cancellation landed, which can in
+// principle flip a later probe between "budget exhausted" and
+// "answered". In the exact regime (budgets that do not bind, the
+// default) results are bit-identical across runs and across K.
+package portfolio
+
+import (
+	"fmt"
+
+	"configsynth/internal/core"
+	"configsynth/internal/smt"
+)
+
+// Solver answers synthesis queries against an encoded problem. With one
+// worker it is a thin wrapper over core.Synthesizer (identical to the
+// single-threaded path); with K > 1 workers it races diversified
+// solvers per probe. It is not safe for concurrent use; it manages its
+// own goroutines internally.
+type Solver struct {
+	prob  *core.Problem
+	canon *core.Synthesizer   // canonical extraction engine, never raced
+	work  []*core.Synthesizer // diversified raced workers; nil = delegate
+}
+
+// New returns a solver for p with the given worker count. workers <= 1
+// yields the sequential solver, behaviourally identical to
+// core.NewSynthesizer (today's default); workers >= 2 builds a racing
+// portfolio with canonical extraction.
+func New(p *core.Problem, workers int) (*Solver, error) {
+	if workers <= 1 {
+		canon, err := core.NewSynthesizer(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Solver{prob: p, canon: canon}, nil
+	}
+	return NewRacing(p, workers)
+}
+
+// NewRacing always builds the portfolio engine, even with a single
+// worker. The engine path is identical for every K — probes drive a
+// central descent and a dedicated canonical synthesizer extracts every
+// design — which is what makes K=1 and K=4 produce identical results.
+// The price is one canonical final check per query.
+func NewRacing(p *core.Problem, workers int) (*Solver, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	canon, err := core.NewSynthesizer(p)
+	if err != nil {
+		return nil, err
+	}
+	work := make([]*core.Synthesizer, workers)
+	for i := range work {
+		q := *p // shallow copy: topology/catalog/flows are read-only here
+		q.Options.Solver = WorkerConfig(i)
+		w, err := core.NewSynthesizer(&q)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: worker %d: %w", i, err)
+		}
+		work[i] = w
+	}
+	return &Solver{prob: p, canon: canon, work: work}, nil
+}
+
+// WorkerConfig returns the diversification profile of worker i. Worker
+// 0 is the reference configuration (pure activity-driven CDCL, Luby
+// restarts, phase false), so a one-worker portfolio searches exactly
+// like the default solver; higher workers alternate phase polarity and
+// restart schedule and mix in 2% random decisions under distinct seeds.
+func WorkerConfig(i int) smt.SolverConfig {
+	if i == 0 {
+		return smt.SolverConfig{}
+	}
+	cfg := smt.SolverConfig{
+		Seed:            uint64(i) * 0x9E3779B97F4A7C15,
+		RandomFreqMilli: 20,
+		PhaseTrue:       i%2 == 1,
+	}
+	if i%4 >= 2 {
+		cfg.Restart = smt.RestartGeometric
+	}
+	return cfg
+}
+
+// Workers returns the number of raced workers (0 in delegate mode).
+func (s *Solver) Workers() int { return len(s.work) }
+
+// Problem returns the problem the solver was built on.
+func (s *Solver) Problem() *core.Problem { return s.canon.Problem() }
+
+// raceStatus races one threshold probe across the workers and returns
+// the first definitive status, cancelling and rejoining the losers. If
+// every worker reports Unknown (budget exhausted), Unknown is returned.
+func (s *Solver) raceStatus(th core.Thresholds, limited bool) smt.Status {
+	if len(s.work) == 1 {
+		return s.work[0].ProbeStatus(th, limited)
+	}
+	type outcome struct {
+		status smt.Status
+		worker int
+	}
+	ch := make(chan outcome, len(s.work))
+	for i, w := range s.work {
+		go func(i int, w *core.Synthesizer) {
+			ch <- outcome{w.ProbeStatus(th, limited), i}
+		}(i, w)
+	}
+	status := smt.Unknown
+	for n := 0; n < len(s.work); n++ {
+		out := <-ch
+		if out.status != smt.Unknown && status == smt.Unknown {
+			status = out.status
+			// First definitive answer: cancel everyone else. Interrupt
+			// is idempotent and harmless on workers already done.
+			for j, w := range s.work {
+				if j != out.worker {
+					w.Interrupt()
+				}
+			}
+		}
+	}
+	// All workers have rejoined; re-arm them for the next probe so a
+	// stale interrupt cannot leak into it.
+	for _, w := range s.work {
+		w.ClearInterrupt()
+	}
+	return status
+}
+
+// Solve checks the problem's own thresholds. The satisfiability race
+// provides the status; the design (or the unsat core) is then derived
+// canonically, so the result does not depend on which worker won.
+func (s *Solver) Solve() (*core.Design, error) {
+	if s.work == nil {
+		return s.canon.Solve()
+	}
+	if st := s.raceStatus(s.prob.Thresholds, false); st == smt.Unknown {
+		return nil, core.ErrBudgetExceeded
+	}
+	return s.canon.Solve()
+}
+
+// CheckAt checks satisfiability at the given thresholds (a what-if
+// query) with a raced status and canonical extraction.
+func (s *Solver) CheckAt(th core.Thresholds) (*core.Design, error) {
+	if s.work == nil {
+		return s.canon.CheckAt(th)
+	}
+	if st := s.raceStatus(th, false); st == smt.Unknown {
+		return nil, core.ErrBudgetExceeded
+	}
+	return s.canon.CheckAt(th)
+}
+
+// descent runs the shared central binary search: feasible() must hold
+// at lo already (or the caller handles infeasibility first), and
+// probe(mid) reports whether the query is satisfiable when the searched
+// threshold is tightened to mid. With maximize true the search finds
+// the largest satisfiable value in [lo, hi]; otherwise the smallest.
+// It returns the optimum and whether every probe was definitive.
+func (s *Solver) descent(lo, hi int64, maximize bool, probe func(v int64) smt.Status) (int64, bool) {
+	exact := true
+	for lo < hi {
+		var mid int64
+		if maximize {
+			mid = lo + (hi-lo+1)/2
+		} else {
+			mid = lo + (hi-lo)/2
+		}
+		switch probe(mid) {
+		case smt.Sat:
+			if maximize {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		case smt.Unknown:
+			exact = false
+			fallthrough
+		default: // Unsat, or Unknown treated pessimistically
+			if maximize {
+				hi = mid - 1
+			} else {
+				lo = mid + 1
+			}
+		}
+	}
+	return lo, exact
+}
+
+// finish extracts the canonical design at th and stamps its exactness.
+func (s *Solver) finish(th core.Thresholds, exact bool) (*core.Design, error) {
+	d, err := s.canon.CheckAt(th)
+	if err != nil {
+		return nil, err
+	}
+	d.Exact = exact
+	return d, nil
+}
+
+// MaxIsolation computes the maximum achievable network isolation (0–10
+// scale) subject to a usability threshold and a cost budget, as in the
+// paper's Fig. 3 curves. With workers, each binary-search probe is
+// raced and the winning status drives the descent.
+func (s *Solver) MaxIsolation(usabilityTenths int, costBudget int64) (float64, *core.Design, error) {
+	if s.work == nil {
+		return s.canon.MaxIsolation(usabilityTenths, costBudget)
+	}
+	base := core.Thresholds{UsabilityTenths: usabilityTenths, CostBudget: costBudget}
+	switch s.raceStatus(base, false) {
+	case smt.Unknown:
+		return 0, nil, core.ErrBudgetExceeded
+	case smt.Unsat:
+		_, err := s.canon.CheckAt(base) // canonical unsat core
+		if err == nil {
+			err = fmt.Errorf("portfolio: workers proved unsat but canonical check succeeded")
+		}
+		return 0, nil, err
+	}
+	best, exact := s.descent(0, 100, true, func(v int64) smt.Status {
+		th := base
+		th.IsolationTenths = int(v)
+		return s.raceStatus(th, true)
+	})
+	th := base
+	th.IsolationTenths = int(best)
+	d, err := s.finish(th, exact)
+	if err != nil {
+		return 0, nil, err
+	}
+	return d.Isolation, d, nil
+}
+
+// MaxUsability computes the maximum achievable usability subject to an
+// isolation threshold and a cost budget.
+func (s *Solver) MaxUsability(isolationTenths int, costBudget int64) (float64, *core.Design, error) {
+	if s.work == nil {
+		return s.canon.MaxUsability(isolationTenths, costBudget)
+	}
+	base := core.Thresholds{IsolationTenths: isolationTenths, CostBudget: costBudget}
+	switch s.raceStatus(base, false) {
+	case smt.Unknown:
+		return 0, nil, core.ErrBudgetExceeded
+	case smt.Unsat:
+		_, err := s.canon.CheckAt(base)
+		if err == nil {
+			err = fmt.Errorf("portfolio: workers proved unsat but canonical check succeeded")
+		}
+		return 0, nil, err
+	}
+	best, exact := s.descent(0, 100, true, func(v int64) smt.Status {
+		th := base
+		th.UsabilityTenths = int(v)
+		return s.raceStatus(th, true)
+	})
+	th := base
+	th.UsabilityTenths = int(best)
+	d, err := s.finish(th, exact)
+	if err != nil {
+		return 0, nil, err
+	}
+	return d.Usability, d, nil
+}
+
+// MinCost computes the minimum deployment budget that still satisfies
+// the given isolation and usability thresholds.
+func (s *Solver) MinCost(isolationTenths, usabilityTenths int) (int64, *core.Design, error) {
+	if s.work == nil {
+		return s.canon.MinCost(isolationTenths, usabilityTenths)
+	}
+	upper := s.canon.CostUpperBound()
+	base := core.Thresholds{
+		IsolationTenths: isolationTenths,
+		UsabilityTenths: usabilityTenths,
+		CostBudget:      upper,
+	}
+	switch s.raceStatus(base, false) {
+	case smt.Unknown:
+		return 0, nil, core.ErrBudgetExceeded
+	case smt.Unsat:
+		_, err := s.canon.CheckAt(base)
+		if err == nil {
+			err = fmt.Errorf("portfolio: workers proved unsat but canonical check succeeded")
+		}
+		return 0, nil, err
+	}
+	best, exact := s.descent(0, upper, false, func(v int64) smt.Status {
+		th := base
+		th.CostBudget = v
+		return s.raceStatus(th, true)
+	})
+	th := base
+	th.CostBudget = best
+	d, err := s.finish(th, exact)
+	if err != nil {
+		return 0, nil, err
+	}
+	return d.Cost, d, nil
+}
+
+// Assist produces the slider-assistance table (paper Table III) at the
+// given usability levels, using the problem's cost budget.
+func (s *Solver) Assist(usabilityLevels []int) ([]core.AssistEntry, error) {
+	if s.work == nil {
+		return s.canon.Assist(usabilityLevels)
+	}
+	entries := make([]core.AssistEntry, 0, len(usabilityLevels))
+	for _, level := range usabilityLevels {
+		iso, design, err := s.MaxIsolation(level, s.prob.Thresholds.CostBudget)
+		if err != nil {
+			if core.IsUnsat(err) {
+				entries = append(entries, core.AssistEntry{
+					UsabilityTenths: level,
+					Note:            "no satisfiable configuration at this usability level",
+				})
+				continue
+			}
+			return nil, err
+		}
+		mix := design.PatternMix()
+		entries = append(entries, core.AssistEntry{
+			UsabilityTenths: level,
+			IsolationTenths: int(iso*10 + 0.5),
+			Mix:             mix,
+			Note:            core.DescribeMix(s.prob.Catalog, mix),
+		})
+	}
+	return entries, nil
+}
+
+// Explain runs the paper's Algorithm 1 on the canonical synthesizer.
+// Explanation is inherently sequential and model-extraction heavy, so
+// it is not raced.
+func (s *Solver) Explain() (*core.Explanation, error) { return s.canon.Explain() }
+
+// Stats returns the canonical model statistics with the dynamic search
+// counters (conflicts, decisions, propagations, restarts, interrupts,
+// random decisions) aggregated across the canonical solver and every
+// worker.
+func (s *Solver) Stats() core.ModelStats {
+	st := s.canon.Stats()
+	for _, w := range s.work {
+		ws := w.Stats()
+		st.Conflicts += ws.Conflicts
+		st.Decisions += ws.Decisions
+		st.Propagations += ws.Propagations
+		st.Restarts += ws.Restarts
+		st.LubyRestarts += ws.LubyRestarts
+		st.GeomRestarts += ws.GeomRestarts
+		st.Interrupts += ws.Interrupts
+		st.RandomDecisions += ws.RandomDecisions
+	}
+	return st
+}

@@ -1,0 +1,262 @@
+package portfolio
+
+import (
+	"reflect"
+	"testing"
+
+	"configsynth/internal/core"
+	"configsynth/internal/netgen"
+	"configsynth/internal/usability"
+)
+
+func mustRacing(t *testing.T, p *core.Problem, workers int) *Solver {
+	t.Helper()
+	s, err := NewRacing(p, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// smallPaperExample trims the paper's running example to its first five
+// hosts. The determinism guarantee for optimization descents holds in
+// the exact regime (no probe exhausts its conflict budget); the full
+// 10-host instance leaves that regime under the default probe budget,
+// so descent determinism is asserted on this easier instance — with
+// Design.Exact checked to prove the regime assumption — while plain
+// satisfiability determinism is asserted on the full instance.
+func smallPaperExample() *core.Problem {
+	p := netgen.PaperExample()
+	hosts := p.Network.Hosts()[:5]
+	keep := make(map[usability.Flow]bool)
+	var flows []usability.Flow
+	for _, f := range p.Flows {
+		ok := false
+		for _, h := range hosts {
+			if f.Src == h {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		ok = false
+		for _, h := range hosts {
+			if f.Dst == h {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		flows = append(flows, f)
+		keep[f] = true
+	}
+	reqs := usability.NewRequirements()
+	for _, f := range p.Requirements.All() {
+		if keep[f] {
+			reqs.Require(f)
+		}
+	}
+	p.Flows = flows
+	p.Requirements = reqs
+	return p
+}
+
+// sameDesign asserts two designs agree on everything the portfolio
+// promises to keep deterministic: scores, flow patterns, and pruned
+// placements. Scores must be bit-identical — they are computed from the
+// same canonical model by the same arithmetic.
+func sameDesign(t *testing.T, label string, a, b *core.Design) {
+	t.Helper()
+	if a == nil || b == nil {
+		t.Fatalf("%s: nil design (a=%v b=%v)", label, a == nil, b == nil)
+	}
+	if a.Isolation != b.Isolation || a.Usability != b.Usability || a.Cost != b.Cost {
+		t.Errorf("%s: scores differ: (%v,%v,%v) vs (%v,%v,%v)", label,
+			a.Isolation, a.Usability, a.Cost, b.Isolation, b.Usability, b.Cost)
+	}
+	if !reflect.DeepEqual(a.FlowPatterns, b.FlowPatterns) {
+		t.Errorf("%s: flow patterns differ", label)
+	}
+	if !reflect.DeepEqual(a.Placements, b.Placements) {
+		t.Errorf("%s: placements differ", label)
+	}
+	if a.Exact != b.Exact {
+		t.Errorf("%s: exactness differs: %v vs %v", label, a.Exact, b.Exact)
+	}
+}
+
+// TestPortfolioSolveDeterminismK1vsK4 races plain satisfiability on the
+// full paper example: one-worker and four-worker portfolios must
+// extract the identical design regardless of which worker wins.
+func TestPortfolioSolveDeterminismK1vsK4(t *testing.T) {
+	s1 := mustRacing(t, netgen.PaperExample(), 1)
+	s4 := mustRacing(t, netgen.PaperExample(), 4)
+	if s1.Workers() != 1 || s4.Workers() != 4 {
+		t.Fatalf("workers = %d, %d; want 1, 4", s1.Workers(), s4.Workers())
+	}
+	d1, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := s4.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDesign(t, "Solve", d1, d4)
+	if len(d4.FlowPatterns) == 0 {
+		t.Fatal("empty design")
+	}
+}
+
+// TestPortfolioDescentDeterminismK1vsK4 is the tentpole guarantee for
+// the optimization descents: every binary-search probe is raced, yet
+// K=1 and K=4 land on identical optima and identical canonical designs.
+func TestPortfolioDescentDeterminismK1vsK4(t *testing.T) {
+	s1 := mustRacing(t, smallPaperExample(), 1)
+	s4 := mustRacing(t, smallPaperExample(), 4)
+
+	iso1, b1, err := s1.MaxIsolation(50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso4, b4, err := s4.MaxIsolation(50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso1 != iso4 {
+		t.Errorf("MaxIsolation value: %v vs %v", iso1, iso4)
+	}
+	if !b1.Exact || !b4.Exact {
+		t.Fatalf("descent left the exact regime (exact=%v,%v); shrink the instance", b1.Exact, b4.Exact)
+	}
+	sameDesign(t, "MaxIsolation", b1, b4)
+
+	c1, m1, err := s1.MinCost(40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, m4, err := s4.MinCost(40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c4 {
+		t.Errorf("MinCost value: %v vs %v", c1, c4)
+	}
+	sameDesign(t, "MinCost", m1, m4)
+
+	u1, n1, err := s1.MaxUsability(40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u4, n4, err := s4.MaxUsability(40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != u4 {
+		t.Errorf("MaxUsability value: %v vs %v", u1, u4)
+	}
+	sameDesign(t, "MaxUsability", n1, n4)
+}
+
+// TestPortfolioAssistDeterminism compares the full assistance table,
+// which chains several raced optimizations.
+func TestPortfolioAssistDeterminism(t *testing.T) {
+	s1 := mustRacing(t, smallPaperExample(), 1)
+	s4 := mustRacing(t, smallPaperExample(), 4)
+	levels := []int{40, 60, 80}
+	e1, err := s1.Assist(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := s4.Assist(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1, e4) {
+		t.Errorf("assist tables differ:\nK=1: %v\nK=4: %v", e1, e4)
+	}
+}
+
+// TestPortfolioRepeatability re-runs the same query on one racing
+// portfolio: later runs race against solvers that carry learnt clauses
+// from earlier runs, and must still agree.
+func TestPortfolioRepeatability(t *testing.T) {
+	s := mustRacing(t, smallPaperExample(), 3)
+	iso1, d1, err := s.MaxIsolation(50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso2, d2, err := s.MaxIsolation(50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso1 != iso2 {
+		t.Errorf("repeat MaxIsolation: %v vs %v", iso1, iso2)
+	}
+	sameDesign(t, "repeat", d1, d2)
+}
+
+// TestDelegateMatchesCore checks that New with workers <= 1 behaves
+// exactly like the underlying core synthesizer.
+func TestDelegateMatchesCore(t *testing.T) {
+	s, err := New(netgen.PaperExample(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 0 {
+		t.Fatalf("delegate mode reports %d workers, want 0", s.Workers())
+	}
+	ref, err := core.NewSynthesizer(netgen.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDesign(t, "delegate Solve", d, want)
+}
+
+// TestPortfolioUnsat checks that infeasible queries surface the
+// canonical threshold-conflict error — with the same core — from every
+// portfolio size. Demanding both perfect isolation and perfect
+// usability is structurally unsatisfiable.
+func TestPortfolioUnsat(t *testing.T) {
+	impossible := core.Thresholds{IsolationTenths: 100, UsabilityTenths: 100, CostBudget: 100}
+	var cores []string
+	for _, k := range []int{1, 4} {
+		s := mustRacing(t, netgen.PaperExample(), k)
+		_, err := s.CheckAt(impossible)
+		if err == nil {
+			t.Fatalf("K=%d: expected error at isolation 10.0 + usability 10.0", k)
+		}
+		if !core.IsUnsat(err) {
+			t.Fatalf("K=%d: error %v is not a threshold conflict", k, err)
+		}
+		cores = append(cores, err.Error())
+	}
+	if cores[0] != cores[1] {
+		t.Errorf("conflict cores differ across K:\nK=1: %s\nK=4: %s", cores[0], cores[1])
+	}
+}
+
+// TestPortfolioStats checks the aggregated statistics include worker
+// search effort after racing.
+func TestPortfolioStats(t *testing.T) {
+	s := mustRacing(t, netgen.PaperExample(), 2)
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Decisions == 0 && st.Propagations == 0 {
+		t.Errorf("stats show no search effort: %+v", st)
+	}
+}

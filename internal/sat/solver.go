@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // ErrAddAfterUnsat is returned when clauses are added to a solver that is
@@ -125,6 +126,48 @@ func (o *varOrder) update(v Var) {
 	}
 }
 
+// RestartPolicy selects the restart schedule of a solver.
+type RestartPolicy int8
+
+// The available restart schedules.
+const (
+	// RestartLuby follows the Luby sequence with a 100-conflict unit
+	// (the default).
+	RestartLuby RestartPolicy = iota
+	// RestartGeometric grows the conflict window geometrically (×1.5)
+	// from a 100-conflict base.
+	RestartGeometric
+)
+
+// String names the policy.
+func (p RestartPolicy) String() string {
+	if p == RestartGeometric {
+		return "geometric"
+	}
+	return "luby"
+}
+
+// Config diversifies a solver's search, primarily for portfolio solving
+// where several solvers race on the same formula with different
+// trajectories. The zero value reproduces the default solver exactly.
+// All diversification is deterministic: a fixed Config yields a fixed
+// search, bit for bit.
+type Config struct {
+	// Seed seeds the deterministic PRNG behind random decisions. Zero
+	// selects a fixed default seed, so Config{} stays reproducible.
+	Seed uint64
+	// RandomFreqMilli is the per-mille rate of branching decisions made
+	// on a pseudo-randomly chosen variable instead of the activity
+	// order. 0 disables random decisions; 20 (2%) is a typical
+	// portfolio diversification value.
+	RandomFreqMilli int
+	// PhaseTrue makes unassigned variables branch true-first instead of
+	// the default false-first, until phase saving overrides it.
+	PhaseTrue bool
+	// Restart selects the restart schedule.
+	Restart RestartPolicy
+}
+
 // Stats aggregates solver counters, used by the performance experiments.
 type Stats struct {
 	Vars          int
@@ -137,6 +180,14 @@ type Stats struct {
 	Restarts      int64
 	MaxTrail      int
 	LearntLitsSum int64
+	// RandomDecisions counts decisions taken by the diversification
+	// PRNG rather than the activity order.
+	RandomDecisions int64
+	// Interrupts counts Solve calls abandoned via Interrupt.
+	Interrupts int64
+	// LubyRestarts and GeomRestarts split Restarts by schedule.
+	LubyRestarts int64
+	GeomRestarts int64
 }
 
 // Solver is an incremental CDCL SAT solver.
@@ -177,18 +228,57 @@ type Solver struct {
 	stats       Stats
 	model       []LBool
 	lubyRestart int64
+	geomBudget  float64
+
+	cfg         Config
+	rng         uint64
+	interrupted atomic.Bool
 }
 
-// New returns an empty solver.
-func New() *Solver {
+// New returns an empty solver with the default configuration.
+func New() *Solver { return NewWith(Config{}) }
+
+// NewWith returns an empty solver diversified by cfg.
+func NewWith(cfg Config) *Solver {
 	s := &Solver{
 		varInc:        1,
 		claInc:        1,
 		budget:        -1,
 		theoryReasons: make(map[Var][]Lit),
+		cfg:           cfg,
+		rng:           cfg.Seed,
+	}
+	if s.rng == 0 {
+		s.rng = 0x9E3779B97F4A7C15
 	}
 	s.order.act = &s.activity
 	return s
+}
+
+// Config returns the solver's diversification configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// Interrupt asks the solver to abandon the current (or next) Solve call
+// as soon as possible; the call then returns Unknown. It is safe to call
+// from another goroutine while Solve runs. The flag stays set until
+// ClearInterrupt, so a late interrupt is not lost between Solve calls;
+// racing callers must ClearInterrupt before reusing the solver.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether an interrupt is pending.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
+
+// nextRand steps the deterministic xorshift64 diversification PRNG.
+func (s *Solver) nextRand() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
 }
 
 // SetTheory attaches a theory propagator. It must be called at the root
@@ -223,7 +313,7 @@ func (s *Solver) NewVar() Var {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, reasonNone)
 	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true)
+	s.polarity = append(s.polarity, !s.cfg.PhaseTrue)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.order.push(v)
@@ -705,20 +795,37 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.conflictSet = s.conflictSet[:0]
 	s.maxLearnts = math.Max(float64(len(s.clauses))*0.4, 5000)
 	s.lubyRestart = 0
+	s.geomBudget = 100
 	conflictsAtStart := s.stats.Conflicts
 
 	defer s.cancelUntil(0)
 
 	for {
-		restartBudget := int64(100 * luby(2, s.lubyRestart))
+		var restartBudget int64
+		if s.cfg.Restart == RestartGeometric {
+			restartBudget = int64(s.geomBudget)
+		} else {
+			restartBudget = int64(100 * luby(2, s.lubyRestart))
+		}
 		status := s.search(restartBudget)
 		if status != Unknown {
 			return status
 		}
+		if s.interrupted.Load() {
+			return Unknown
+		}
 		if s.budget >= 0 && s.stats.Conflicts-conflictsAtStart >= s.budget {
 			return Unknown
 		}
-		s.lubyRestart++
+		if s.cfg.Restart == RestartGeometric {
+			if s.geomBudget < 1e12 {
+				s.geomBudget *= 1.5
+			}
+			s.stats.GeomRestarts++
+		} else {
+			s.lubyRestart++
+			s.stats.LubyRestarts++
+		}
 		s.stats.Restarts++
 		s.cancelUntil(0)
 	}
@@ -727,6 +834,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 func (s *Solver) search(maxConflicts int64) Status {
 	var conflicts int64
 	for {
+		// Cooperative cancellation: a portfolio loser must stop promptly,
+		// so the flag is polled once per propagate/decide step.
+		if s.interrupted.Load() {
+			s.stats.Interrupts++
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.stats.Conflicts++
@@ -800,6 +913,17 @@ func (s *Solver) search(maxConflicts int64) Status {
 }
 
 func (s *Solver) pickBranch() Lit {
+	// Diversification: occasionally branch on a pseudo-random variable
+	// from the order heap instead of the activity maximum. The heap may
+	// hold assigned variables; those fall through to the activity order.
+	if f := s.cfg.RandomFreqMilli; f > 0 && len(s.order.heap) > 0 &&
+		int(s.nextRand()%1000) < f {
+		v := s.order.heap[s.nextRand()%uint64(len(s.order.heap))]
+		if s.assigns[v] == Undef {
+			s.stats.RandomDecisions++
+			return MkLit(v, s.polarity[v])
+		}
+	}
 	for len(s.order.heap) > 0 {
 		v := s.order.pop()
 		if s.assigns[v] == Undef {

@@ -1,0 +1,186 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// countProjectedModels enumerates the solver's models projected onto the
+// given terms, blocking each projection as it is found.
+func countProjectedModels(t *testing.T, s *Solver, terms []Bool) int {
+	t.Helper()
+	count := 0
+	for {
+		switch s.Check() {
+		case Sat:
+		case Unsat:
+			return count
+		default:
+			t.Fatal("unexpected Unknown while enumerating models")
+		}
+		count++
+		if count > 1000 {
+			t.Fatal("runaway model enumeration")
+		}
+		block := make([]Bool, len(terms))
+		for i, x := range terms {
+			if s.Value(x) {
+				block[i] = x.Not()
+			} else {
+				block[i] = x
+			}
+		}
+		s.AddClause(block...)
+	}
+}
+
+// TestAtMostOneLadderModelCount compares the sequential (ladder)
+// encoding, used above the pairwise cutoff, against the pairwise
+// encoding by exact projected model count: an at-most-one over n free
+// variables has exactly n+1 assignments.
+func TestAtMostOneLadderModelCount(t *testing.T) {
+	for _, n := range []int{9, 12} {
+		counts := make([]int, 2)
+		for variant := 0; variant < 2; variant++ {
+			s := NewSolver()
+			xs := make([]Bool, n)
+			for i := range xs {
+				xs[i] = s.NewBool(fmt.Sprintf("x%d", i))
+			}
+			if variant == 0 {
+				// Forced pairwise, bypassing the cutoff.
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						s.AddClause(xs[i].Not(), xs[j].Not())
+					}
+				}
+			} else {
+				s.AddAtMostOne(xs...) // n > pairwiseAtMostOneMax → ladder
+			}
+			counts[variant] = countProjectedModels(t, s, xs)
+		}
+		if counts[0] != n+1 || counts[1] != n+1 {
+			t.Errorf("n=%d: pairwise %d models, ladder %d models, want %d",
+				n, counts[0], counts[1], n+1)
+		}
+	}
+}
+
+// TestAtMostOneLadderRejectsTwo checks the ladder encoding actually
+// forbids two simultaneous terms.
+func TestAtMostOneLadderRejectsTwo(t *testing.T) {
+	s := NewSolver()
+	n := 10
+	xs := make([]Bool, n)
+	for i := range xs {
+		xs[i] = s.NewBool(fmt.Sprintf("x%d", i))
+	}
+	s.AddAtMostOne(xs...)
+	for _, pair := range [][2]int{{0, 1}, {0, 9}, {4, 5}, {8, 9}} {
+		if st := s.Check(xs[pair[0]], xs[pair[1]]); st != Unsat {
+			t.Errorf("terms %v both true = %v, want Unsat", pair, st)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if st := s.Check(xs[i]); st != Sat {
+			t.Errorf("single term %d = %v, want Sat", i, st)
+		}
+	}
+}
+
+// TestMinimizeRoundTrip checks Minimize against Maximize on the same
+// objective: with x+y ≥ 1 over weights 3 and 5, the maximum is 8 (both
+// on) and the minimum is 3 (cheapest alone), and the models witness the
+// values.
+func TestMinimizeRoundTrip(t *testing.T) {
+	s := NewSolver()
+	x := s.NewBool("x")
+	y := s.NewBool("y")
+	s.AddClause(x, y)
+	obj := &Sum{}
+	obj.Add(x, 3)
+	obj.Add(y, 5)
+
+	max, err := s.Maximize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 8 {
+		t.Fatalf("Maximize = %d, want 8", max)
+	}
+	if got := s.EvalSum(obj); got != 8 {
+		t.Errorf("maximizing model evaluates to %d, want 8", got)
+	}
+
+	min, err := s.Minimize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 3 {
+		t.Fatalf("Minimize = %d, want 3", min)
+	}
+	if got := s.EvalSum(obj); got != 3 {
+		t.Errorf("minimizing model evaluates to %d, want 3", got)
+	}
+	if !s.Value(x) || s.Value(y) {
+		t.Errorf("minimizing model should pick x only: x=%v y=%v", s.Value(x), s.Value(y))
+	}
+
+	// Round trip: maximizing again after minimizing must restore 8 —
+	// optimization probes may not leak permanent constraints.
+	max2, err := s.Maximize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max2 != 8 {
+		t.Errorf("Maximize after Minimize = %d, want 8", max2)
+	}
+}
+
+// TestUnsatCoreDeterminism checks that repeated Check calls with the
+// same assumptions return the same unsat core every time, even as the
+// solver accumulates learnt clauses between calls.
+func TestUnsatCoreDeterminism(t *testing.T) {
+	s := NewSolver()
+	a := s.NewBool("a")
+	b := s.NewBool("b")
+	c := s.NewBool("c")
+	d := s.NewBool("d")
+	// a ∧ b is contradictory through an intermediate chain; c, d are
+	// irrelevant bystanders.
+	m := s.NewBool("m")
+	s.AddImplies(a, m)
+	s.AddClause(b.Not(), m.Not())
+
+	var first []Bool
+	for i := 0; i < 5; i++ {
+		if st := s.Check(a, b, c, d); st != Unsat {
+			t.Fatalf("check %d = %v, want Unsat", i, st)
+		}
+		core := s.Core()
+		names := make([]string, len(core))
+		for j, x := range core {
+			names[j] = s.Name(x)
+		}
+		if i == 0 {
+			first = core
+			for _, x := range core {
+				if n := s.Name(x); n == "c" || n == "d" {
+					t.Errorf("bystander %s in core %v", n, names)
+				}
+			}
+			if len(core) == 0 {
+				t.Fatal("empty core for assumption conflict")
+			}
+			continue
+		}
+		if len(core) != len(first) {
+			t.Fatalf("check %d core %v differs from first", i, names)
+		}
+		for j := range core {
+			if core[j] != first[j] {
+				t.Fatalf("check %d core %v differs from first at %d", i, names, j)
+			}
+		}
+	}
+}

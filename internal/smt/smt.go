@@ -93,9 +93,23 @@ type Solver struct {
 	core  []Bool
 }
 
-// NewSolver returns an empty solver.
-func NewSolver() *Solver {
-	s := sat.New()
+// SolverConfig diversifies the underlying CDCL search for portfolio
+// solving; see sat.Config. The zero value is the default solver.
+type SolverConfig = sat.Config
+
+// Restart schedules, re-exported for SolverConfig users.
+const (
+	RestartLuby      = sat.RestartLuby
+	RestartGeometric = sat.RestartGeometric
+)
+
+// NewSolver returns an empty solver with the default configuration.
+func NewSolver() *Solver { return NewSolverWith(SolverConfig{}) }
+
+// NewSolverWith returns an empty solver whose CDCL core is diversified
+// by cfg (portfolio solving).
+func NewSolverWith(cfg SolverConfig) *Solver {
+	s := sat.NewWith(cfg)
 	return &Solver{
 		sat:   s,
 		th:    pb.New(s),
@@ -105,6 +119,14 @@ func NewSolver() *Solver {
 
 // SetBudget limits the conflicts spent per Check; negative is unlimited.
 func (s *Solver) SetBudget(conflicts int64) { s.sat.SetBudget(conflicts) }
+
+// Interrupt asks the solver to abandon the current (or next) Check as
+// soon as possible; the check then reports Unknown. Safe to call from
+// another goroutine. The flag is sticky until ClearInterrupt.
+func (s *Solver) Interrupt() { s.sat.Interrupt() }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Solver) ClearInterrupt() { s.sat.ClearInterrupt() }
 
 // SAT exposes the underlying SAT solver so that callers can attach
 // custom theory propagators (sat.Solver.SetTheory). Mutating solver
@@ -173,15 +195,39 @@ func (s *Solver) AddIff(a, b Bool) {
 	s.AddClause(b.Not(), a)
 }
 
-// AddAtMostOne asserts that at most one of the terms is true (pairwise
-// encoding; intended for small groups such as the isolation patterns of
-// one flow).
+// pairwiseAtMostOneMax is the group size up to which AddAtMostOne uses
+// the pairwise encoding; beyond it the sequential encoding's 3(n−1)
+// clauses beat the pairwise n(n−1)/2.
+const pairwiseAtMostOneMax = 8
+
+// AddAtMostOne asserts that at most one of the terms is true. Small
+// groups (such as the isolation patterns of one flow) use the pairwise
+// encoding; larger groups switch to the sequential (ladder) encoding
+// [Sinz 2005], which introduces n−1 auxiliary registers but only 3(n−1)
+// binary clauses, preserving arc consistency.
 func (s *Solver) AddAtMostOne(terms ...Bool) {
-	for i := 0; i < len(terms); i++ {
-		for j := i + 1; j < len(terms); j++ {
-			s.AddClause(terms[i].Not(), terms[j].Not())
+	n := len(terms)
+	if n <= pairwiseAtMostOneMax {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s.AddClause(terms[i].Not(), terms[j].Not())
+			}
 		}
+		return
 	}
+	// reg[i] means "one of terms[0..i] is true". A term may not fire
+	// once the register before it is set.
+	reg := make([]Bool, n-1)
+	for i := range reg {
+		reg[i] = s.NewBool(fmt.Sprintf("$amo%d_%d", s.sat.NumVars(), i))
+	}
+	s.AddClause(terms[0].Not(), reg[0])
+	for i := 1; i < n-1; i++ {
+		s.AddClause(terms[i].Not(), reg[i])
+		s.AddClause(reg[i-1].Not(), reg[i])
+		s.AddClause(terms[i].Not(), reg[i-1].Not())
+	}
+	s.AddClause(terms[n-1].Not(), reg[n-2].Not())
 }
 
 // AddExactlyOne asserts that exactly one of the terms is true.
@@ -405,7 +451,7 @@ func (s *Solver) Minimize(objective *Sum, assumptions ...Bool) (int64, error) {
 }
 
 // Stats describes the size of the solver state, used by the Table VI
-// (memory) experiment.
+// (memory) experiment, plus the portfolio diversification counters.
 type Stats struct {
 	Vars          int
 	Clauses       int
@@ -415,19 +461,30 @@ type Stats struct {
 	Decisions     int64
 	Propagations  int64
 	Restarts      int64
+	// LubyRestarts and GeomRestarts split Restarts by schedule.
+	LubyRestarts int64
+	GeomRestarts int64
+	// Interrupts counts checks abandoned via Interrupt (portfolio
+	// losers), RandomDecisions the diversified branching decisions.
+	Interrupts      int64
+	RandomDecisions int64
 }
 
 // Stats returns a snapshot of solver counters.
 func (s *Solver) Stats() Stats {
 	st := s.sat.Stats()
 	return Stats{
-		Vars:          st.Vars,
-		Clauses:       st.Clauses,
-		Learnts:       st.Learnts,
-		PBConstraints: s.th.NumConstraints(),
-		Conflicts:     st.Conflicts,
-		Decisions:     st.Decisions,
-		Propagations:  st.Propagations,
-		Restarts:      st.Restarts,
+		Vars:            st.Vars,
+		Clauses:         st.Clauses,
+		Learnts:         st.Learnts,
+		PBConstraints:   s.th.NumConstraints(),
+		Conflicts:       st.Conflicts,
+		Decisions:       st.Decisions,
+		Propagations:    st.Propagations,
+		Restarts:        st.Restarts,
+		LubyRestarts:    st.LubyRestarts,
+		GeomRestarts:    st.GeomRestarts,
+		Interrupts:      st.Interrupts,
+		RandomDecisions: st.RandomDecisions,
 	}
 }
