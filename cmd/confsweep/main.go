@@ -12,6 +12,8 @@
 //	confsweep -exp fig3a -json -outdir out
 //	                              also write out/BENCH_fig3a.json with
 //	                              wall-clock and solver statistics
+//	confsweep -exp fig3a -verify  re-validate every model and unsat core
+//	                              (equivalent to CONFSYNTH_VERIFY=1)
 package main
 
 import (
@@ -53,9 +55,17 @@ func run(args []string, stdout io.Writer) error {
 		workers = fs.Int("workers", 1, "sweep data points concurrently and race this many diversified solvers per probe")
 		jsonOut = fs.Bool("json", false, "also write BENCH_<experiment>.json with wall-clock and solver stats")
 		outdir  = fs.String("outdir", ".", "directory for -json reports")
+		verify  = fs.Bool("verify", false, "re-validate every model and unsat core the solvers produce (same switch as CONFSYNTH_VERIFY=1); a failed check aborts the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verify {
+		// The env var is the canonical switch (core.Options reads it when
+		// each experiment builds its problems), so the flag just sets it.
+		if err := os.Setenv("CONFSYNTH_VERIFY", "1"); err != nil {
+			return err
+		}
 	}
 	if *list {
 		for _, name := range experiments.Names() {

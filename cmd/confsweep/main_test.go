@@ -84,3 +84,20 @@ func TestRunJSONReport(t *testing.T) {
 		t.Errorf("report shows no solver effort: %+v", report.Solver)
 	}
 }
+
+// TestRunVerifyFlag runs an experiment with the solver self-checks
+// armed: every model and unsat core behind the table is re-validated,
+// and a failed check would panic the run.
+func TestRunVerifyFlag(t *testing.T) {
+	t.Setenv("CONFSYNTH_VERIFY", "") // restore the env after the run flips it
+	var out strings.Builder
+	if err := run([]string{"-exp", "table5", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("CONFSYNTH_VERIFY") != "1" {
+		t.Fatal("-verify must set CONFSYNTH_VERIFY=1 for the experiment processes")
+	}
+	if !strings.Contains(out.String(), "# table5") {
+		t.Errorf("missing header:\n%s", out.String())
+	}
+}

@@ -298,9 +298,15 @@ func TestIPSecTunnelPlacement(t *testing.T) {
 	}
 }
 
-func TestTrustedCommImpossibleOnShortRoute(t *testing.T) {
-	// h1 - r - h2: the 2-link route is shorter than 2T = 4, so trusted
-	// communication must be unavailable.
+func TestTrustedCommOnShortRouteUsesOverlappingWindows(t *testing.T) {
+	// Regression for the pruner/encoder IPSec reconciliation: on
+	// h1 - r - h2 the only route has 2 links, fewer than 2T = 4, so the
+	// head and tail gateway windows overlap. The encoder used to declare
+	// the pair untunnelable while the pruner's covered() agreed for a
+	// different reason (any short route returned false), and the two
+	// could disagree on which gateways to keep. Both now share
+	// tunnelWindows: the pattern is available, a single gateway in the
+	// overlap suffices, and the pruner must keep (at least) one gateway.
 	net := topology.New()
 	h1 := net.AddHost("h1")
 	h2 := net.AddHost("h2")
@@ -320,14 +326,33 @@ func TestTrustedCommImpossibleOnShortRoute(t *testing.T) {
 		Flows:      []usability.Flow{flow},
 		Policies:   pols,
 		Thresholds: Thresholds{CostBudget: 1000},
+		Options:    Options{Verify: true},
 	}
-	_, err := mustSynth(t, p).Solve()
-	var tc *ThresholdConflictError
-	if !errors.As(err, &tc) {
-		t.Fatalf("got %v, want hard conflict", err)
+	d, err := mustSynth(t, p).Solve()
+	if err != nil {
+		t.Fatalf("short-route tunnel should be satisfiable with overlapping windows: %v", err)
 	}
-	if len(tc.Core) != 0 {
-		t.Fatalf("conflict should be in hard constraints, core=%v", tc.Core)
+	if got := d.FlowPatterns[flow]; got != isolation.TrustedComm {
+		t.Fatalf("flow pattern = %d, want trusted communication", got)
+	}
+	gateways := 0
+	for _, devs := range d.Placements {
+		for _, dev := range devs {
+			if dev == isolation.IPSec {
+				gateways++
+			}
+		}
+	}
+	if gateways < 1 {
+		t.Fatalf("pruner dropped every IPSec gateway: placements %v", d.Placements)
+	}
+	// The independent simulator applies the same window semantics.
+	res, err := Verify(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("independent verification rejects the design: %v", res.Violations)
 	}
 }
 
@@ -560,5 +585,38 @@ func TestHostIsolationReporting(t *testing.T) {
 	}
 	if got := d.HostIsolation[hosts[0]]; got > 0.1 {
 		t.Errorf("h1 isolation = %v, want 0", got)
+	}
+}
+
+// TestVerifyEnvWiring checks that CONFSYNTH_VERIFY arms the solver
+// self-checks through Options.withDefaults, and that the recognized
+// "off" spellings leave them disarmed.
+func TestVerifyEnvWiring(t *testing.T) {
+	th := Thresholds{IsolationTenths: 20, UsabilityTenths: 20, CostBudget: 200}
+	for _, tc := range []struct {
+		env  string
+		want bool
+	}{
+		{"", false}, {"0", false}, {"false", false},
+		{"1", true}, {"yes", true},
+	} {
+		t.Setenv("CONFSYNTH_VERIFY", tc.env)
+		s := mustSynth(t, tinyProblem(t, th))
+		if s.Verifying() != tc.want {
+			t.Fatalf("CONFSYNTH_VERIFY=%q: Verifying() = %v, want %v", tc.env, s.Verifying(), tc.want)
+		}
+		if tc.want {
+			// A full solve under the hooks: any unsound model or core
+			// panics.
+			if _, err := s.Solve(); err != nil {
+				t.Fatalf("CONFSYNTH_VERIFY=%q: %v", tc.env, err)
+			}
+		}
+	}
+	t.Setenv("CONFSYNTH_VERIFY", "")
+	p := tinyProblem(t, th)
+	p.Options.Verify = true // the explicit option works without the env
+	if s := mustSynth(t, p); !s.Verifying() {
+		t.Fatal("Options.Verify must arm the self-checks")
 	}
 }

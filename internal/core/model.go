@@ -79,6 +79,9 @@ func NewSynthesizer(p *Problem) (*Synthesizer, error) {
 	if p.Options.SolverBudget > 0 {
 		s.sol.SetBudget(p.Options.SolverBudget)
 	}
+	if p.Options.Verify {
+		s.sol.SetVerify(true)
+	}
 	if err := s.encode(); err != nil {
 		return nil, err
 	}
@@ -87,6 +90,10 @@ func NewSynthesizer(p *Problem) (*Synthesizer, error) {
 
 // Problem returns the (normalized) problem the synthesizer was built on.
 func (s *Synthesizer) Problem() *Problem { return s.prob }
+
+// Verifying reports whether the solver self-check hooks are enabled
+// (Options.Verify or CONFSYNTH_VERIFY).
+func (s *Synthesizer) Verifying() bool { return s.sol.Verifying() }
 
 func (s *Synthesizer) encode() error {
 	if err := s.encodeRoutes(); err != nil {
@@ -218,28 +225,43 @@ func (s *Synthesizer) encodePlacements() {
 
 // encodeTunnel models the paper's IPSec placement rule: two gateways per
 // route, one within T links of the source and one within T links of the
-// destination. Routes shorter than 2T links cannot host a tunnel, which
-// makes trusted communication unavailable for the pair.
+// destination. On routes shorter than 2T links the head and tail windows
+// overlap (see tunnelWindows), so a single gateway in the overlap can
+// serve as both tunnel endpoints. The pruner (covered) and the simulator
+// (netsim.checkTunnel) apply the same window semantics.
 func (s *Synthesizer) encodeTunnel(pair pairKey, xv smt.Bool) {
 	T := s.prob.Options.TunnelSlackHops
 	for _, route := range s.routes[pair] {
-		if len(route) < 2*T {
-			s.sol.AddUnit(xv.Not())
-			return
-		}
-		head := make([]smt.Bool, 0, T+1)
+		headW, tailW := tunnelWindows(route, T)
+		head := make([]smt.Bool, 0, len(headW)+1)
 		head = append(head, xv.Not())
-		for _, link := range route[:T] {
+		for _, link := range headW {
 			head = append(head, s.lVar(link, isolation.IPSec))
 		}
 		s.sol.AddClause(head...)
-		tail := make([]smt.Bool, 0, T+1)
+		tail := make([]smt.Bool, 0, len(tailW)+1)
 		tail = append(tail, xv.Not())
-		for _, link := range route[len(route)-T:] {
+		for _, link := range tailW {
 			tail = append(tail, s.lVar(link, isolation.IPSec))
 		}
 		s.sol.AddClause(tail...)
 	}
+}
+
+// tunnelWindows returns the IPSec gateway windows of a route under
+// tunnel slack T: the first and the last min(T, len(route)) links. On
+// routes of at least 2T links the windows are disjoint, giving the
+// paper's two-gateway rule; shorter routes yield overlapping windows, so
+// a gateway within T links of both ends can terminate the tunnel at both
+// ends. The SMT encoding (encodeTunnel) and the redundancy pruner
+// (covered) must use the same windows, or pruning keeps or drops the
+// wrong gateways.
+func tunnelWindows(route topology.Route, T int) (head, tail []topology.LinkID) {
+	w := T
+	if len(route) < w {
+		w = len(route)
+	}
+	return route[:w], route[len(route)-w:]
 }
 
 func (s *Synthesizer) xVar(pair pairKey, d isolation.DeviceID) smt.Bool {
@@ -403,10 +425,13 @@ type ModelStats struct {
 	Vars          int
 	Clauses       int
 	PBConstraints int
-	PBTerms       int
-	Conflicts     int64
-	Decisions     int64
-	Propagations  int64
+	// PBActive counts PB constraints still in the propagation occurrence
+	// lists (dead optimization-probe constraints are deactivated).
+	PBActive     int
+	PBTerms      int
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
 	// Restarts counts solver restarts, split by schedule below.
 	Restarts     int64
 	LubyRestarts int64
@@ -431,6 +456,7 @@ func (s *Synthesizer) Stats() ModelStats {
 		Vars:            st.Vars,
 		Clauses:         st.Clauses + st.Learnts,
 		PBConstraints:   st.PBConstraints,
+		PBActive:        st.PBActive,
 		PBTerms:         pbTerms,
 		Conflicts:       st.Conflicts,
 		Decisions:       st.Decisions,

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 
 	"configsynth/internal/isolation"
@@ -34,8 +35,10 @@ type Thresholds struct {
 // Options tune the synthesis model. The zero value selects defaults.
 type Options struct {
 	// TunnelSlackHops is the paper's T: IPSec gateways must be placed
-	// within T links of each end host, and trusted communication is
-	// deployable only on routes of at least 2T links. Default 2.
+	// within T links of each end host. On routes of at least 2T links
+	// that means two distinct gateways; on shorter routes the two
+	// windows overlap and a single gateway within T links of both ends
+	// can terminate the tunnel at either end. Default 2.
 	TunnelSlackHops int
 	// Routes bounds flow-route enumeration.
 	Routes topology.RouteOptions
@@ -60,6 +63,15 @@ type Options struct {
 	// K > 1 races K diversified solvers per query with deterministic
 	// results. 0 or 1 keeps the single-threaded solver (the default).
 	Workers int
+	// Verify enables the solver's self-check hooks: after every Sat the
+	// model is re-validated against every clause and pseudo-Boolean
+	// constraint, and after every Unsat the reported core is re-solved
+	// and must stay Unsat. A failed check panics, since it means the
+	// solver produced an unsound answer. The CONFSYNTH_VERIFY
+	// environment variable (any value other than empty, "0", or "false")
+	// also enables it; verification is off by default and adds only a
+	// branch per check when disabled.
+	Verify bool
 	// Solver diversifies the underlying CDCL search (seed, random
 	// decision rate, phase polarity, restart schedule). The portfolio
 	// layer sets this per worker; the zero value is the default solver.
@@ -76,7 +88,20 @@ func (o Options) withDefaults() Options {
 	if o.ProbeBudget == 0 {
 		o.ProbeBudget = 200_000
 	}
+	if !o.Verify {
+		o.Verify = envVerify()
+	}
 	return o
+}
+
+// envVerify reports whether CONFSYNTH_VERIFY asks for self-check mode.
+func envVerify() bool {
+	switch os.Getenv("CONFSYNTH_VERIFY") {
+	case "", "0", "false":
+		return false
+	default:
+		return true
+	}
 }
 
 // Problem is a complete synthesis input: topology, flows, catalog,

@@ -192,18 +192,17 @@ func (s *Synthesizer) neededDevices(flowPatterns map[usability.Flow]isolation.Pa
 // covered checks whether the placement set satisfies one (pair, device)
 // requirement under the same semantics as the encoding: every route of
 // the pair carries the device; for IPSec, both the head and tail windows
-// of every route carry a gateway.
+// of every route (tunnelWindows — overlapping on short routes, exactly
+// as encodeTunnel asserts) carry a gateway.
 func (s *Synthesizer) covered(pd pairDev, placed map[linkDev]bool) bool {
 	T := s.prob.Options.TunnelSlackHops
 	for _, route := range s.routes[pd.pair] {
 		if pd.dev == isolation.IPSec {
-			if len(route) < 2*T {
+			head, tail := tunnelWindows(route, T)
+			if !anyPlaced(head, pd.dev, placed) {
 				return false
 			}
-			if !anyPlaced(route[:T], pd.dev, placed) {
-				return false
-			}
-			if !anyPlaced(route[len(route)-T:], pd.dev, placed) {
+			if !anyPlaced(tail, pd.dev, placed) {
 				return false
 			}
 			continue

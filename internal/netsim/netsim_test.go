@@ -163,27 +163,43 @@ func TestTunnelWindows(t *testing.T) {
 	}
 }
 
-func TestTunnelTooShort(t *testing.T) {
-	// h1 - r - h2: 2 links < 2T = 4.
+func TestTunnelShortRouteOverlappingWindows(t *testing.T) {
+	// h1 - r - h2: 2 links < 2T = 4, so the source and destination
+	// windows overlap and cover the whole route. A single gateway
+	// anywhere on it terminates the tunnel at both ends; no gateway at
+	// all is still a violation on both windows.
 	net := topology.New()
 	h1 := net.AddHost("h1")
 	h2 := net.AddHost("h2")
 	r := net.AddRouter("r")
 	l1, _ := net.Connect(h1, r)
-	l2, _ := net.Connect(r, h2)
+	if _, err := net.Connect(r, h2); err != nil {
+		t.Fatal(err)
+	}
+	flow := usability.Flow{Src: h1, Dst: h2, Svc: 1}
+
 	s := sim(t, net, map[topology.LinkID][]isolation.DeviceID{
 		l1: {isolation.IPSec},
-		l2: {isolation.IPSec},
 	})
-	rep, err := s.SimulateFlow(usability.Flow{Src: h1, Dst: h2, Svc: 1}, isolation.TrustedComm)
+	rep, err := s.SimulateFlow(flow, isolation.TrustedComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("single gateway in the overlapping windows must satisfy the tunnel, got %v", rep.Violations)
+	}
+
+	bare := sim(t, net, nil)
+	rep, err = bare.SimulateFlow(flow, isolation.TrustedComm)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.OK() {
-		t.Fatal("tunnel on a 2-link route must be rejected")
+		t.Fatal("tunnel with no gateways must be rejected")
 	}
-	if !strings.Contains(strings.Join(rep.Violations, " "), "too short") {
-		t.Fatalf("expected too-short violation, got %v", rep.Violations)
+	joined := strings.Join(rep.Violations, " ")
+	if !strings.Contains(joined, "source") || !strings.Contains(joined, "destination") {
+		t.Fatalf("expected source and destination window violations, got %v", rep.Violations)
 	}
 }
 

@@ -34,6 +34,7 @@ type constraint struct {
 	weights []int64
 	bound   int64
 	sum     int64 // total weight of currently-true literals
+	dead    bool  // deactivated: removed from the occ lists, never propagates
 }
 
 func (c *constraint) slack() int64 { return c.bound - c.sum }
@@ -52,6 +53,7 @@ type Theory struct {
 	touched     []int32
 	onQueue     []bool
 	rootViol    bool
+	dead        int // number of deactivated constraints
 
 	// scratch buffers
 	expl []sat.Lit
@@ -69,6 +71,10 @@ func New(s *sat.Solver) *Theory {
 // NumConstraints returns the number of constraints added so far.
 func (t *Theory) NumConstraints() int { return len(t.constraints) }
 
+// ActiveConstraints returns the number of constraints still paying
+// Assign/Unassign propagation cost (added minus deactivated).
+func (t *Theory) ActiveConstraints() int { return len(t.constraints) - t.dead }
+
 // RootViolated reports whether some constraint is already violated by the
 // root-level (level 0) assignment at the time it was added. Such a store
 // is unsatisfiable.
@@ -76,8 +82,9 @@ func (t *Theory) RootViolated() bool { return t.rootViol }
 
 // AddAtMost adds the constraint sum(weights[i]*lits[i]) <= bound. Literals
 // must be over distinct variables and weights must be positive. Literals
-// with weight greater than the bound are immediately forced false via a
-// unit clause.
+// whose weight exceeds the remaining root-level slack are immediately
+// forced false through the solver, so the root assignment reflects them
+// before the next Solve.
 func (t *Theory) AddAtMost(lits []sat.Lit, weights []int64, bound int64) error {
 	if len(lits) != len(weights) {
 		return fmt.Errorf("%w: %d literals vs %d weights", ErrBadConstraint, len(lits), len(weights))
@@ -120,6 +127,22 @@ func (t *Theory) AddAtMost(lits []sat.Lit, weights []int64, bound int64) error {
 		return nil
 	}
 	t.push(id)
+	// Root-level forcing: a literal still unassigned whose weight exceeds
+	// the remaining root slack can never become true. Forcing it false
+	// through the solver now — rather than waiting for the next Solve's
+	// Propagate — keeps the solver's root assignment in sync with the
+	// store, so that later AddClause root simplification sees the implied
+	// units. The unit may cascade through clause and theory propagation;
+	// a root conflict surfacing from the cascade marks the store violated.
+	for i, l := range c.lits {
+		if c.weights[i] <= c.bound-c.sum || t.solver.ValueLit(l) != sat.Undef {
+			continue
+		}
+		if err := t.solver.AddClause(l.Not()); err != nil {
+			t.rootViol = true
+			return nil
+		}
+	}
 	return nil
 }
 
@@ -168,6 +191,110 @@ func (t *Theory) Unassign(l sat.Lit) {
 	}
 }
 
+// deadUnderRoot reports whether c can never be violated nor propagate
+// again under any extension of the current root-level assignment: the
+// total weight of its literals not already false at the root is within
+// the bound. (If that maximum is ≤ bound, then for any unassigned
+// literal l the slack always stays ≥ weight(l), so l never propagates.)
+func (t *Theory) deadUnderRoot(c *constraint) bool {
+	var max int64
+	for i, l := range c.lits {
+		if t.solver.ValueLit(l) != sat.False {
+			max += c.weights[i]
+		}
+	}
+	return max <= c.bound
+}
+
+// deactivate removes constraint id from the occupancy lists so it stops
+// paying Assign/Unassign cost. Only constraints dead under the root
+// assignment may be deactivated; they can never propagate or conflict.
+func (t *Theory) deactivate(id int32) {
+	c := t.constraints[id]
+	if c.dead {
+		return
+	}
+	c.dead = true
+	t.dead++
+	for _, l := range c.lits {
+		occ := t.occ[l]
+		for i := range occ {
+			if occ[i].id == id {
+				occ[i] = occ[len(occ)-1]
+				t.occ[l] = occ[:len(occ)-1]
+				break
+			}
+		}
+	}
+}
+
+// DeactivateDeadFor deactivates every constraint mentioning l that is
+// dead under the current root-level assignment, returning the number
+// deactivated. It must be called at the root level (decision level 0) —
+// typically right after a unit clause fixed l's variable, e.g. when an
+// optimization probe's big-M guard is permanently relaxed. Calls at a
+// non-zero decision level are ignored.
+func (t *Theory) DeactivateDeadFor(l sat.Lit) int {
+	if t.solver.DecisionLevel() != 0 {
+		return 0
+	}
+	n := 0
+	for _, side := range [2]sat.Lit{l, l.Not()} {
+		if int(side) >= len(t.occ) {
+			continue
+		}
+		// deactivate mutates t.occ[side]; walk a snapshot of the ids.
+		ids := make([]int32, len(t.occ[side]))
+		for i, e := range t.occ[side] {
+			ids[i] = e.id
+		}
+		for _, id := range ids {
+			if c := t.constraints[id]; !c.dead && t.deadUnderRoot(c) {
+				t.deactivate(id)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DeactivateDead scans every constraint and deactivates those dead under
+// the current root-level assignment, returning the number deactivated.
+// Like DeactivateDeadFor, it is a no-op off the root level.
+func (t *Theory) DeactivateDead() int {
+	if t.solver.DecisionLevel() != 0 {
+		return 0
+	}
+	n := 0
+	for id, c := range t.constraints {
+		if !c.dead && t.deadUnderRoot(c) {
+			t.deactivate(int32(id))
+			n++
+		}
+	}
+	return n
+}
+
+// VerifyModel checks every constraint — including deactivated ones —
+// against a complete assignment, where val reports whether a literal is
+// true. It returns a descriptive error for the first violated bound, and
+// nil when the assignment satisfies the whole store.
+func (t *Theory) VerifyModel(val func(sat.Lit) bool) error {
+	for id, c := range t.constraints {
+		var sum int64
+		for i, l := range c.lits {
+			if val(l) {
+				sum += c.weights[i]
+			}
+		}
+		if sum > c.bound {
+			return fmt.Errorf("pb: constraint %d violated by model: sum %d > bound %d over %d terms",
+				id, sum, c.bound, len(c.lits))
+		}
+	}
+	return nil
+}
+
 // explain builds a reason clause for constraint c: head (the implied
 // literal, or LitUndef for a conflict) followed by negations of
 // currently-true literals of c whose weights alone already exceed
@@ -201,6 +328,10 @@ func (t *Theory) Propagate(s *sat.Solver) []sat.Lit {
 		t.touched = t.touched[:len(t.touched)-1]
 		t.onQueue[id] = false
 		c := t.constraints[id]
+		if c.dead {
+			// Deactivated between solves; a stale queue entry may remain.
+			continue
+		}
 
 		if c.sum > c.bound {
 			expl := t.explain(c, sat.LitUndef, c.bound)

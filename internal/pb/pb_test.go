@@ -359,3 +359,104 @@ func TestIncrementalSolvesWithAssumptions(t *testing.T) {
 		}
 	}
 }
+
+func TestAddAtMostForcesHeavyLiteralsAtRoot(t *testing.T) {
+	// Regression: a literal whose weight exceeds the bound was documented
+	// as "immediately forced false via a unit clause", but nothing was
+	// forced until the next Solve's Propagate, so a subsequent AddClause
+	// saw a stale root assignment and failed to simplify.
+	s, th, lits := setup(3)
+	if err := th.AddAtMost(lits[:2], []int64{5, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ValueLit(lits[0]); got != sat.False {
+		t.Fatalf("heavy literal not forced at add time: value %v, want false", got)
+	}
+	// Root simplification must now drop the forced-false literal: the
+	// clause (lits[0] ∨ lits[2]) reduces to the unit lits[2].
+	if err := s.AddClause(lits[0], lits[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ValueLit(lits[2]); got != sat.True {
+		t.Fatalf("clause simplification saw a stale assignment: lits[2] = %v, want true", got)
+	}
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestAddAtMostForcingAccountsForRootTrueLiterals(t *testing.T) {
+	// With lits[0] already true at the root (weight 2 of bound 3), the
+	// remaining slack is 1, so the weight-2 literal lits[1] must be
+	// forced false even though its weight does not exceed the bound.
+	s, th, lits := setup(3)
+	if err := s.AddClause(lits[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.AddAtMost(lits, []int64{2, 2, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ValueLit(lits[1]); got != sat.False {
+		t.Fatalf("lits[1] = %v, want false (slack 1 < weight 2)", got)
+	}
+	if got := s.ValueLit(lits[2]); got != sat.Undef {
+		t.Fatalf("lits[2] = %v, want undef (weight 1 fits the slack)", got)
+	}
+}
+
+func TestAddAtMostForcingCascadeConflict(t *testing.T) {
+	// Forcing can cascade into a root conflict: the clause requires
+	// lits[0], the constraint forbids it.
+	s, th, lits := setup(2)
+	if err := s.AddClause(lits[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.AddAtMost(lits[1:], []int64{4}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(lits[1]); err == nil {
+		t.Fatal("asserting the forced-false literal should report root unsat")
+	}
+}
+
+func TestDeactivateDeadConstraints(t *testing.T) {
+	// A big-M guarded constraint whose guard is fixed false at the root
+	// becomes inert: the maximum reachable sum fits the bound. It must be
+	// removable from the occ lists while the store stays sound.
+	s, th, lits := setup(4)
+	guard := lits[3]
+	// lits[0..2] with weights 2,2,2 and guard weight 3, bound 6:
+	// with the guard true the bound forces at most one of lits[0..2]+...;
+	// with the guard root-false the constraint can never trip.
+	if err := th.AddAtMost(lits, []int64{2, 2, 2, 3}, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.AddAtMost(lits[:2], ones(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.ActiveConstraints(); got != 2 {
+		t.Fatalf("ActiveConstraints = %d, want 2", got)
+	}
+	if n := th.DeactivateDeadFor(guard); n != 0 {
+		t.Fatalf("deactivated %d constraints while guard still free, want 0", n)
+	}
+	if err := s.AddClause(guard.Not()); err != nil {
+		t.Fatal(err)
+	}
+	if n := th.DeactivateDeadFor(guard); n != 1 {
+		t.Fatalf("deactivated %d constraints after fixing guard false, want 1", n)
+	}
+	if got := th.ActiveConstraints(); got != 1 {
+		t.Fatalf("ActiveConstraints = %d, want 1", got)
+	}
+	// The surviving cardinality constraint still propagates.
+	if got := s.Solve(lits[0]); got != sat.Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if got := s.ModelValue(lits[1]); got != sat.False {
+		t.Fatalf("lits[1] = %v in model, want false (at-most-one)", got)
+	}
+	if err := th.VerifyModel(func(l sat.Lit) bool { return s.ModelValue(l) == sat.True }); err != nil {
+		t.Fatalf("VerifyModel after deactivation: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package refcheck
+
+import (
+	"fmt"
+
+	"configsynth/internal/smt"
+)
+
+// built is an Instance encoded into a live smt.Solver.
+type built struct {
+	sol    *smt.Solver
+	vars   []smt.Bool // vars[v-1] is variable v
+	obj    *smt.Sum
+	assume []smt.Bool // parallel to Instance.Assumptions
+}
+
+// Build encodes the instance into a fresh solver diversified by cfg,
+// with the self-check hooks armed: every Sat model and every Unsat
+// core the solver produces during the differential is re-validated.
+func Build(in *Instance, cfg smt.SolverConfig) *built {
+	b := &built{sol: smt.NewSolverWith(cfg), obj: &smt.Sum{}}
+	b.sol.SetVerify(true)
+	b.vars = make([]smt.Bool, in.Vars)
+	for v := range b.vars {
+		b.vars[v] = b.sol.NewBool(fmt.Sprintf("x%d", v+1))
+	}
+	for _, c := range in.Clauses {
+		terms := make([]smt.Bool, len(c))
+		for i, l := range c {
+			terms[i] = b.term(l)
+		}
+		b.sol.AddClause(terms...)
+	}
+	for _, am := range in.AtMosts {
+		sum := &smt.Sum{}
+		for i, l := range am.Lits {
+			sum.Add(b.term(l), am.Weights[i])
+		}
+		b.sol.AssertAtMost(sum, am.Bound)
+	}
+	for i, l := range in.ObjLits {
+		b.obj.Add(b.term(l), in.ObjWeights[i])
+	}
+	b.assume = make([]smt.Bool, len(in.Assumptions))
+	for i, l := range in.Assumptions {
+		b.assume[i] = b.term(l)
+	}
+	return b
+}
+
+func (b *built) term(l Lit) smt.Bool {
+	t := b.vars[l.Var()-1]
+	if !l.Pos() {
+		t = t.Not()
+	}
+	return t
+}
+
+// value adapts the solver model to the reference's valuation shape.
+func (b *built) value() func(v int) bool {
+	return func(v int) bool { return b.sol.Value(b.vars[v-1]) }
+}
+
+// CheckStatus cross-checks one Check call against the reference:
+// status equality, model soundness on Sat, and core soundness on Unsat
+// (the core must be drawn from the assumptions and re-solving the
+// formula under the core literals alone must stay unsatisfiable).
+func CheckStatus(in *Instance, cfg smt.SolverConfig) error {
+	refSat := Solve(in)
+	b := Build(in, cfg)
+	switch st := b.sol.Check(b.assume...); st {
+	case smt.Unknown:
+		return fmt.Errorf("refcheck: unbudgeted Check returned unknown on %v", in)
+	case smt.Sat:
+		if !refSat {
+			return fmt.Errorf("refcheck: solver says sat, reference says unsat on %v", in)
+		}
+		if bad := Violations(in, in.Assumptions, b.value()); len(bad) > 0 {
+			return fmt.Errorf("refcheck: unsound model on %v: %v", in, bad)
+		}
+	default:
+		if refSat {
+			return fmt.Errorf("refcheck: solver says unsat, reference says sat on %v", in)
+		}
+		core, err := coreLits(in, b)
+		if err != nil {
+			return err
+		}
+		if SolveUnder(in, core) {
+			return fmt.Errorf("refcheck: unsound core %v on %v: formula is satisfiable under it", core, in)
+		}
+	}
+	return nil
+}
+
+// coreLits maps the solver's unsat core back to instance literals,
+// rejecting any core term that is not one of the assumptions.
+func coreLits(in *Instance, b *built) ([]Lit, error) {
+	byTerm := make(map[smt.Bool]Lit, len(b.assume))
+	for i, t := range b.assume {
+		byTerm[t] = in.Assumptions[i]
+	}
+	var lits []Lit
+	for _, t := range b.sol.Core() {
+		l, ok := byTerm[t]
+		if !ok {
+			return nil, fmt.Errorf("refcheck: core term %s is not an assumption on %v", b.sol.Name(t), in)
+		}
+		lits = append(lits, l)
+	}
+	return lits, nil
+}
+
+// CheckOptimum cross-checks Maximize and then Minimize of the
+// instance's objective against the reference's exhaustive optima, and
+// validates the optimizing models.
+func CheckOptimum(in *Instance, cfg smt.SolverConfig) error {
+	refMax, feasible := Maximize(in)
+	b := Build(in, cfg)
+	got, err := b.sol.Maximize(b.obj, b.assume...)
+	if !feasible {
+		if err != smt.ErrNoModel {
+			return fmt.Errorf("refcheck: Maximize on infeasible %v: got (%d, %v), want ErrNoModel", in, got, err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("refcheck: Maximize failed on %v: %v", in, err)
+	}
+	if got != refMax {
+		return fmt.Errorf("refcheck: Maximize = %d, reference optimum %d on %v", got, refMax, in)
+	}
+	if v := b.sol.EvalSum(b.obj); v != got {
+		return fmt.Errorf("refcheck: Maximize model achieves %d, claimed %d on %v", v, got, in)
+	}
+	if bad := Violations(in, in.Assumptions, b.value()); len(bad) > 0 {
+		return fmt.Errorf("refcheck: unsound maximizing model on %v: %v", in, bad)
+	}
+	refMin, _ := Minimize(in)
+	gotMin, err := b.sol.Minimize(b.obj, b.assume...)
+	if err != nil {
+		return fmt.Errorf("refcheck: Minimize failed on %v: %v", in, err)
+	}
+	if gotMin != refMin {
+		return fmt.Errorf("refcheck: Minimize = %d, reference optimum %d on %v", gotMin, refMin, in)
+	}
+	if bad := Violations(in, in.Assumptions, b.value()); len(bad) > 0 {
+		return fmt.Errorf("refcheck: unsound minimizing model on %v: %v", in, bad)
+	}
+	return nil
+}
+
+// Check runs the full differential battery on one instance.
+func Check(in *Instance, cfg smt.SolverConfig) error {
+	if err := CheckStatus(in, cfg); err != nil {
+		return err
+	}
+	return CheckOptimum(in, cfg)
+}

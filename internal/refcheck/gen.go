@@ -1,0 +1,129 @@
+package refcheck
+
+import "math/rand"
+
+// byteReader consumes a byte stream, yielding 0 forever once exhausted,
+// which makes decoding total: every byte slice decodes to some valid
+// instance.
+type byteReader struct {
+	data []byte
+	i    int
+}
+
+func (r *byteReader) next() int {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return int(b)
+}
+
+// profile shapes decoding: how many clauses and PB constraints an
+// instance may carry.
+type profile struct {
+	maxClauses int
+	maxPB      int
+}
+
+// Decode deterministically maps a byte string to a mixed CNF +
+// pseudo-Boolean instance with an objective and assumptions. It is
+// total (never fails) and is the shared front end of the seeded
+// generator and the fuzz targets.
+func Decode(data []byte) *Instance {
+	return decode(&byteReader{data: data}, profile{maxClauses: 24, maxPB: 4})
+}
+
+// DecodePB decodes a pseudo-Boolean-heavy instance: no clauses, more
+// at-most constraints, stressing internal/pb's propagation, root
+// forcing, and explanations.
+func DecodePB(data []byte) *Instance {
+	return decode(&byteReader{data: data}, profile{maxClauses: 0, maxPB: 8})
+}
+
+func decode(r *byteReader, prof profile) *Instance {
+	in := &Instance{Vars: 3 + r.next()%10} // 3..12 vars: cheap to enumerate
+	lit := func() Lit {
+		v := 1 + r.next()%in.Vars
+		if r.next()%2 == 1 {
+			return Lit(-v)
+		}
+		return Lit(v)
+	}
+	if prof.maxClauses > 0 {
+		for n := r.next() % (prof.maxClauses + 1); n > 0; n-- {
+			c := make([]Lit, 1+r.next()%3)
+			for i := range c {
+				c[i] = lit()
+			}
+			in.Clauses = append(in.Clauses, c)
+		}
+	}
+	// subset picks distinct variables (the PB store rejects duplicate
+	// vars in one constraint) with a random polarity each.
+	subset := func(keepOdds int) []Lit {
+		var lits []Lit
+		for v := 1; v <= in.Vars && len(lits) < 6; v++ {
+			if r.next()%keepOdds != 0 {
+				continue
+			}
+			l := Lit(v)
+			if r.next()%2 == 1 {
+				l = -l
+			}
+			lits = append(lits, l)
+		}
+		return lits
+	}
+	for n := r.next() % (prof.maxPB + 1); n > 0; n-- {
+		lits := subset(2)
+		if len(lits) == 0 {
+			lits = []Lit{1}
+		}
+		am := AtMost{Lits: lits, Weights: make([]int64, len(lits))}
+		var total int64
+		for i := range am.Weights {
+			am.Weights[i] = int64(1 + r.next()%4)
+			total += am.Weights[i]
+		}
+		// 0..total+1: occasionally trivially true, often tight, never
+		// negative (internal/smt maps negative bounds to root-unsat
+		// before the PB store sees them).
+		am.Bound = int64(r.next()) % (total + 2)
+		in.AtMosts = append(in.AtMosts, am)
+	}
+	for _, l := range subset(2) {
+		in.ObjLits = append(in.ObjLits, l)
+		in.ObjWeights = append(in.ObjWeights, int64(1+r.next()%4))
+	}
+	for n := r.next() % 4; n > 0; n-- {
+		l := lit()
+		dup := false
+		for _, a := range in.Assumptions {
+			if a.Var() == l.Var() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			in.Assumptions = append(in.Assumptions, l)
+		}
+	}
+	return in
+}
+
+// GenBytes returns the deterministic pseudo-random byte string that
+// Gen(seed) decodes. Fuzz targets seed their corpus with it so fuzzing
+// starts from the same distribution as the differential tests.
+func GenBytes(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 24+rng.Intn(48))
+	rng.Read(buf)
+	return buf
+}
+
+// Gen returns the seed'th random mixed instance.
+func Gen(seed int64) *Instance { return Decode(GenBytes(seed)) }
+
+// GenPB returns the seed'th random PB-only instance.
+func GenPB(seed int64) *Instance { return DecodePB(GenBytes(seed)) }

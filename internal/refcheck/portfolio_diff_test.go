@@ -1,0 +1,181 @@
+package refcheck
+
+// End-to-end differential at the synthesis level: the same random
+// topology solved sequentially and by a K=4 racing portfolio. The
+// portfolio's determinism contract has two tiers, and the tests observe
+// both: optimum VALUES and unsat cores are semantic properties of the
+// formula, identical across every engine; whole designs (including
+// incidental model-dependent fields such as placements and their cost)
+// are bit-identical only across NewRacing worker counts, because the
+// engine path always extracts through the same canonical synthesizer.
+// The anytime path — probes cut off by a tiny conflict budget — must
+// still produce designs whose claims survive executable verification.
+// CI runs the whole package under -race, so these tests also exercise
+// the race-and-interrupt machinery for data races.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"configsynth/internal/core"
+	"configsynth/internal/netgen"
+	"configsynth/internal/portfolio"
+)
+
+func genProblem(t *testing.T, seed int64, opts core.Options) *core.Problem {
+	t.Helper()
+	p, err := netgen.Generate(netgen.Config{
+		Hosts:       3,
+		Routers:     3,
+		MaxServices: 2,
+		CRFraction:  0.2,
+		Seed:        seed,
+		Thresholds:  core.Thresholds{IsolationTenths: 30, UsabilityTenths: 30, CostBudget: 300},
+		Options:     opts,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return p
+}
+
+func sameDesign(t *testing.T, seed int64, what string, a, b *core.Design) {
+	t.Helper()
+	if a.Isolation != b.Isolation || a.Usability != b.Usability || a.Cost != b.Cost || a.Exact != b.Exact {
+		t.Fatalf("seed %d %s: scores diverge: K=1 (%v, %v, %d, exact=%v) vs K=4 (%v, %v, %d, exact=%v)",
+			seed, what, a.Isolation, a.Usability, a.Cost, a.Exact, b.Isolation, b.Usability, b.Cost, b.Exact)
+	}
+	if !reflect.DeepEqual(a.FlowPatterns, b.FlowPatterns) {
+		t.Fatalf("seed %d %s: flow patterns diverge:\n%v\nvs\n%v", seed, what, a.FlowPatterns, b.FlowPatterns)
+	}
+	if !reflect.DeepEqual(a.Placements, b.Placements) {
+		t.Fatalf("seed %d %s: placements diverge:\n%v\nvs\n%v", seed, what, a.Placements, b.Placements)
+	}
+}
+
+// verifyAt checks the design's executable semantics against explicit
+// thresholds (an optimization query relaxes the threshold it optimizes,
+// so the problem's own slider must not be re-imposed).
+func verifyAt(t *testing.T, seed int64, p *core.Problem, th core.Thresholds, d *core.Design) {
+	t.Helper()
+	q := *p
+	q.Thresholds = th
+	res, err := core.Verify(&q, d)
+	if err != nil {
+		t.Fatalf("seed %d: Verify: %v", seed, err)
+	}
+	if !res.OK() {
+		t.Fatalf("seed %d: design fails executable verification: %v", seed, res.Violations)
+	}
+}
+
+func TestPortfolioMatchesSequentialOnRandomTopologies(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		p := genProblem(t, seed, core.Options{})
+		seq, err := portfolio.New(p, 1) // delegate: plain core.Synthesizer
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eng1, err := portfolio.NewRacing(p, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eng4, err := portfolio.NewRacing(p, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// The canonical solver is incremental, so bit-identical designs
+		// are only promised for identical query histories: every engine
+		// below sees Solve, MaxIsolation, MinCost in the same order.
+		dSeq, errSeq := seq.Solve()
+		d1, err1 := eng1.Solve()
+		dPar, errPar := eng4.Solve()
+		if (errSeq == nil) != (errPar == nil) || (err1 == nil) != (errPar == nil) {
+			t.Fatalf("seed %d Solve: errors diverge: %v / %v / %v", seed, errSeq, err1, errPar)
+		}
+		if errSeq != nil {
+			var a, b *core.ThresholdConflictError
+			if !errors.As(errSeq, &a) || !errors.As(errPar, &b) || !reflect.DeepEqual(a.Core, b.Core) {
+				t.Fatalf("seed %d Solve: conflict cores diverge: %v vs %v", seed, errSeq, errPar)
+			}
+		} else {
+			// Solve has no descent: both paths extract from the same
+			// canonical check, so even the full designs must agree.
+			sameDesign(t, seed, "Solve", dSeq, dPar)
+			sameDesign(t, seed, "Solve", d1, dPar)
+			verifyAt(t, seed, p, p.Thresholds, dSeq)
+		}
+
+		vSeq, _, errSeq := seq.MaxIsolation(p.Thresholds.UsabilityTenths, p.Thresholds.CostBudget)
+		v1, m1, err1 := eng1.MaxIsolation(p.Thresholds.UsabilityTenths, p.Thresholds.CostBudget)
+		v4, m4, err4 := eng4.MaxIsolation(p.Thresholds.UsabilityTenths, p.Thresholds.CostBudget)
+		if (errSeq == nil) != (err4 == nil) || (err1 == nil) != (err4 == nil) {
+			t.Fatalf("seed %d MaxIsolation: errors diverge: %v / %v / %v", seed, errSeq, err1, err4)
+		}
+		if err4 == nil {
+			if vSeq != v4 || v1 != v4 {
+				t.Fatalf("seed %d MaxIsolation: optima diverge: sequential %v, K=1 %v, K=4 %v", seed, vSeq, v1, v4)
+			}
+			sameDesign(t, seed, "MaxIsolation", m1, m4)
+			if !m4.Exact {
+				t.Fatalf("seed %d MaxIsolation: unlimited budget must give an exact optimum", seed)
+			}
+			verifyAt(t, seed, p, core.Thresholds{
+				UsabilityTenths: p.Thresholds.UsabilityTenths,
+				CostBudget:      p.Thresholds.CostBudget,
+			}, m4)
+		}
+
+		cSeq, _, errSeq := seq.MinCost(p.Thresholds.IsolationTenths, p.Thresholds.UsabilityTenths)
+		c1, d1, err1 := eng1.MinCost(p.Thresholds.IsolationTenths, p.Thresholds.UsabilityTenths)
+		c4, d4, err4 := eng4.MinCost(p.Thresholds.IsolationTenths, p.Thresholds.UsabilityTenths)
+		if (errSeq == nil) != (err4 == nil) || (err1 == nil) != (err4 == nil) {
+			t.Fatalf("seed %d MinCost: errors diverge: %v / %v / %v", seed, errSeq, err1, err4)
+		}
+		if err4 == nil {
+			if cSeq != c4 || c1 != c4 {
+				t.Fatalf("seed %d MinCost: optima diverge: sequential %d, K=1 %d, K=4 %d", seed, cSeq, c1, c4)
+			}
+			sameDesign(t, seed, "MinCost", d1, d4)
+		}
+	}
+}
+
+// TestPortfolioAnytimePathUnderBudget forces the Unknown/anytime path:
+// with a one-conflict probe budget, optimization probes exhaust and the
+// descent must fall back to best-found designs (Exact=false) rather
+// than wrong ones. Anytime designs are still models of the query's base
+// constraints, so they must pass executable verification at those
+// thresholds; optima are deliberately NOT compared across worker counts
+// — in the budget-bound regime the determinism contract does not apply.
+func TestPortfolioAnytimePathUnderBudget(t *testing.T) {
+	sawAnytime := false
+	for seed := int64(1); seed <= 3; seed++ {
+		p := genProblem(t, seed, core.Options{ProbeBudget: 1})
+		for _, workers := range []int{1, 4} {
+			s, err := portfolio.NewRacing(p, workers)
+			if err != nil {
+				t.Fatalf("seed %d K=%d: %v", seed, workers, err)
+			}
+			_, d, err := s.MaxIsolation(p.Thresholds.UsabilityTenths, p.Thresholds.CostBudget)
+			if err != nil {
+				if errors.Is(err, core.ErrBudgetExceeded) || core.IsUnsat(err) {
+					continue
+				}
+				t.Fatalf("seed %d K=%d: MaxIsolation: %v", seed, workers, err)
+			}
+			if !d.Exact {
+				sawAnytime = true
+			}
+			verifyAt(t, seed, p, core.Thresholds{
+				UsabilityTenths: p.Thresholds.UsabilityTenths,
+				CostBudget:      p.Thresholds.CostBudget,
+			}, d)
+		}
+	}
+	if !sawAnytime {
+		t.Fatal("a one-conflict probe budget never produced an anytime (Exact=false) design; the test lost its target path")
+	}
+}

@@ -2,6 +2,7 @@ package sat
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -343,6 +344,10 @@ func (s *Solver) ModelValue(l Lit) LBool {
 
 // Level returns the decision level at which v was assigned.
 func (s *Solver) Level(v Var) int { return int(s.level[v]) }
+
+// DecisionLevel returns the current decision level (0 at the root,
+// outside of any Solve call).
+func (s *Solver) DecisionLevel() int { return s.decisionLevel() }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
@@ -807,6 +812,20 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		} else {
 			restartBudget = int64(100 * luby(2, s.lubyRestart))
 		}
+		// Cap the restart window by the remaining conflict budget so a
+		// budgeted Solve cannot overshoot by a whole (geometrically
+		// growing) window: the budget is re-checked only at restart
+		// boundaries, so the window itself must never exceed what is
+		// left to spend.
+		if s.budget >= 0 {
+			remaining := s.budget - (s.stats.Conflicts - conflictsAtStart)
+			if remaining <= 0 {
+				return Unknown
+			}
+			if restartBudget > remaining {
+				restartBudget = remaining
+			}
+		}
 		status := s.search(restartBudget)
 		if status != Unknown {
 			return status
@@ -931,6 +950,44 @@ func (s *Solver) pickBranch() Lit {
 		}
 	}
 	return LitUndef
+}
+
+// VerifyModel re-checks the model of the last Sat result against every
+// clause in the store — problem and learnt alike (learnt clauses are
+// logical consequences, so a genuine model satisfies them too). It
+// returns a descriptive error on the first unsatisfied clause or
+// unassigned variable, and nil when the model is sound. It is the CNF
+// half of the CONFSYNTH_VERIFY self-check; the PB half lives in
+// internal/pb.
+func (s *Solver) VerifyModel() error {
+	if len(s.model) != len(s.assigns) {
+		return fmt.Errorf("sat: model covers %d of %d variables", len(s.model), len(s.assigns))
+	}
+	for v, b := range s.model {
+		if b == Undef {
+			return fmt.Errorf("sat: variable v%d unassigned in model", v)
+		}
+	}
+	for cref, c := range s.clauses {
+		if c == nil {
+			continue
+		}
+		ok := false
+		for _, l := range c.lits {
+			if s.ModelValue(l) == True {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			kind := "clause"
+			if c.learnt {
+				kind = "learnt clause"
+			}
+			return fmt.Errorf("sat: %s %d (%d lits) unsatisfied by model", kind, cref, len(c.lits))
+		}
+	}
+	return nil
 }
 
 // UnsatCore returns the subset of the last Solve's assumptions that were

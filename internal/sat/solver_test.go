@@ -392,6 +392,56 @@ func TestBudgetReturnsUnknown(t *testing.T) {
 	}
 }
 
+// addPigeonhole encodes the pigeons-into-holes instance (unsat whenever
+// pigeons > holes) into s.
+func addPigeonhole(t *testing.T, s *Solver, pigeons, holes int) {
+	t.Helper()
+	p := make([][]Lit, pigeons)
+	for i := range p {
+		p[i] = newVars(s, holes)
+		if err := s.AddClause(p[i]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < pigeons; i++ {
+			for j := i + 1; j < pigeons; j++ {
+				if err := s.AddClause(p[i][h].Not(), p[j][h].Not()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetCapsConflictsPerSolve(t *testing.T) {
+	// Regression: the conflict budget used to be checked only at restart
+	// boundaries, and the first restart window alone is 100 conflicts
+	// (geometric windows grow ×1.5 toward 1e12), so a Solve with a budget
+	// below the window size overshot by the whole window. Windows are now
+	// capped by the remaining budget, so overshoot is bounded by the
+	// consecutive-conflict slack inside a window.
+	for _, cfg := range []Config{{}, {Restart: RestartGeometric}} {
+		s := NewWith(cfg)
+		addPigeonhole(t, s, 8, 7)
+		const budget = 40
+		s.SetBudget(budget)
+		before := s.Stats().Conflicts
+		if got := s.Solve(); got != Unknown {
+			t.Fatalf("%v: got %v, want unknown under budget %d", cfg.Restart, got, budget)
+		}
+		spent := s.Stats().Conflicts - before
+		if spent < budget {
+			t.Fatalf("%v: spent only %d conflicts; instance should exhaust the budget of %d",
+				cfg.Restart, spent, budget)
+		}
+		if spent > 2*budget {
+			t.Fatalf("%v: spent %d conflicts with budget %d — window not capped by remaining budget",
+				cfg.Restart, spent, budget)
+		}
+	}
+}
+
 func TestStatsAreCounted(t *testing.T) {
 	s := New()
 	v := newVars(s, 20)

@@ -11,6 +11,7 @@ package smt
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"configsynth/internal/pb"
 	"configsynth/internal/sat"
@@ -91,6 +92,9 @@ type Solver struct {
 
 	model []bool
 	core  []Bool
+
+	verify   bool
+	inVerify bool
 }
 
 // SolverConfig diversifies the underlying CDCL search for portfolio
@@ -325,6 +329,18 @@ func (s *Solver) AssertAtLeastIf(cond Bool, sum *Sum, bound int64) {
 	s.AssertAtMostIf(cond, neg, sum.total-bound)
 }
 
+// SetVerify toggles the solver's self-check mode: after every Sat check
+// the model is re-validated against every clause and pseudo-Boolean
+// constraint (VerifyModel), and after every Unsat check the reported
+// core is re-solved and must stay Unsat (VerifyCore). A failed check
+// panics with diagnostics, since it means the solver itself produced an
+// unsound answer. Verification is off by default and costs a single
+// branch when disabled.
+func (s *Solver) SetVerify(on bool) { s.verify = on }
+
+// Verifying reports whether self-check mode is enabled.
+func (s *Solver) Verifying() bool { return s.verify }
+
 // Check solves the current assertions under the given assumptions.
 func (s *Solver) Check(assumptions ...Bool) Status {
 	s.core = s.core[:0]
@@ -338,15 +354,60 @@ func (s *Solver) Check(assumptions ...Bool) Status {
 	switch s.sat.Solve(lits...) {
 	case sat.Sat:
 		s.captureModel()
+		if s.verify && !s.inVerify {
+			if err := s.VerifyModel(); err != nil {
+				panic(fmt.Sprintf("smt: self-check failed after Sat: %v", err))
+			}
+		}
 		return Sat
 	case sat.Unsat:
 		for _, l := range s.sat.UnsatCore() {
 			s.core = append(s.core, Bool{l})
 		}
+		if s.verify && !s.inVerify {
+			if err := s.VerifyCore(); err != nil {
+				panic(fmt.Sprintf("smt: self-check failed after Unsat: %v", err))
+			}
+		}
 		return Unsat
 	default:
 		return Unknown
 	}
+}
+
+// VerifyModel re-checks the model of the last Sat check against every
+// clause (problem and learnt) and every pseudo-Boolean constraint. It
+// returns nil when the model is sound.
+func (s *Solver) VerifyModel() error {
+	if err := s.sat.VerifyModel(); err != nil {
+		return err
+	}
+	return s.th.VerifyModel(func(l sat.Lit) bool {
+		return s.sat.ModelValue(l) == sat.True
+	})
+}
+
+// VerifyCore re-solves under the failed assumptions of the last Unsat
+// check, alone: if the core is sound the result must again be Unsat. An
+// Unknown re-check (budget exhausted) is treated as inconclusive and
+// passes. The solver's core is restored afterwards (and the model is
+// untouched unless the check fails), so a passing call is
+// observationally free.
+func (s *Solver) VerifyCore() error {
+	core := append([]Bool(nil), s.core...)
+	s.inVerify = true
+	st := s.Check(core...)
+	s.inVerify = false
+	s.core = core
+	if st == Sat {
+		names := make([]string, len(core))
+		for i, b := range core {
+			names[i] = s.Name(b)
+		}
+		return fmt.Errorf("smt: unsat core {%s} is unsound: re-solving under it alone is satisfiable",
+			strings.Join(names, ", "))
+	}
+	return nil
 }
 
 func (s *Solver) captureModel() {
@@ -424,8 +485,13 @@ func (s *Solver) Maximize(objective *Sum, assumptions ...Bool) (int64, error) {
 		default:
 			return 0, ErrBudget
 		}
-		// Permanently relax the probe so later checks are unaffected.
+		// Permanently relax the probe so later checks are unaffected, and
+		// deactivate its big-M PB constraint: with the guard root-false
+		// the constraint can never trip again, and leaving it live would
+		// make repeated Maximize/Minimize calls accumulate dead
+		// constraints that pay Assign/Unassign cost forever.
 		s.AddClause(g.Not())
+		s.th.DeactivateDeadFor(g.lit)
 	}
 	s.model = append(s.model[:0], bestModel...)
 	return lo, nil
@@ -457,10 +523,13 @@ type Stats struct {
 	Clauses       int
 	Learnts       int
 	PBConstraints int
-	Conflicts     int64
-	Decisions     int64
-	Propagations  int64
-	Restarts      int64
+	// PBActive counts the PB constraints still in the occurrence lists
+	// (added minus deactivated dead probe constraints).
+	PBActive     int
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
 	// LubyRestarts and GeomRestarts split Restarts by schedule.
 	LubyRestarts int64
 	GeomRestarts int64
@@ -478,6 +547,7 @@ func (s *Solver) Stats() Stats {
 		Clauses:         st.Clauses,
 		Learnts:         st.Learnts,
 		PBConstraints:   s.th.NumConstraints(),
+		PBActive:        s.th.ActiveConstraints(),
 		Conflicts:       st.Conflicts,
 		Decisions:       st.Decisions,
 		Propagations:    st.Propagations,

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -387,5 +388,90 @@ func TestQuickSumEvaluation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestOptimizationProbesDoNotAccumulateLiveConstraints(t *testing.T) {
+	// Regression: Maximize left every relaxed probe's big-M PB constraint
+	// live in the counter-propagation store, so repeated Minimize /
+	// Maximize calls accumulated dead constraints that paid
+	// Assign/Unassign cost forever. Relaxed probes are now deactivated;
+	// the active-constraint count must return to its baseline after every
+	// optimization call.
+	s := NewSolver()
+	var obj Sum
+	for i := 0; i < 6; i++ {
+		obj.Add(s.NewBool(fmt.Sprintf("t%d", i)), int64(1+i%2))
+	}
+	s.AssertAtMost(&obj, 5)
+	base := s.Stats().PBActive
+	for round := 0; round < 4; round++ {
+		max, err := s.Maximize(&obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max != 5 {
+			t.Fatalf("round %d: Maximize = %d, want 5", round, max)
+		}
+		if got := s.Stats().PBActive; got != base {
+			t.Fatalf("round %d: %d PB constraints active after Maximize, want %d — probes leak",
+				round, got, base)
+		}
+		min, err := s.Minimize(&obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min != 0 {
+			t.Fatalf("round %d: Minimize = %d, want 0", round, min)
+		}
+		if got := s.Stats().PBActive; got != base {
+			t.Fatalf("round %d: %d PB constraints active after Minimize, want %d — probes leak",
+				round, got, base)
+		}
+	}
+	// The probes did exist: the total store grew even though the active
+	// set did not.
+	if st := s.Stats(); st.PBConstraints <= base {
+		t.Fatalf("PBConstraints = %d, want > %d (probes should have been added)", st.PBConstraints, base)
+	}
+}
+
+func TestVerifyModeChecksSatAndUnsat(t *testing.T) {
+	s := NewSolver()
+	s.SetVerify(true)
+	if !s.Verifying() {
+		t.Fatal("Verifying() should report true after SetVerify(true)")
+	}
+	a, b, c := s.NewBool("a"), s.NewBool("b"), s.NewBool("c")
+	s.AddClause(a, b)
+	s.AddClause(a.Not(), c)
+	var sum Sum
+	sum.Add(a, 2)
+	sum.Add(b, 2)
+	sum.Add(c, 1)
+	s.AssertAtMost(&sum, 3)
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if err := s.VerifyModel(); err != nil {
+		t.Fatalf("VerifyModel on a genuine model: %v", err)
+	}
+	// Unsat under assumptions: a and b both true exceed the PB bound.
+	if got := s.Check(a, b); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	core := s.Core()
+	if len(core) == 0 {
+		t.Fatal("want a non-empty core")
+	}
+	if err := s.VerifyCore(); err != nil {
+		t.Fatalf("VerifyCore on a genuine core: %v", err)
+	}
+	if got := s.Core(); len(got) != len(core) {
+		t.Fatalf("VerifyCore clobbered the stored core: %d entries, want %d", len(got), len(core))
+	}
+	// Verification must not disturb subsequent solving.
+	if got := s.Check(); got != Sat {
+		t.Fatalf("got %v after verification, want sat", got)
 	}
 }
