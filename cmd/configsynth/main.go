@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 		explain = fs.Bool("explain", false, "on UNSAT, run Algorithm 1 and suggest relaxations")
 		maxIso  = fs.Bool("max-isolation", false, "maximize isolation under the usability/cost sliders")
 		budget  = fs.Int64("probe-budget", 0, "conflict budget per optimization probe (0 = default)")
+		timeout = fs.Duration("timeout", 0, "wall-clock deadline for solving (e.g. 30s; 0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,20 +91,37 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	// A -timeout deadline rides the solvers' cooperative interrupts: on
+	// expiry the in-flight probe aborts and we exit non-zero.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var design *configsynth.Design
 	if *maxIso {
-		iso, d, merr := syn.MaxIsolation(prob.Thresholds.UsabilityTenths, prob.Thresholds.CostBudget)
+		iso, d, merr := syn.MaxIsolationContext(ctx, prob.Thresholds.UsabilityTenths, prob.Thresholds.CostBudget)
 		if merr != nil {
 			err = merr
-		} else {
+		} else if ctx.Err() == nil {
 			fmt.Fprintf(stdout, "# maximum isolation %.2f (usability >= %.1f, cost <= $%dK)\n",
 				iso, float64(prob.Thresholds.UsabilityTenths)/10, prob.Thresholds.CostBudget)
 			design = d
 		}
 	} else {
-		design, err = syn.Solve()
+		design, err = syn.SolveContext(ctx)
+	}
+	// -timeout is a hard deadline: even when the descent salvaged an
+	// anytime best-found design, an expired context fails the run.
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("no proven design within the %v deadline (raise -timeout, or lower -probe-budget for an anytime answer)", *timeout)
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("no design within the %v deadline (raise -timeout, or lower -probe-budget for an anytime answer)", *timeout)
+		}
 		if !configsynth.IsUnsat(err) {
 			return err
 		}

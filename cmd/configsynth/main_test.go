@@ -113,6 +113,31 @@ func TestRunExampleMaxIsolation(t *testing.T) {
 	}
 }
 
+func TestRunTimeoutExpiry(t *testing.T) {
+	// An unlimited probe budget on the paper example's max-isolation
+	// descent cannot finish in a millisecond, so the deadline must end
+	// the run with a clear error (main turns that into a non-zero exit).
+	var out strings.Builder
+	err := run([]string{"-example", "-max-isolation", "-probe-budget", "-1", "-timeout", "1ms"}, &out)
+	if err == nil {
+		t.Fatal("1ms deadline must fail the run")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("error %q does not mention the deadline", err)
+	}
+}
+
+func TestRunTimeoutGenerousSucceeds(t *testing.T) {
+	path := writeInput(t)
+	var out strings.Builder
+	if err := run([]string{"-f", path, "-timeout", "2m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "synthesized security design") {
+		t.Errorf("output wrong:\n%s", out.String())
+	}
+}
+
 func TestRunMissingFile(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-f", "/nonexistent/problem.txt"}, &out); err == nil {

@@ -1,0 +1,271 @@
+// Command confload load-tests a confserved instance: N concurrent
+// clients replay a fixed-seed pool of synthesis problems and the tool
+// reports latency percentiles and the cache hit rate.
+//
+// Usage:
+//
+//	confload [-addr http://host:8732] [-clients 8] [-requests 200]
+//	         [-problems 10] [-mode solve] [-json BENCH_serve.json]
+//
+// With -addr empty an in-process confserved is started on a loopback
+// port, so the benchmark is self-contained.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"configsynth/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "confload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the benchmark summary (also the -json payload).
+type report struct {
+	Addr       string  `json:"addr"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	Problems   int     `json:"problems"`
+	Mode       string  `json:"mode"`
+	Errors     int     `json:"errors"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"requests_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	JobsCompleted int64   `json:"jobs_completed"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("confload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "confserved base URL (empty: start one in-process)")
+		clients  = fs.Int("clients", 8, "concurrent clients")
+		requests = fs.Int("requests", 200, "total requests across all clients")
+		problems = fs.Int("problems", 10, "distinct problems in the fixed-seed pool")
+		mode     = fs.String("mode", "solve", "query mode (solve|max-isolation|max-usability|min-cost)")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request deadline")
+		jsonOut  = fs.String("json", "", "write the report as JSON to this file")
+		workers  = fs.Int("workers", 2, "in-process server: synthesis workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 || *requests < 1 || *problems < 1 {
+		return fmt.Errorf("clients, requests, and problems must be positive")
+	}
+
+	base := *addr
+	if base == "" {
+		svc := service.New(service.Config{Workers: *workers, QueueDepth: *requests + *clients})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stdout, "in-process confserved on %s\n", base)
+	}
+
+	// The problem pool is deterministic: problem i is the same spec text
+	// on every run, so repeated picks hit the server's canonical cache.
+	pool := make([]string, *problems)
+	for i := range pool {
+		pool[i] = problemSpec(i)
+	}
+
+	statsBefore, err := fetchStats(base)
+	if err != nil {
+		return fmt.Errorf("statsz: %w (is confserved running at %s?)", err, base)
+	}
+
+	url := fmt.Sprintf("%s/v1/synthesize?mode=%s&timeout=%s", base, *mode, timeout.String())
+	lat := make([]float64, *requests)
+	errs := make([]error, *requests)
+	var next, failures int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(*requests) {
+			return -1
+		}
+		n := next
+		next++
+		return int(n)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				body := pool[i%len(pool)]
+				t0 := time.Now()
+				err := post(url, body)
+				lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+				if err != nil {
+					errs[i] = err
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statsAfter, err := fetchStats(base)
+	if err != nil {
+		return err
+	}
+	hits := statsAfter.Cache.Hits - statsBefore.Cache.Hits
+	misses := statsAfter.Cache.Misses - statsBefore.Cache.Misses
+
+	sort.Float64s(lat)
+	rep := report{
+		Addr:          base,
+		Clients:       *clients,
+		Requests:      *requests,
+		Problems:      *problems,
+		Mode:          *mode,
+		Errors:        int(failures),
+		ElapsedSec:    elapsed.Seconds(),
+		Throughput:    float64(*requests) / elapsed.Seconds(),
+		P50MS:         percentile(lat, 50),
+		P95MS:         percentile(lat, 95),
+		P99MS:         percentile(lat, 99),
+		MaxMS:         lat[len(lat)-1],
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		JobsCompleted: statsAfter.JobsCompleted - statsBefore.JobsCompleted,
+	}
+	if hits+misses > 0 {
+		rep.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+
+	fmt.Fprintf(stdout, "%d requests, %d clients, %d problems, mode %s\n",
+		rep.Requests, rep.Clients, rep.Problems, rep.Mode)
+	fmt.Fprintf(stdout, "elapsed %.2fs (%.1f req/s), errors %d\n", rep.ElapsedSec, rep.Throughput, rep.Errors)
+	fmt.Fprintf(stdout, "latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n", rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	fmt.Fprintf(stdout, "cache: %d hits / %d misses (hit rate %.1f%%)\n", hits, misses, rep.CacheHitRate*100)
+	if failures > 0 {
+		for i, e := range errs {
+			if e != nil {
+				return fmt.Errorf("request %d (and %d more): %w", i, failures-1, e)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func post(url, body string) error {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var res struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return err
+	}
+	if res.Status != "sat" {
+		return fmt.Errorf("unexpected status %q", res.Status)
+	}
+	return nil
+}
+
+func fetchStats(base string) (*service.Stats, error) {
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statsz status %d", resp.StatusCode)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}
+
+// problemSpec renders the i-th pool problem: a small two-tier network
+// whose shape (host count, demands, sliders) varies deterministically
+// with i, so run N always replays the same workload.
+func problemSpec(i int) string {
+	hosts := 4 + i%3 // 4..6 hosts
+	routers := 2
+	var b strings.Builder
+	b.WriteString("devices 3\norder 1 2 2\norder 2 3 2\ncosts 5 8 6\n")
+	fmt.Fprintf(&b, "nodes %d %d\n", hosts, routers)
+	for h := 1; h <= hosts; h++ {
+		fmt.Fprintf(&b, "link %d %d\n", h, hosts+1+h%routers)
+	}
+	fmt.Fprintf(&b, "link %d %d\n", hosts+1, hosts+2)
+	b.WriteString("services 1\n")
+	fmt.Fprintf(&b, "require 1 %d\n", 2+i%(hosts-1))
+	if hosts > 4 {
+		fmt.Fprintf(&b, "require 2 %d\n", hosts)
+	}
+	fmt.Fprintf(&b, "sliders %d.5 %d 40\n", 1+i%3, 3+i%4)
+	return b.String()
+}

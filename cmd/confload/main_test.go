@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProblemSpecsParseAndAreDeterministic(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		if problemSpec(i) != problemSpec(i) {
+			t.Fatalf("problem %d is not deterministic", i)
+		}
+		if problemSpec(i) == problemSpec(i+1) && i%3 == (i+1)%3 && i%4 == (i+1)%4 {
+			continue // identical shape parameters are allowed to collide
+		}
+	}
+}
+
+func TestLoadRunInProcess(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	var out strings.Builder
+	err := run([]string{
+		"-clients", "4", "-requests", "40", "-problems", "5",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests != 40 || rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Errorf("report: %+v", rep)
+	}
+	// 5 distinct problems over 40 requests: at least 35 must be hits.
+	if rep.CacheHits < 35 {
+		t.Errorf("cache hits = %d, want >= 35 (5 problems, 40 requests)", rep.CacheHits)
+	}
+	if rep.CacheHitRate < 0.8 {
+		t.Errorf("hit rate = %.2f", rep.CacheHitRate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lat, 50); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(lat, 99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("empty p50 = %v", p)
+	}
+}

@@ -1,0 +1,106 @@
+// Command confserved runs ConfigSynth as a long-lived HTTP synthesis
+// service: a bounded job queue drained by a pool of portfolio solvers,
+// fronted by a canonical-fingerprint result cache, with per-request
+// deadlines, client-disconnect cancellation, and NDJSON streaming of
+// intermediate optimization bounds.
+//
+// Usage:
+//
+//	confserved [-addr :8732] [-workers 2] [-solver-workers 1]
+//	           [-queue 64] [-cache 256] [-timeout 120s] [-max-timeout 10m]
+//
+// Endpoints:
+//
+//	POST /v1/synthesize   problem spec in (Table IV format), design out;
+//	                      ?example=1 ?mode= ?timeout= ?async=1 ?stream=1
+//	POST /v1/verify       independently validate a design
+//	GET  /v1/jobs/{id}    job status; ?stream=1 replays NDJSON events
+//	GET  /healthz         liveness
+//	GET  /statsz          queue, cache, and solver counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"configsynth/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "confserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the listener fails or stop is
+// signalled (tests pass a stop channel; main wires SIGINT/SIGTERM).
+func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("confserved", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8732", "listen address")
+		workers       = fs.Int("workers", 2, "concurrent synthesis jobs")
+		solverWorkers = fs.Int("solver-workers", 1, "portfolio size per job")
+		queue         = fs.Int("queue", 64, "job queue depth (full queue returns 429)")
+		cacheEntries  = fs.Int("cache", 256, "result cache entries")
+		timeout       = fs.Duration("timeout", 120*time.Second, "default per-job deadline")
+		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		SolverWorkers:  *solverWorkers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "confserved listening on %s (workers=%d queue=%d cache=%d)\n",
+		ln.Addr(), *workers, *queue, *cacheEntries)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() {
+			<-sig
+			close(done)
+		}()
+		stop = done
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+	fmt.Fprintln(stdout, "confserved shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the daemon on a loopback port, synthesizes the
+// paper example twice (miss then cache hit), and shuts down cleanly.
+func TestServeEndToEnd(t *testing.T) {
+	stop := make(chan struct{})
+	var (
+		wg     sync.WaitGroup
+		out    strings.Builder
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, &syncWriter{b: &out}, stop)
+	}()
+
+	base := ""
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never reported its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+		line := func() string {
+			mu.Lock()
+			defer mu.Unlock()
+			return out.String()
+		}()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			rest := line[i+len("listening on "):]
+			base = "http://" + strings.Fields(rest)[0]
+		}
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	post := func() (string, int64, bool) {
+		resp, err := http.Post(base+"/v1/synthesize?example=1", "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("synthesize: %d %s", resp.StatusCode, data)
+		}
+		var res struct {
+			Status string `json:"status"`
+			Cached bool   `json:"cached"`
+			Design struct {
+				Cost int64 `json:"cost"`
+			} `json:"design"`
+		}
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res.Status, res.Design.Cost, res.Cached
+	}
+	st1, cost1, cached1 := post()
+	st2, cost2, cached2 := post()
+	if st1 != "sat" || st2 != "sat" || cost1 != cost2 {
+		t.Errorf("solve results: %s/$%d vs %s/$%d", st1, cost1, st2, cost2)
+	}
+	if cached1 || !cached2 {
+		t.Errorf("cache flags: first=%v second=%v, want false/true", cached1, cached2)
+	}
+
+	close(stop)
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run returned %v", runErr)
+	}
+}
+
+var mu sync.Mutex
+
+// syncWriter serializes writes so the test can poll the banner safely.
+type syncWriter struct{ b *strings.Builder }
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return w.b.Write(p)
+}

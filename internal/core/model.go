@@ -445,6 +445,28 @@ type ModelStats struct {
 	EstimatedBytes int64
 }
 
+// Add accumulates b's counters into s. The serving layer aggregates
+// per-job model statistics into fleet totals this way (/statsz).
+func (s *ModelStats) Add(b ModelStats) {
+	s.Flows += b.Flows
+	s.HostPairs += b.HostPairs
+	s.Routes += b.Routes
+	s.Vars += b.Vars
+	s.Clauses += b.Clauses
+	s.PBConstraints += b.PBConstraints
+	s.PBActive += b.PBActive
+	s.PBTerms += b.PBTerms
+	s.Conflicts += b.Conflicts
+	s.Decisions += b.Decisions
+	s.Propagations += b.Propagations
+	s.Restarts += b.Restarts
+	s.LubyRestarts += b.LubyRestarts
+	s.GeomRestarts += b.GeomRestarts
+	s.Interrupts += b.Interrupts
+	s.RandomDecisions += b.RandomDecisions
+	s.EstimatedBytes += b.EstimatedBytes
+}
+
 // Stats returns current model statistics.
 func (s *Synthesizer) Stats() ModelStats {
 	st := s.sol.Stats()

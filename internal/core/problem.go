@@ -78,6 +78,16 @@ type Options struct {
 	Solver smt.SolverConfig
 }
 
+// Normalized returns the options with every defaulted field filled in
+// (the form the synthesizer actually runs under). Canonical problem
+// serialization (internal/spec.Fingerprint) relies on it so that a zero
+// Options and an explicitly-defaulted Options hash identically.
+func (o Options) Normalized() Options {
+	o = o.withDefaults()
+	o.Routes = o.Routes.Normalized()
+	return o
+}
+
 func (o Options) withDefaults() Options {
 	if o.TunnelSlackHops <= 0 {
 		o.TunnelSlackHops = 2

@@ -117,7 +117,9 @@ func (d *Design) PatternMix() map[isolation.PatternID]float64 {
 func (s *Synthesizer) Solve() (*Design, error) {
 	switch s.sol.Check(s.gIso, s.gUsa, s.gCost) {
 	case smt.Sat:
-		return s.extractDesign(), nil
+		d := s.extractDesign()
+		d.Exact = true
+		return d, nil
 	case smt.Unknown:
 		return nil, ErrBudgetExceeded
 	default:

@@ -1,0 +1,173 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"configsynth/internal/core"
+)
+
+// This file maps context cancellation and deadlines onto the solvers'
+// cooperative Interrupt/ClearInterrupt protocol, giving every synthesis
+// query a ctx-aware variant. It is the substrate confserved builds
+// per-job deadlines and client-disconnect cancellation on.
+//
+// The watcher goroutine re-asserts the interrupt on a short tick rather
+// than firing it once: probe loops call ClearInterrupt between probes
+// (so a stale portfolio cancellation cannot leak into the next probe),
+// and a single interrupt landing just before such a re-arm would be
+// lost, leaving the next probe running unbounded. Re-asserting until the
+// query returns closes that race; the tick is three orders of magnitude
+// cheaper than any non-trivial probe.
+
+// reassertInterval is the watcher's re-interrupt period after ctx fires.
+const reassertInterval = time.Millisecond
+
+// interruptAll asks every solver — raced workers and the canonical
+// extractor — to abandon its current check.
+func (s *Solver) interruptAll() {
+	s.canon.Interrupt()
+	for _, w := range s.work {
+		w.Interrupt()
+	}
+}
+
+// clearAll re-arms every solver after a context cancellation, so the
+// Solver remains usable for later queries.
+func (s *Solver) clearAll() {
+	s.canon.ClearInterrupt()
+	for _, w := range s.work {
+		w.ClearInterrupt()
+	}
+}
+
+// guard runs query under ctx: when ctx is cancelled or its deadline
+// expires, every solver is interrupted (and re-interrupted each tick)
+// until the query returns. The returned error is ctx.Err() whenever the
+// context was the cause of an early exit; a query that completed with a
+// definitive answer despite a late cancellation keeps its answer.
+func (s *Solver) guard(ctx context.Context, query func() error) error {
+	if ctx == nil {
+		return query()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		return query()
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		t := time.NewTicker(reassertInterval)
+		defer t.Stop()
+		for {
+			s.interruptAll()
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	err := query()
+	close(done)
+	wg.Wait()
+	s.clearAll()
+	if cerr := ctx.Err(); cerr != nil && interrupted(err) {
+		return cerr
+	}
+	return err
+}
+
+// interrupted reports whether err is the kind of failure a cooperative
+// interrupt produces (a budget-exhausted/Unknown outcome). Definitive
+// answers — Sat designs and genuine Unsat cores — are never reinterpreted
+// as cancellation, since an interrupt can only yield Unknown.
+func interrupted(err error) bool {
+	return errors.Is(err, core.ErrBudgetExceeded)
+}
+
+// SolveContext is Solve bounded by ctx: cancellation or deadline expiry
+// interrupts the solvers cooperatively and returns ctx.Err().
+func (s *Solver) SolveContext(ctx context.Context) (*core.Design, error) {
+	var d *core.Design
+	err := s.guard(ctx, func() (qerr error) {
+		d, qerr = s.Solve()
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// CheckAtContext is CheckAt bounded by ctx.
+func (s *Solver) CheckAtContext(ctx context.Context, th core.Thresholds) (*core.Design, error) {
+	var d *core.Design
+	err := s.guard(ctx, func() (qerr error) {
+		d, qerr = s.CheckAt(th)
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MaxIsolationContext is MaxIsolation bounded by ctx.
+func (s *Solver) MaxIsolationContext(ctx context.Context, usabilityTenths int, costBudget int64) (float64, *core.Design, error) {
+	var (
+		v float64
+		d *core.Design
+	)
+	err := s.guard(ctx, func() (qerr error) {
+		v, d, qerr = s.MaxIsolation(usabilityTenths, costBudget)
+		return qerr
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, d, nil
+}
+
+// MaxUsabilityContext is MaxUsability bounded by ctx.
+func (s *Solver) MaxUsabilityContext(ctx context.Context, isolationTenths int, costBudget int64) (float64, *core.Design, error) {
+	var (
+		v float64
+		d *core.Design
+	)
+	err := s.guard(ctx, func() (qerr error) {
+		v, d, qerr = s.MaxUsability(isolationTenths, costBudget)
+		return qerr
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, d, nil
+}
+
+// MinCostContext is MinCost bounded by ctx.
+func (s *Solver) MinCostContext(ctx context.Context, isolationTenths, usabilityTenths int) (int64, *core.Design, error) {
+	var (
+		v int64
+		d *core.Design
+	)
+	err := s.guard(ctx, func() (qerr error) {
+		v, d, qerr = s.MinCost(isolationTenths, usabilityTenths)
+		return qerr
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, d, nil
+}

@@ -43,6 +43,32 @@ type Solver struct {
 	prob  *core.Problem
 	canon *core.Synthesizer   // canonical extraction engine, never raced
 	work  []*core.Synthesizer // diversified raced workers; nil = delegate
+
+	// onBound, when set, observes every improvement an optimization
+	// descent proves: after each satisfiable probe the newly established
+	// bound (isolation/usability tenths, or a cost value) is reported.
+	// This is the anytime hook confserved streams to clients while a
+	// Maximize-style query is still running. Only the engine path (built
+	// via NewRacing) drives descents centrally, so only it emits bounds.
+	onBound func(kind core.ThresholdKind, value int64)
+}
+
+// SetBoundObserver registers f to be called with every bound an
+// optimization descent proves satisfiable, as (threshold kind, value)
+// pairs: tenths of the 0–10 scale for isolation/usability, a budget
+// value for cost. f runs on the goroutine driving the query and must be
+// fast; nil unregisters. Descents only run centrally on Solvers built
+// with NewRacing (any K); a delegate Solver (New with workers <= 1)
+// optimizes inside internal/core and emits nothing.
+func (s *Solver) SetBoundObserver(f func(kind core.ThresholdKind, value int64)) {
+	s.onBound = f
+}
+
+// emitBound reports a newly proven bound to the observer, if any.
+func (s *Solver) emitBound(kind core.ThresholdKind, value int64) {
+	if s.onBound != nil {
+		s.onBound(kind, value)
+	}
 }
 
 // New returns a solver for p with the given worker count. workers <= 1
@@ -244,7 +270,11 @@ func (s *Solver) MaxIsolation(usabilityTenths int, costBudget int64) (float64, *
 	best, exact := s.descent(0, 100, true, func(v int64) smt.Status {
 		th := base
 		th.IsolationTenths = int(v)
-		return s.raceStatus(th, true)
+		st := s.raceStatus(th, true)
+		if st == smt.Sat {
+			s.emitBound(core.ThresholdIsolation, v)
+		}
+		return st
 	})
 	th := base
 	th.IsolationTenths = int(best)
@@ -275,7 +305,11 @@ func (s *Solver) MaxUsability(isolationTenths int, costBudget int64) (float64, *
 	best, exact := s.descent(0, 100, true, func(v int64) smt.Status {
 		th := base
 		th.UsabilityTenths = int(v)
-		return s.raceStatus(th, true)
+		st := s.raceStatus(th, true)
+		if st == smt.Sat {
+			s.emitBound(core.ThresholdUsability, v)
+		}
+		return st
 	})
 	th := base
 	th.UsabilityTenths = int(best)
@@ -311,7 +345,11 @@ func (s *Solver) MinCost(isolationTenths, usabilityTenths int) (int64, *core.Des
 	best, exact := s.descent(0, upper, false, func(v int64) smt.Status {
 		th := base
 		th.CostBudget = v
-		return s.raceStatus(th, true)
+		st := s.raceStatus(th, true)
+		if st == smt.Sat {
+			s.emitBound(core.ThresholdCost, v)
+		}
+		return st
 	})
 	th := base
 	th.CostBudget = best

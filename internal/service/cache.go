@@ -1,0 +1,94 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats are the canonical result cache's counters, exported on
+// /statsz.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// cache is a mutex-guarded LRU of finished results keyed by
+// (fingerprint, mode). A hit serves a deep-shared *Result (results are
+// immutable once stored) and refreshes recency; inserting beyond
+// capacity evicts the least recently used entry.
+type cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	index map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		cap:   capacity,
+		order: list.New(),
+		index: make(map[string]*list.Element, capacity),
+	}
+}
+
+// cacheKey scopes a fingerprint by query mode: the same problem under
+// solve and max-isolation has different answers.
+func cacheKey(fp string, mode Mode) string { return string(mode) + ":" + fp }
+
+// get returns the cached result for the key, counting a hit or miss.
+func (c *cache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result, evicting the LRU entry when full.
+func (c *cache) put(key string, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.index, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.index[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// stats snapshots the counters.
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", &Result{Status: "sat"})
+	c.put("b", &Result{Status: "sat"})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a is now most recent; inserting c evicts b.
+	c.put("c", &Result{Status: "sat"})
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+	st := c.stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	// get hits: a (pre), a, c post-eviction = 3; misses: b = 1... recount:
+	// hits: a(first), a(second), c = 3; misses: b = 1.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newCache(4)
+	c.put("k", &Result{Status: "sat"})
+	c.put("k", &Result{Status: "unsat"})
+	res, ok := c.get("k")
+	if !ok || res.Status != "unsat" {
+		t.Fatalf("update lost: %+v ok=%v", res, ok)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (update must not duplicate)", st.Entries)
+	}
+}
+
+func TestCacheZeroCapacityDisables(t *testing.T) {
+	c := newCache(0)
+	c.put("k", &Result{})
+	if _, ok := c.get("k"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+func TestCacheKeyScopesByMode(t *testing.T) {
+	if cacheKey("fp", ModeSolve) == cacheKey("fp", ModeMaxIsolation) {
+		t.Error("cache keys must differ across modes")
+	}
+}
+
+func TestCacheManyInsertsStayBounded(t *testing.T) {
+	c := newCache(8)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("k%d", i), &Result{})
+	}
+	st := c.stats()
+	if st.Entries != 8 {
+		t.Errorf("entries = %d, want 8", st.Entries)
+	}
+	if st.Evictions != 92 {
+		t.Errorf("evictions = %d, want 92", st.Evictions)
+	}
+}

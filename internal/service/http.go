@@ -1,0 +1,296 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"configsynth/internal/core"
+	"configsynth/internal/netgen"
+	"configsynth/internal/spec"
+)
+
+// maxBodyBytes bounds request bodies (problem specs are small).
+const maxBodyBytes = 4 << 20
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submitError maps a Submit failure to an HTTP response. A full queue is
+// backpressure: 429 with Retry-After so well-behaved clients pace
+// themselves.
+func submitError(w http.ResponseWriter, err error) {
+	var bad *BadRequestError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue is full; retry shortly")
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "service is shutting down")
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, "%s", bad.Msg)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// parseProblem reads the request problem: the body in the paper's
+// Table IV spec format, or the built-in paper example with ?example=1
+// (and an empty body).
+func parseProblem(r *http.Request) (*core.Problem, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, &BadRequestError{Msg: fmt.Sprintf("reading body: %v", err)}
+	}
+	if r.URL.Query().Get("example") != "" {
+		if len(strings.TrimSpace(string(body))) != 0 {
+			return nil, &BadRequestError{Msg: "example=1 takes no body"}
+		}
+		return netgen.PaperExample(), nil
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		return nil, &BadRequestError{Msg: "empty body; POST a problem in the Table IV spec format (or use ?example=1)"}
+	}
+	p, err := spec.Parse(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, &BadRequestError{Msg: err.Error()}
+	}
+	return p, nil
+}
+
+// parseTimeout reads ?timeout=30s style deadlines.
+func parseTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, &BadRequestError{Msg: fmt.Sprintf("bad timeout %q (want a positive Go duration, e.g. 30s)", raw)}
+	}
+	return d, nil
+}
+
+// handleSynthesize is POST /v1/synthesize:
+//
+//	?mode=solve|max-isolation|max-usability|min-cost   query (default solve)
+//	?timeout=30s     per-job deadline (covers queue wait + solving)
+//	?async=1         return 202 + job id immediately; poll /v1/jobs/{id}
+//	?stream=1        NDJSON event stream: queued, started, bound…, done
+//	?example=1       use the built-in paper example problem
+func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	prob, err := parseProblem(r)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	timeout, err := parseTimeout(r)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	async := q.Get("async") != ""
+	stream := q.Get("stream") != ""
+	opts := SubmitOptions{
+		Mode:    Mode(q.Get("mode")),
+		Timeout: timeout,
+	}
+	if opts.Mode == "" {
+		opts.Mode = ModeSolve
+	}
+	if !async {
+		// Synchronous (and streamed) jobs die with their client: a
+		// disconnect cancels the solvers through the job context.
+		opts.Parent = r.Context()
+	}
+	job, err := s.Submit(prob, opts)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	switch {
+	case async:
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id": job.ID,
+			"status": string(job.State()),
+			"href":   "/v1/jobs/" + job.ID,
+		})
+	case stream:
+		streamEvents(w, job)
+	default:
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			job.Cancel()
+			<-job.Done()
+		}
+		writeJobResult(w, job)
+	}
+}
+
+// writeJobResult renders a terminal job as a JSON response.
+func writeJobResult(w http.ResponseWriter, job *Job) {
+	res, err := job.Result()
+	switch {
+	case err == nil && res != nil:
+		if res.Cached {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "job %s: deadline exceeded", job.ID)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusRequestTimeout, "job %s: canceled", job.ID)
+	default:
+		var bad *BadRequestError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, "%s", bad.Msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "job %s: %v", job.ID, err)
+	}
+}
+
+// streamEvents writes the job's event log as NDJSON, flushing per event,
+// until the job is terminal.
+func streamEvents(w http.ResponseWriter, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for e := range job.Subscribe() {
+		if enc.Encode(e) != nil {
+			return // client went away; the request context cancels the job
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleJob is GET /v1/jobs/{id} (status snapshot) and
+// GET /v1/jobs/{id}?stream=1 (NDJSON events, replayed from the start).
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		streamEvents(w, job)
+		return
+	}
+	state := job.State()
+	if state == StateDone || state == StateFailed || state == StateCanceled {
+		writeJobResult(w, job)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"job_id": job.ID,
+		"status": string(state),
+	})
+}
+
+// verifyRequest is the POST /v1/verify body.
+type verifyRequest struct {
+	// Problem is the spec-format problem text.
+	Problem string `json:"problem"`
+	// Design optionally names the design to check; omitted, the problem
+	// is synthesized (cache-aware) and the result verified.
+	Design *DesignJSON `json:"design,omitempty"`
+}
+
+// verifyResponse is the POST /v1/verify reply.
+type verifyResponse struct {
+	OK         bool        `json:"ok"`
+	Violations []string    `json:"violations,omitempty"`
+	Isolation  float64     `json:"isolation"`
+	Usability  float64     `json:"usability"`
+	Cost       int64       `json:"cost"`
+	Design     *DesignJSON `json:"design,omitempty"`
+}
+
+// handleVerify is POST /v1/verify: body {"problem": "<spec text>",
+// "design": {...}?}; with example=1 the paper example problem is used
+// and the body may omit "problem".
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req verifyRequest
+	if len(strings.TrimSpace(string(body))) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+	}
+	var prob *core.Problem
+	if r.URL.Query().Get("example") != "" {
+		prob = netgen.PaperExample()
+	} else {
+		if strings.TrimSpace(req.Problem) == "" {
+			writeError(w, http.StatusBadRequest, `missing "problem" (spec text)`)
+			return
+		}
+		prob, err = spec.Parse(strings.NewReader(req.Problem))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	timeout, err := parseTimeout(r)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	vr, dj, err := s.Verify(r.Context(), prob, req.Design, timeout)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, verifyResponse{
+		OK:         vr.OK(),
+		Violations: vr.Violations,
+		Isolation:  vr.Isolation,
+		Usability:  vr.Usability,
+		Cost:       vr.Cost,
+		Design:     dj,
+	})
+}

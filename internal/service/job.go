@@ -1,0 +1,334 @@
+package service
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"configsynth/internal/core"
+	"configsynth/internal/isolation"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// Mode selects the synthesis query a job runs.
+type Mode string
+
+// Supported query modes.
+const (
+	ModeSolve        Mode = "solve"
+	ModeMaxIsolation Mode = "max-isolation"
+	ModeMaxUsability Mode = "max-usability"
+	ModeMinCost      Mode = "min-cost"
+)
+
+// valid reports whether m names a known query.
+func (m Mode) valid() bool {
+	switch m {
+	case ModeSolve, ModeMaxIsolation, ModeMaxUsability, ModeMinCost:
+		return true
+	}
+	return false
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// FlowPatternJSON is one flow's chosen isolation pattern in a design.
+type FlowPatternJSON struct {
+	Src     topology.NodeID   `json:"src"`
+	Dst     topology.NodeID   `json:"dst"`
+	Svc     usability.Service `json:"svc"`
+	Pattern int               `json:"pattern"`
+	Name    string            `json:"name"`
+}
+
+// PlacementJSON is one link's deployed devices, keyed by the link's
+// endpoints rather than its LinkID: endpoint pairs are canonical across
+// input files that list their link sections in different orders, so a
+// cached design stays meaningful for every request that maps to the
+// same fingerprint.
+type PlacementJSON struct {
+	A       topology.NodeID `json:"a"`
+	B       topology.NodeID `json:"b"`
+	Devices []int           `json:"devices"`
+	Names   []string        `json:"names"`
+}
+
+// DesignJSON is the wire form of a synthesized design.
+type DesignJSON struct {
+	Isolation  float64           `json:"isolation"`
+	Usability  float64           `json:"usability"`
+	Cost       int64             `json:"cost"`
+	Exact      bool              `json:"exact"`
+	Flows      []FlowPatternJSON `json:"flows"`
+	Placements []PlacementJSON   `json:"placements"`
+}
+
+// Result is the outcome of a finished job, and the unit the cache
+// stores.
+type Result struct {
+	Status      string      `json:"status"` // "sat" or "unsat"
+	Mode        Mode        `json:"mode"`
+	Fingerprint string      `json:"fingerprint"`
+	Design      *DesignJSON `json:"design,omitempty"`
+	// Objective is the optimum of an optimization mode: isolation or
+	// usability on the 0–10 scale, or a cost value.
+	Objective float64 `json:"objective,omitempty"`
+	// Conflict lists the threshold constraints in the unsat core.
+	Conflict []string `json:"conflict,omitempty"`
+	// Text is the design rendered in the paper's output-file format.
+	Text string `json:"text,omitempty"`
+	// Cached is true when the result was served from the canonical
+	// result cache instead of the SAT core.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the solve wall-clock of the run that produced the
+	// result (cache hits keep the original solve time).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Event is one NDJSON line of a job's streamed progress.
+type Event struct {
+	Event string  `json:"event"` // queued | started | bound | done | failed | canceled
+	JobID string  `json:"job_id"`
+	TMS   float64 `json:"t_ms"` // milliseconds since submission
+	// Kind and Value describe a "bound" event: the threshold kind and the
+	// newly proven bound (tenths for isolation/usability, $K for cost).
+	Kind   string  `json:"kind,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Result *Result `json:"result,omitempty"` // on done
+	Error  string  `json:"error,omitempty"`  // on failed/canceled
+}
+
+// Job is one queued synthesis request.
+type Job struct {
+	ID          string
+	Mode        Mode
+	Fingerprint string
+
+	prob   *core.Problem
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	created time.Time
+
+	mu     sync.Mutex
+	state  JobState
+	events []Event
+	subs   []chan Event
+	result *Result
+	err    error
+	done   chan struct{}
+}
+
+func newJob(id string, mode Mode, prob *core.Problem, fp string, ctx context.Context, cancel context.CancelFunc) *Job {
+	j := &Job{
+		ID:          id,
+		Mode:        mode,
+		Fingerprint: fp,
+		prob:        prob,
+		ctx:         ctx,
+		cancel:      cancel,
+		created:     time.Now(),
+		state:       StateQueued,
+		done:        make(chan struct{}),
+	}
+	j.publish(Event{Event: "queued"})
+	return j
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job outcome once terminal: the result on success,
+// or the error that failed/canceled it.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Cancel asks the job to stop; a queued job fails straight to canceled,
+// a running one is interrupted through its context.
+func (j *Job) Cancel() { j.cancel() }
+
+// publish appends an event to the replay log and fans it out. Slow
+// subscribers drop intermediate events (their channels are buffered);
+// terminal state is always observable via Done/Result.
+func (j *Job) publish(e Event) {
+	e.JobID = j.ID
+	e.TMS = float64(time.Since(j.created).Microseconds()) / 1000
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	subs := append([]chan Event(nil), j.subs...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// Subscribe returns a channel replaying every event published so far and
+// following new ones. The channel is closed when the job is terminal and
+// all events have been delivered.
+func (j *Job) Subscribe() <-chan Event {
+	j.mu.Lock()
+	past := append([]Event(nil), j.events...)
+	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+	ch := make(chan Event, 64+len(past))
+	for _, e := range past {
+		ch <- e
+	}
+	if terminal {
+		close(ch)
+	} else {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	return ch
+}
+
+// setRunning transitions queued → running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.publish(Event{Event: "started"})
+}
+
+// finish transitions to a terminal state and wakes every waiter.
+func (j *Job) finish(res *Result, err error) {
+	var e Event
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		e = Event{Event: "done", Result: res}
+	case j.ctx.Err() != nil && err == j.ctx.Err():
+		j.state = StateCanceled
+		j.err = err
+		e = Event{Event: "canceled", Error: err.Error()}
+	default:
+		j.state = StateFailed
+		j.err = err
+		e = Event{Event: "failed", Error: err.Error()}
+	}
+	j.mu.Unlock()
+	j.publish(e)
+	j.mu.Lock()
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	close(j.done)
+	j.cancel()
+}
+
+// designJSON converts a core design to its wire form, with placements
+// keyed by link endpoints.
+func designJSON(p *core.Problem, d *core.Design) *DesignJSON {
+	out := &DesignJSON{
+		Isolation: d.Isolation,
+		Usability: d.Usability,
+		Cost:      d.Cost,
+		Exact:     d.Exact,
+	}
+	for f, pid := range d.FlowPatterns {
+		name := "no isolation"
+		if pid != isolation.PatternNone {
+			if pat, ok := p.Catalog.Pattern(pid); ok {
+				name = pat.Name
+			}
+		}
+		out.Flows = append(out.Flows, FlowPatternJSON{
+			Src: f.Src, Dst: f.Dst, Svc: f.Svc, Pattern: int(pid), Name: name,
+		})
+	}
+	sort.Slice(out.Flows, func(i, k int) bool {
+		a, b := out.Flows[i], out.Flows[k]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Svc < b.Svc
+	})
+	for link, devs := range d.Placements {
+		l, ok := p.Network.Link(link)
+		if !ok {
+			continue
+		}
+		a, b := l.A, l.B
+		if a > b {
+			a, b = b, a
+		}
+		pl := PlacementJSON{A: a, B: b}
+		for _, dev := range devs {
+			pl.Devices = append(pl.Devices, int(dev))
+			if dd, ok := p.Catalog.Device(dev); ok {
+				pl.Names = append(pl.Names, dd.Name)
+			} else {
+				pl.Names = append(pl.Names, "?")
+			}
+		}
+		out.Placements = append(out.Placements, pl)
+	}
+	sort.Slice(out.Placements, func(i, k int) bool {
+		a, b := out.Placements[i], out.Placements[k]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return out
+}
+
+// designFromJSON rebuilds a core design from its wire form against a
+// problem (the verify path accepts hand-written designs this way).
+func designFromJSON(p *core.Problem, dj *DesignJSON) (*core.Design, error) {
+	d := &core.Design{
+		FlowPatterns:  make(map[usability.Flow]isolation.PatternID, len(dj.Flows)),
+		Placements:    make(map[topology.LinkID][]isolation.DeviceID, len(dj.Placements)),
+		HostIsolation: make(map[topology.NodeID]float64),
+		Isolation:     dj.Isolation,
+		Usability:     dj.Usability,
+		Cost:          dj.Cost,
+		Exact:         dj.Exact,
+	}
+	for _, f := range dj.Flows {
+		d.FlowPatterns[usability.Flow{Src: f.Src, Dst: f.Dst, Svc: f.Svc}] = isolation.PatternID(f.Pattern)
+	}
+	for _, pl := range dj.Placements {
+		link, ok := p.Network.LinkBetween(pl.A, pl.B)
+		if !ok {
+			return nil, &BadRequestError{Msg: "design places devices on a non-existent link"}
+		}
+		for _, dev := range pl.Devices {
+			d.Placements[link] = append(d.Placements[link], isolation.DeviceID(dev))
+		}
+	}
+	return d, nil
+}

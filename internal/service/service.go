@@ -1,0 +1,436 @@
+// Package service turns ConfigSynth from a batch CLI into a long-lived
+// synthesis service: a bounded job queue drained by a worker pool of
+// portfolio synthesizers, fronted by a canonical-fingerprint result
+// cache so that re-submitted and slider-style re-threshold requests are
+// answered from memory instead of the SAT core, with per-job deadlines
+// and client-disconnect cancellation wired onto the solvers'
+// cooperative interrupts, and anytime streaming of intermediate
+// optimization bounds.
+//
+// cmd/confserved exposes it over HTTP:
+//
+//	POST /v1/synthesize   spec-format problem in, design out (sync,
+//	                      async, or NDJSON-streamed)
+//	POST /v1/verify       independently validate a design
+//	GET  /v1/jobs/{id}    job status, ?stream=1 for NDJSON events
+//	GET  /healthz         liveness
+//	GET  /statsz          queue depth, cache and solver counters
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"configsynth/internal/core"
+	"configsynth/internal/portfolio"
+	"configsynth/internal/spec"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the job worker-pool size (default 2): how many synthesis
+	// jobs run concurrently.
+	Workers int
+	// SolverWorkers is the portfolio size per job (default 1): each job
+	// races this many diversified solvers per probe.
+	SolverWorkers int
+	// QueueDepth bounds the job queue (default 64). A full queue rejects
+	// submissions with ErrQueueFull (HTTP 429 + Retry-After).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256 entries).
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline when the request names none
+	// (default 120s). The deadline covers queue wait plus solving.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (default 10m).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.SolverWorkers <= 0 {
+		c.SolverWorkers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// finishedRetention bounds how many terminal jobs stay queryable via
+// GET /v1/jobs/{id} before the oldest are forgotten.
+const finishedRetention = 1024
+
+// Errors reported by Submit.
+var (
+	// ErrQueueFull means the bounded job queue is at capacity; retry
+	// after a short backoff.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrClosed means the service is shutting down.
+	ErrClosed = errors.New("service: closed")
+)
+
+// BadRequestError marks client errors (malformed spec, bad mode) so the
+// HTTP layer can map them to 400 instead of 500.
+type BadRequestError struct{ Msg string }
+
+func (e *BadRequestError) Error() string { return e.Msg }
+
+// Stats is the /statsz payload.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	SolverWorkers int     `json:"solver_workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+	JobsActive    int64 `json:"jobs_active"`
+
+	Cache CacheStats `json:"cache"`
+	// Solver aggregates core.ModelStats across every finished job.
+	Solver core.ModelStats `json:"solver"`
+}
+
+// Service owns the queue, the worker pool, the job registry, and the
+// result cache.
+type Service struct {
+	cfg   Config
+	queue chan *Job
+	cache *cache
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job IDs, oldest first (bounded retention)
+	totals   core.ModelStats
+	closed   bool
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	active    atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		cache: newCache(cfg.CacheEntries),
+		jobs:  make(map[string]*Job),
+		start: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Close drains the pool: queued jobs are canceled, running jobs are
+// interrupted, and the workers exit.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	// Closing the queue under the mutex excludes the (also mutex-held,
+	// non-blocking) enqueue in Submit, so no send can hit a closed
+	// channel.
+	close(s.queue)
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.wg.Wait()
+}
+
+// SubmitOptions shape one submission.
+type SubmitOptions struct {
+	// Mode selects the query (default ModeSolve).
+	Mode Mode
+	// Timeout is the per-job deadline; 0 uses the service default, and
+	// values above Config.MaxTimeout are clamped to it.
+	Timeout time.Duration
+	// Parent, when non-nil, scopes the job to a caller context: a
+	// synchronous HTTP request passes its request context here, so a
+	// client disconnect cancels the job through the solvers' cooperative
+	// interrupt. Async submissions leave it nil.
+	Parent context.Context
+}
+
+// Submit fingerprints the problem, answers from the cache when it can,
+// and otherwise enqueues a job. The returned Job is terminal already on
+// a cache hit. ErrQueueFull signals backpressure.
+func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
+	if opts.Mode == "" {
+		opts.Mode = ModeSolve
+	}
+	if !opts.Mode.valid() {
+		return nil, &BadRequestError{Msg: fmt.Sprintf("unknown mode %q", opts.Mode)}
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, &BadRequestError{Msg: err.Error()}
+	}
+	fp := spec.Fingerprint(prob)
+	id := fmt.Sprintf("j%06d", s.nextID.Add(1))
+
+	if res, ok := s.cache.get(cacheKey(fp, opts.Mode)); ok {
+		hit := *res
+		hit.Cached = true
+		ctx, cancel := context.WithCancel(context.Background())
+		j := newJob(id, opts.Mode, prob, fp, ctx, cancel)
+		s.register(j)
+		s.submitted.Add(1)
+		j.setRunning()
+		j.finish(&hit, nil)
+		s.retire(j.ID)
+		s.completed.Add(1)
+		return j, nil
+	}
+
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	parent := opts.Parent
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	j := newJob(id, opts.Mode, prob, fp, ctx, cancel)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.ID] = j
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		return j, nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Service) register(j *Job) {
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+}
+
+// retire records a terminal job in the bounded retention ring so the
+// registry cannot grow without bound under sustained traffic; the oldest
+// finished job is forgotten once the ring is full.
+func (s *Service) retire(id string) {
+	s.mu.Lock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > finishedRetention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// runJob executes one job on a worker: build the portfolio synthesizer,
+// run the query under the job context, publish bound events as the
+// descent improves, store the result in the cache, and fold the solver
+// counters into the fleet totals.
+func (s *Service) runJob(j *Job) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	defer s.retire(j.ID)
+
+	if err := j.ctx.Err(); err != nil {
+		j.finish(nil, err)
+		s.canceled.Add(1)
+		return
+	}
+	j.setRunning()
+	start := time.Now()
+
+	// NewRacing even for one worker: the engine path drives optimization
+	// descents centrally, which is what makes bound streaming work and
+	// results independent of K.
+	syn, err := portfolio.NewRacing(j.prob, s.cfg.SolverWorkers)
+	if err != nil {
+		j.finish(nil, &BadRequestError{Msg: err.Error()})
+		s.failed.Add(1)
+		return
+	}
+	syn.SetBoundObserver(func(kind core.ThresholdKind, v int64) {
+		val := float64(v)
+		if kind != core.ThresholdCost {
+			val = float64(v) / 10 // tenths → 0–10 scale
+		}
+		j.publish(Event{Event: "bound", Kind: kind.String(), Value: val})
+	})
+
+	res := &Result{Mode: j.Mode, Fingerprint: j.Fingerprint}
+	var (
+		design *core.Design
+		qerr   error
+	)
+	th := j.prob.Thresholds
+	switch j.Mode {
+	case ModeSolve:
+		design, qerr = syn.SolveContext(j.ctx)
+	case ModeMaxIsolation:
+		res.Objective, design, qerr = syn.MaxIsolationContext(j.ctx, th.UsabilityTenths, th.CostBudget)
+	case ModeMaxUsability:
+		res.Objective, design, qerr = syn.MaxUsabilityContext(j.ctx, th.IsolationTenths, th.CostBudget)
+	case ModeMinCost:
+		var cost int64
+		cost, design, qerr = syn.MinCostContext(j.ctx, th.IsolationTenths, th.UsabilityTenths)
+		res.Objective = float64(cost)
+	}
+
+	s.mu.Lock()
+	s.totals.Add(syn.Stats())
+	s.mu.Unlock()
+
+	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+
+	var conflict *core.ThresholdConflictError
+	switch {
+	case qerr == nil:
+		res.Status = "sat"
+		res.Design = designJSON(j.prob, design)
+		var sb strings.Builder
+		if werr := spec.WriteDesign(&sb, j.prob, design); werr == nil {
+			res.Text = sb.String()
+		}
+		// Only exact answers are cached: an anytime design truncated by
+		// this job's deadline must not be served to a patient client.
+		if design.Exact {
+			s.cache.put(cacheKey(j.Fingerprint, j.Mode), res)
+		}
+		j.finish(res, nil)
+		s.completed.Add(1)
+	case errors.As(qerr, &conflict):
+		res.Status = "unsat"
+		for _, k := range conflict.Core {
+			res.Conflict = append(res.Conflict, k.String())
+		}
+		// Unsat is as deterministic as Sat; cache it too.
+		s.cache.put(cacheKey(j.Fingerprint, j.Mode), res)
+		j.finish(res, nil)
+		s.completed.Add(1)
+	default:
+		j.finish(nil, qerr)
+		if errors.Is(qerr, context.Canceled) || errors.Is(qerr, context.DeadlineExceeded) {
+			s.canceled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+	}
+}
+
+// Verify independently checks a design against a problem. With dj nil
+// the problem is synthesized first (cache-aware, via Submit) and the
+// synthesized design is verified — a self-check round trip.
+func (s *Service) Verify(ctx context.Context, prob *core.Problem, dj *DesignJSON, timeout time.Duration) (*core.VerifyResult, *DesignJSON, error) {
+	if dj == nil {
+		j, err := s.Submit(prob, SubmitOptions{Mode: ModeSolve, Timeout: timeout, Parent: ctx})
+		if err != nil {
+			return nil, nil, err
+		}
+		select {
+		case <-j.Done():
+		case <-ctx.Done():
+			j.Cancel()
+			<-j.Done()
+		}
+		res, jerr := j.Result()
+		if jerr != nil {
+			return nil, nil, jerr
+		}
+		if res.Status != "sat" {
+			return nil, nil, &BadRequestError{Msg: "problem is unsatisfiable; nothing to verify"}
+		}
+		dj = res.Design
+	}
+	d, err := designFromJSON(prob, dj)
+	if err != nil {
+		return nil, nil, err
+	}
+	vr, err := core.Verify(prob, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vr, dj, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	totals := s.totals
+	s.mu.Unlock()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		SolverWorkers: s.cfg.SolverWorkers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		JobsSubmitted: s.submitted.Load(),
+		JobsCompleted: s.completed.Load(),
+		JobsFailed:    s.failed.Load(),
+		JobsCanceled:  s.canceled.Load(),
+		JobsActive:    s.active.Load(),
+		Cache:         s.cache.stats(),
+		Solver:        totals,
+	}
+}

@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"configsynth/internal/core"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// Canonical renders a deterministic normalized serialization of a
+// synthesis problem. Two problems that denote the same synthesis input
+// — regardless of the order their links, flows, requirements, or policy
+// rules were declared in — produce byte-identical output, which makes
+// its hash (Fingerprint) usable as a result-cache key: confserved serves
+// a re-submitted or section-permuted problem from memory instead of the
+// SAT core.
+//
+// The encoding covers everything that can influence a synthesis answer:
+// nodes (IDs, kinds, names), links (as sorted endpoint pairs, not link
+// IDs, which depend on declaration order), the catalog (patterns with
+// devices, usability retention, and solved scores; devices with costs),
+// flows with ranks and requirement flags, policy rules, thresholds, and
+// the semantically relevant options with defaults applied. It excludes
+// execution knobs that cannot change the answer in the exact regime
+// (worker counts, solver diversification, self-check mode).
+func Canonical(p *core.Problem) []byte {
+	var b strings.Builder
+	b.WriteString("configsynth-canon/1\n")
+
+	opt := p.Options.Normalized()
+	fmt.Fprintf(&b, "options tunnel=%d alpha=%d maxroutes=%d maxhops=%d noft=%t sbudget=%d pbudget=%d\n",
+		opt.TunnelSlackHops, opt.AlphaPct, opt.Routes.MaxRoutes, opt.Routes.MaxHops,
+		opt.DisableFlowTheory, opt.SolverBudget, opt.ProbeBudget)
+
+	th := p.Thresholds
+	fmt.Fprintf(&b, "thresholds iso=%d usa=%d cost=%d\n",
+		th.IsolationTenths, th.UsabilityTenths, th.CostBudget)
+
+	if p.Network != nil {
+		nodes := append(p.Network.Hosts(), p.Network.Routers()...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, id := range nodes {
+			n, _ := p.Network.Node(id)
+			fmt.Fprintf(&b, "node %d %s %s\n", n.ID, n.Kind, n.Name)
+		}
+		// Links are canonicalized as sorted endpoint pairs: LinkIDs depend
+		// on declaration order, which must not affect the fingerprint.
+		links := p.Network.Links()
+		pairs := make([][2]topology.NodeID, 0, len(links))
+		for _, l := range links {
+			a, c := l.A, l.B
+			if a > c {
+				a, c = c, a
+			}
+			pairs = append(pairs, [2]topology.NodeID{a, c})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		for _, pr := range pairs {
+			fmt.Fprintf(&b, "link %d %d\n", pr[0], pr[1])
+		}
+	}
+
+	if p.Catalog != nil {
+		for _, pat := range p.Catalog.Patterns() {
+			devs := make([]int, 0, len(pat.Devices))
+			for _, d := range pat.Devices {
+				devs = append(devs, int(d))
+			}
+			sort.Ints(devs)
+			fmt.Fprintf(&b, "pattern %d %q devs=%v usability=%d score=%d\n",
+				pat.ID, pat.Name, devs, pat.UsabilityPct, p.Catalog.Score(pat.ID))
+		}
+		for _, dev := range p.Catalog.Devices() {
+			fmt.Fprintf(&b, "device %d %q cost=%d\n", dev.ID, dev.Name, dev.Cost)
+		}
+	}
+
+	flows := append([]usability.Flow(nil), p.Flows...)
+	sort.Slice(flows, func(i, j int) bool {
+		a, c := flows[i], flows[j]
+		if a.Src != c.Src {
+			return a.Src < c.Src
+		}
+		if a.Dst != c.Dst {
+			return a.Dst < c.Dst
+		}
+		return a.Svc < c.Svc
+	})
+	for _, f := range flows {
+		rank := 1
+		if p.Ranks != nil {
+			rank = p.Ranks.Rank(f)
+		}
+		req := p.Requirements != nil && p.Requirements.Required(f)
+		fmt.Fprintf(&b, "flow %d %d %d rank=%d require=%t\n", f.Src, f.Dst, f.Svc, rank, req)
+	}
+
+	if p.Policies != nil {
+		// Policy rules are conjunctive, so declaration order is semantic
+		// noise; sort their renderings.
+		rules := make([]string, 0, p.Policies.Len())
+		for _, r := range p.Policies.All() {
+			rules = append(rules, fmt.Sprint(r))
+		}
+		sort.Strings(rules)
+		for _, r := range rules {
+			fmt.Fprintf(&b, "policy %s\n", r)
+		}
+	}
+	return []byte(b.String())
+}
+
+// Fingerprint hashes the canonical serialization of a problem to a
+// stable hex cache key.
+func Fingerprint(p *core.Problem) string {
+	sum := sha256.Sum256(Canonical(p))
+	return hex.EncodeToString(sum[:])
+}

@@ -44,6 +44,7 @@ func Parse(r io.Reader) (*core.Problem, error) {
 		hosts        int
 		routers      int
 		links        [][2]int
+		linkSeen     = map[[2]int]bool{}
 		services     = 1
 		requirements [][3]int
 		sliders      []float64
@@ -66,7 +67,11 @@ func Parse(r io.Reader) (*core.Problem, error) {
 			if len(args) != 1 {
 				return nil, fail("devices expects one integer")
 			}
-			nDevices, _ = strconv.Atoi(args[0])
+			var err error
+			nDevices, err = strconv.Atoi(args[0])
+			if err != nil || nDevices < 0 {
+				return nil, fail("devices must be a non-negative integer")
+			}
 		case "order":
 			if len(args) != 3 {
 				return nil, fail("order expects <a> <b> <rel>")
@@ -94,10 +99,11 @@ func Parse(r io.Reader) (*core.Problem, error) {
 			if len(args) != 2 {
 				return nil, fail("nodes expects <hosts> <routers>")
 			}
-			hosts, _ = strconv.Atoi(args[0])
-			routers, _ = strconv.Atoi(args[1])
-			if hosts <= 0 || routers < 0 {
-				return nil, fail("nodes counts must be positive")
+			var err1, err2 error
+			hosts, err1 = strconv.Atoi(args[0])
+			routers, err2 = strconv.Atoi(args[1])
+			if err1 != nil || err2 != nil || hosts <= 0 || routers < 0 {
+				return nil, fail("nodes counts must be positive integers")
 			}
 		case "link":
 			if len(args) != 2 {
@@ -108,14 +114,26 @@ func Parse(r io.Reader) (*core.Problem, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fail("link endpoints must be integers")
 			}
+			if a == b {
+				return nil, fail("link endpoints must differ")
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if linkSeen[[2]int{lo, hi}] {
+				return nil, fail(fmt.Sprintf("duplicate link %d %d", a, b))
+			}
+			linkSeen[[2]int{lo, hi}] = true
 			links = append(links, [2]int{a, b})
 		case "services":
 			if len(args) != 1 {
 				return nil, fail("services expects one integer")
 			}
-			services, _ = strconv.Atoi(args[0])
-			if services <= 0 {
-				return nil, fail("services must be positive")
+			var err error
+			services, err = strconv.Atoi(args[0])
+			if err != nil || services <= 0 {
+				return nil, fail("services must be a positive integer")
 			}
 		case "require":
 			if len(args) != 2 && len(args) != 3 {
@@ -188,7 +206,22 @@ func Parse(r io.Reader) (*core.Problem, error) {
 		}
 	}
 	if len(orders) == 0 {
+		// The paper's default partial order, restricted to the catalog.
 		orders = restrictOrder(isolation.DefaultOrder(), patterns)
+	} else {
+		// User-given orders must name catalog patterns: an order on a
+		// pattern dropped by the devices restriction (or never defined) is
+		// a spec error, not something to silently ignore.
+		known := make(map[isolation.PatternID]bool, len(patterns))
+		for _, p := range patterns {
+			known[p.ID] = true
+		}
+		for _, o := range orders {
+			if !known[o.A] || !known[o.B] {
+				return nil, fmt.Errorf("%w: order %d %d references a pattern outside the catalog (devices %d)",
+					ErrSyntax, o.A, o.B, nDevices)
+			}
+		}
 	}
 	catalog, err := isolation.NewCatalog(patterns, devices, restrictOrder(orders, patterns))
 	if err != nil {
@@ -222,6 +255,10 @@ func Parse(r io.Reader) (*core.Problem, error) {
 	for _, r := range requirements {
 		if r[0] < 1 || r[0] > hosts || r[1] < 1 || r[1] > hosts {
 			return nil, fmt.Errorf("%w: requirement %d->%d out of host range", ErrSyntax, r[0], r[1])
+		}
+		if r[2] < 1 || r[2] > services {
+			return nil, fmt.Errorf("%w: requirement %d->%d names service %d (services %d)",
+				ErrSyntax, r[0], r[1], r[2], services)
 		}
 		reqs.Require(usability.Flow{
 			Src: ids[r[0]],

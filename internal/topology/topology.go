@@ -202,6 +202,10 @@ type RouteOptions struct {
 	MaxHops int
 }
 
+// Normalized returns the options with defaults filled in, exposing the
+// effective caps to canonical problem serialization.
+func (o RouteOptions) Normalized() RouteOptions { return o.withDefaults() }
+
 func (o RouteOptions) withDefaults() RouteOptions {
 	if o.MaxRoutes <= 0 {
 		o.MaxRoutes = 8
