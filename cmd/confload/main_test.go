@@ -2,10 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestProblemSpecsParseAndAreDeterministic(t *testing.T) {
@@ -50,6 +56,106 @@ func TestLoadRunInProcess(t *testing.T) {
 	}
 	if rep.CacheHitRate < 0.8 {
 		t.Errorf("hit rate = %.2f", rep.CacheHitRate)
+	}
+}
+
+func TestBackoffDelayCappedAndFloored(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 20; attempt++ {
+		d := backoffDelay(rng, attempt, 0)
+		if d < 0 || d >= maxBackoff {
+			t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, maxBackoff)
+		}
+	}
+	// Retry-After is a floor under the jitter, not a replacement for it.
+	const floor = 3 * time.Second
+	for i := 0; i < 20; i++ {
+		if d := backoffDelay(rng, 0, floor); d < floor || d >= floor+maxBackoff {
+			t.Fatalf("delay %v outside [%v, %v)", d, floor, floor+maxBackoff)
+		}
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		raw  string
+		want time.Duration
+	}{
+		{"", 0}, {"2", 2 * time.Second}, {" 1 ", time.Second},
+		{"-3", 0}, {"soon", 0},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(mk(c.raw)); got != c.want {
+			t.Errorf("retryAfterHint(%q) = %v, want %v", c.raw, got, c.want)
+		}
+	}
+}
+
+// TestPostRetries429 drives post against a server that throttles the
+// first two attempts: the request must succeed with exactly two
+// retries reported, and the Retry-After floor must be honored.
+func TestPostRetries429(t *testing.T) {
+	var calls atomic.Int64
+	var afterFloor atomic.Int64
+	var last atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 && time.Duration(now-prev) >= time.Second {
+			afterFloor.Add(1)
+		}
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"status":"sat"}`)
+	}))
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	retries, err := post(rng, srv.URL, "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	if afterFloor.Load() != 2 {
+		t.Errorf("only %d retries waited out the 1s Retry-After floor, want 2", afterFloor.Load())
+	}
+}
+
+// TestPostGivesUpAfterMaxAttempts: a permanently throttling server must
+// not hold a client forever.
+func TestPostGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	retries, err := post(rng, srv.URL, "body")
+	if err == nil {
+		t.Fatal("post succeeded against a permanent 503")
+	}
+	if calls.Load() != maxAttempts {
+		t.Errorf("server saw %d calls, want %d", calls.Load(), maxAttempts)
+	}
+	if retries != maxAttempts-1 {
+		t.Errorf("retries = %d, want %d", retries, maxAttempts-1)
 	}
 }
 

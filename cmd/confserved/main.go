@@ -8,6 +8,13 @@
 //
 //	confserved [-addr :8732] [-workers 2] [-solver-workers 1]
 //	           [-queue 64] [-cache 256] [-timeout 120s] [-max-timeout 10m]
+//	           [-journal path] [-journal-sync] [-drain-timeout 10s]
+//
+// With -journal, every accepted job is recorded in an append-only,
+// checksummed write-ahead log before it is enqueued, and every terminal
+// result after it completes. Restarting against the same journal
+// replays it: proven results re-seed the cache and accepted-but-
+// unfinished jobs are re-enqueued, so a crash loses no accepted work.
 //
 // Endpoints:
 //
@@ -15,8 +22,9 @@
 //	                      ?example=1 ?mode= ?timeout= ?async=1 ?stream=1
 //	POST /v1/verify       independently validate a design
 //	GET  /v1/jobs/{id}    job status; ?stream=1 replays NDJSON events
-//	GET  /healthz         liveness
-//	GET  /statsz          queue, cache, and solver counters
+//	GET  /healthz         liveness (process up)
+//	GET  /readyz          readiness (503 while replaying, saturated, or draining)
+//	GET  /statsz          queue, cache, journal, and solver counters
 package main
 
 import (
@@ -54,19 +62,27 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		cacheEntries  = fs.Int("cache", 256, "result cache entries")
 		timeout       = fs.Duration("timeout", 120*time.Second, "default per-job deadline")
 		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+		journal       = fs.String("journal", "", "durable job journal path (empty disables durability)")
+		journalSync   = fs.Bool("journal-sync", false, "fsync the journal after every record")
+		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight jobs before they are canceled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		Workers:        *workers,
 		SolverWorkers:  *solverWorkers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		JournalPath:    *journal,
+		JournalSync:    *journalSync,
 	})
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -97,8 +113,15 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	case <-stop:
 	}
 	fmt.Fprintln(stdout, "confserved shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Drain first: the service stops accepting (readyz flips to 503,
+	// new submits fail), finishes in-flight jobs within the budget, and
+	// journals their results. Only then is the HTTP server closed, so
+	// clients of draining jobs still get their responses.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if err := svc.Drain(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stdout, "confserved drain: %v\n", err)
+	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

@@ -43,3 +43,22 @@ func (s *Synthesizer) ClearInterrupt() { s.sol.ClearInterrupt() }
 // device on every candidate link — a trivially sufficient budget, used
 // as the upper end of cost binary searches.
 func (s *Synthesizer) CostUpperBound() int64 { return s.costSum.Total() }
+
+// AnytimeAt re-extracts a feasible design at thresholds an optimization
+// descent already proved satisfiable — the degrade-to-anytime hook:
+// when a deadline truncates a descent mid-search, the portfolio
+// re-checks its best incumbent bound here and returns that model marked
+// inexact instead of surfacing a bare timeout. The check runs under the
+// probe budget so a degraded extraction cannot itself run unbounded.
+func (s *Synthesizer) AnytimeAt(th Thresholds) (*Design, error) {
+	d, err := s.probe([]smt.Bool{
+		s.guardIsolation(th.IsolationTenths),
+		s.guardUsability(th.UsabilityTenths),
+		s.guardCost(th.CostBudget),
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Exact = false
+	return d, nil
+}

@@ -1,0 +1,214 @@
+// Package faults is ConfigSynth's deterministic fault-injection
+// registry: named injection points threaded through the solver stack
+// (internal/sat), the portfolio coordinator, the write-ahead journal,
+// and the synthesis service decide — from a seed, the site name, and a
+// per-site call counter — whether the n-th arrival at a site fires a
+// fault. The same plan therefore injects the same fault schedule on
+// every run, which is what lets the chaos tests assert exact recovery
+// behaviour instead of hoping a race shows up.
+//
+// Injection is off unless a plan is installed, either programmatically
+// (Set, for tests) or via the CONFSYNTH_FAULTS environment variable:
+//
+//	CONFSYNTH_FAULTS="seed=42,sat.solve.panic=0.1,wal.append.err=0.05,sat.solve.delay=1.0:25ms"
+//
+// Each entry is site=rate with rate in [0,1]; delay sites take an
+// optional ":duration" suffix (default 10ms). With no plan installed
+// every hook is a single atomic load.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The injection sites wired into the codebase. Sites are plain strings
+// so tests can add ad-hoc ones; these constants document the shipped
+// hooks.
+const (
+	// SatSolvePanic panics at the entry of a CDCL solve — a poisoned
+	// solver instance. The service must convert it into a failed job and
+	// keep the daemon alive.
+	SatSolvePanic = "sat.solve.panic"
+	// SatSolveDelay sleeps at the entry of a CDCL solve, stretching probe
+	// latency so deadlines land mid-descent deterministically.
+	SatSolveDelay = "sat.solve.delay"
+	// SatSolveInterrupt asserts the solver's cooperative interrupt flag
+	// spuriously at solve entry, forcing an Unknown outcome.
+	SatSolveInterrupt = "sat.solve.interrupt"
+	// PortfolioProbeInterrupt interrupts a raced worker just before a
+	// portfolio probe launches — a lost race the descent must absorb.
+	PortfolioProbeInterrupt = "portfolio.probe.interrupt"
+	// WALAppendErr fails a journal append with an I/O-shaped error after
+	// a torn partial write, exercising the log's self-repair.
+	WALAppendErr = "wal.append.err"
+	// ServiceJournalErr fails the service's journal append wrapper before
+	// the write-ahead log is even reached.
+	ServiceJournalErr = "service.journal.err"
+)
+
+// site is one configured injection point.
+type site struct {
+	rate  float64 // firing probability per call, in [0, 1]
+	delay time.Duration
+	calls atomic.Uint64
+}
+
+// Plan is a parsed fault schedule. A nil *Plan injects nothing.
+type Plan struct {
+	seed  uint64
+	sites map[string]*site
+}
+
+// Parse reads a plan from its textual form: comma-separated
+// "site=rate[:duration]" entries plus an optional "seed=N".
+func Parse(s string) (*Plan, error) {
+	p := &Plan{sites: make(map[string]*site)}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not site=rate", part)
+		}
+		if key == "seed" {
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", val)
+			}
+			p.seed = n
+			continue
+		}
+		rateStr, durStr, hasDur := strings.Cut(val, ":")
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faults: site %s: rate %q must be in [0,1]", key, rateStr)
+		}
+		st := &site{rate: rate, delay: 10 * time.Millisecond}
+		if hasDur {
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: site %s: bad duration %q", key, durStr)
+			}
+			st.delay = d
+		}
+		p.sites[key] = st
+	}
+	if len(p.sites) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// active is the installed plan; nil means injection is disabled.
+var active atomic.Pointer[Plan]
+
+var initOnce sync.Once
+
+// fromEnv installs the CONFSYNTH_FAULTS plan once, lazily: init-order
+// independence matters because sat/wal consult Active on hot paths.
+func fromEnv() {
+	initOnce.Do(func() {
+		raw := os.Getenv("CONFSYNTH_FAULTS")
+		if raw == "" {
+			return
+		}
+		p, err := Parse(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "configsynth:", err, "(fault injection disabled)")
+			return
+		}
+		active.Store(p)
+	})
+}
+
+// Set installs a plan (nil disables injection) and returns a restore
+// function; tests use it to scope a fault schedule to one test. It also
+// suppresses the environment plan for the lifetime of the process once
+// called, keeping test plans deterministic.
+func Set(p *Plan) (restore func()) {
+	initOnce.Do(func() {}) // suppress env loading
+	prev := active.Swap(p)
+	return func() { active.Store(prev) }
+}
+
+// Active reports whether any fault plan is installed. It is the
+// cheap guard hot paths branch on before calling the decision hooks.
+func Active() bool {
+	fromEnv()
+	return active.Load() != nil
+}
+
+// decide reports whether the n-th call at a site fires under the plan,
+// using a splitmix64 of (seed, site hash, call index): deterministic
+// per (plan, site, arrival index), independent across sites.
+func (p *Plan) decide(name string, st *site) bool {
+	if st.rate <= 0 {
+		return false
+	}
+	if st.rate >= 1 {
+		st.calls.Add(1)
+		return true
+	}
+	n := st.calls.Add(1)
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := p.seed ^ h.Sum64() ^ (n * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < st.rate
+}
+
+// Fire reports whether the current arrival at the site should inject
+// its fault. Sites absent from the plan never fire.
+func Fire(name string) bool {
+	if !Active() {
+		return false
+	}
+	p := active.Load()
+	if p == nil {
+		return false
+	}
+	st, ok := p.sites[name]
+	if !ok {
+		return false
+	}
+	return p.decide(name, st)
+}
+
+// Delay sleeps for the site's configured duration when the site fires,
+// and reports whether it did.
+func Delay(name string) bool {
+	if !Active() {
+		return false
+	}
+	p := active.Load()
+	if p == nil {
+		return false
+	}
+	st, ok := p.sites[name]
+	if !ok || !p.decide(name, st) {
+		return false
+	}
+	time.Sleep(st.delay)
+	return true
+}
+
+// Err returns an injected error when the site fires, nil otherwise.
+func Err(name string) error {
+	if Fire(name) {
+		return fmt.Errorf("faults: injected error at %s", name)
+	}
+	return nil
+}

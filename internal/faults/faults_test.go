@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=42,sat.solve.panic=0.1,sat.solve.delay=1.0:25ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.seed != 42 {
+		t.Errorf("seed = %d", p.seed)
+	}
+	if st := p.sites[SatSolvePanic]; st == nil || st.rate != 0.1 {
+		t.Errorf("panic site = %+v", st)
+	}
+	if st := p.sites[SatSolveDelay]; st == nil || st.rate != 1.0 || st.delay != 25*time.Millisecond {
+		t.Errorf("delay site = %+v", st)
+	}
+	if p, err := Parse(""); err != nil || p != nil {
+		t.Errorf("empty plan: %v %v", p, err)
+	}
+	for _, bad := range []string{"nope", "x=2.0", "x=0.5:zzz", "seed=-1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFireDeterministicAndSeedSensitive(t *testing.T) {
+	schedule := func(seed string) []bool {
+		p, err := Parse("seed=" + seed + ",x=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer Set(p)()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire("x")
+		}
+		return out
+	}
+	a, b := schedule("7"), schedule("7")
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("rate 0.5 fired %d/%d times", fired, len(a))
+	}
+	c := schedule("8")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestRateEdgesAndUnknownSites(t *testing.T) {
+	p, err := Parse("seed=1,always=1,never=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Set(p)()
+	for i := 0; i < 16; i++ {
+		if !Fire("always") {
+			t.Fatal("rate 1 did not fire")
+		}
+		if Fire("never") {
+			t.Fatal("rate 0 fired")
+		}
+		if Fire("absent") {
+			t.Fatal("unconfigured site fired")
+		}
+	}
+	if err := Err("always"); err == nil {
+		t.Error("Err on a firing site returned nil")
+	}
+	if err := Err("never"); err != nil {
+		t.Errorf("Err on a silent site returned %v", err)
+	}
+}
+
+func TestDisabledPlanIsInert(t *testing.T) {
+	defer Set(nil)()
+	if Active() {
+		t.Error("Active with nil plan")
+	}
+	if Fire("anything") || Delay("anything") || Err("anything") != nil {
+		t.Error("nil plan injected")
+	}
+}
+
+func TestDelaySleeps(t *testing.T) {
+	p, err := Parse("seed=1,d=1:30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Set(p)()
+	start := time.Now()
+	if !Delay("d") {
+		t.Fatal("delay site did not fire at rate 1")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("Delay slept only %v", elapsed)
+	}
+}

@@ -79,10 +79,17 @@ func (s *Solver) guard(ctx context.Context, query func() error) error {
 			}
 		}
 	}()
+	// The watcher is reaped by defer, not straight-line code: a panic
+	// inside query() (a poisoned solver under fault injection) must still
+	// stop the re-assert loop and re-arm the solvers on its way up to the
+	// service's containment layer, or every contained panic would leak a
+	// ticking goroutine.
+	defer func() {
+		close(done)
+		wg.Wait()
+		s.clearAll()
+	}()
 	err := query()
-	close(done)
-	wg.Wait()
-	s.clearAll()
 	if cerr := ctx.Err(); cerr != nil && interrupted(err) {
 		return cerr
 	}

@@ -29,8 +29,10 @@ package portfolio
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"configsynth/internal/core"
+	"configsynth/internal/faults"
 	"configsynth/internal/smt"
 )
 
@@ -43,6 +45,20 @@ type Solver struct {
 	prob  *core.Problem
 	canon *core.Synthesizer   // canonical extraction engine, never raced
 	work  []*core.Synthesizer // diversified raced workers; nil = delegate
+
+	// dead marks workers whose last probe panicked: a panic may leave a
+	// solver's trail or clause database inconsistent, so the worker is
+	// retired from all later races rather than trusted again. panics
+	// counts panics the portfolio absorbed without failing the query.
+	dead   []bool
+	panics atomic.Uint64
+
+	// incumbent is the tightest threshold combination an optimization
+	// descent has proven satisfiable so far; haveIncumbent gates it. When
+	// a deadline truncates the descent, AnytimeDesign re-extracts the
+	// feasible model at these thresholds instead of losing the work.
+	incumbent     core.Thresholds
+	haveIncumbent bool
 
 	// onBound, when set, observes every improvement an optimization
 	// descent proves: after each satisfiable probe the newly established
@@ -109,7 +125,7 @@ func NewRacing(p *core.Problem, workers int) (*Solver, error) {
 		}
 		work[i] = w
 	}
-	return &Solver{prob: p, canon: canon, work: work}, nil
+	return &Solver{prob: p, canon: canon, work: work, dead: make([]bool, workers)}, nil
 }
 
 // WorkerConfig returns the diversification profile of worker i. Worker
@@ -138,42 +154,114 @@ func (s *Solver) Workers() int { return len(s.work) }
 // Problem returns the problem the solver was built on.
 func (s *Solver) Problem() *core.Problem { return s.canon.Problem() }
 
-// raceStatus races one threshold probe across the workers and returns
-// the first definitive status, cancelling and rejoining the losers. If
-// every worker reports Unknown (budget exhausted), Unknown is returned.
+// liveWorkers returns the indices of workers that have not been retired
+// by a panic.
+func (s *Solver) liveWorkers() []int {
+	live := make([]int, 0, len(s.work))
+	for i := range s.work {
+		if !s.dead[i] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// probeWorker runs one worker's probe under a recover barrier: a panic
+// inside the solver is returned as pval instead of unwinding through
+// the race, so one poisoned instance cannot take the others — or the
+// daemon — down with it.
+func (s *Solver) probeWorker(i int, th core.Thresholds, limited bool) (st smt.Status, pval any) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, pval = smt.Unknown, r
+		}
+	}()
+	return s.work[i].ProbeStatus(th, limited), nil
+}
+
+// PanicsRecovered returns the number of worker panics the portfolio
+// absorbed: panics that retired a worker while surviving workers kept
+// the query alive. A panic that leaves no worker standing is rethrown
+// to the caller and not counted here.
+func (s *Solver) PanicsRecovered() uint64 { return s.panics.Load() }
+
+// raceStatus races one threshold probe across the live workers and
+// returns the first definitive status, cancelling and rejoining the
+// losers. If every live worker reports Unknown (budget exhausted),
+// Unknown is returned. A worker that panics is retired from future
+// races; only when every live worker panicked in the same race is the
+// panic rethrown.
 func (s *Solver) raceStatus(th core.Thresholds, limited bool) smt.Status {
-	if len(s.work) == 1 {
-		return s.work[0].ProbeStatus(th, limited)
+	if faults.Active() && faults.Fire(faults.PortfolioProbeInterrupt) {
+		// Chaos hook: a spurious cancellation landing on a worker just as
+		// the race launches — the descent must absorb the lost answer.
+		for i := range s.work {
+			if !s.dead[i] {
+				s.work[i].Interrupt()
+				break
+			}
+		}
+	}
+	live := s.liveWorkers()
+	if len(live) == 0 {
+		// Every worker has panicked in earlier probes; nothing can answer.
+		panic("portfolio: all raced workers retired by panics")
+	}
+	if len(live) == 1 {
+		st, pval := s.probeWorker(live[0], th, limited)
+		if pval != nil {
+			s.dead[live[0]] = true
+			panic(pval)
+		}
+		return st
 	}
 	type outcome struct {
 		status smt.Status
 		worker int
+		pval   any
 	}
-	ch := make(chan outcome, len(s.work))
-	for i, w := range s.work {
-		go func(i int, w *core.Synthesizer) {
-			ch <- outcome{w.ProbeStatus(th, limited), i}
-		}(i, w)
+	ch := make(chan outcome, len(live))
+	for _, i := range live {
+		go func(i int) {
+			st, pval := s.probeWorker(i, th, limited)
+			ch <- outcome{st, i, pval}
+		}(i)
 	}
 	status := smt.Unknown
-	for n := 0; n < len(s.work); n++ {
+	panicked := 0
+	var lastPanic any
+	for n := 0; n < len(live); n++ {
 		out := <-ch
+		if out.pval != nil {
+			s.dead[out.worker] = true
+			panicked++
+			lastPanic = out.pval
+			continue
+		}
 		if out.status != smt.Unknown && status == smt.Unknown {
 			status = out.status
 			// First definitive answer: cancel everyone else. Interrupt
 			// is idempotent and harmless on workers already done.
-			for j, w := range s.work {
+			for _, j := range live {
 				if j != out.worker {
-					w.Interrupt()
+					s.work[j].Interrupt()
 				}
 			}
 		}
 	}
-	// All workers have rejoined; re-arm them for the next probe so a
-	// stale interrupt cannot leak into it.
-	for _, w := range s.work {
-		w.ClearInterrupt()
+	// All workers have rejoined; re-arm the survivors for the next probe
+	// so a stale interrupt cannot leak into it.
+	for _, i := range live {
+		if !s.dead[i] {
+			s.work[i].ClearInterrupt()
+		}
 	}
+	if panicked == len(live) {
+		// No survivors this race: the query cannot make progress, so the
+		// panic escapes to the caller (the service's containment layer).
+		panic(lastPanic)
+	}
+	s.panics.Add(uint64(panicked))
 	return status
 }
 
@@ -248,6 +336,34 @@ func (s *Solver) finish(th core.Thresholds, exact bool) (*core.Design, error) {
 	return d, nil
 }
 
+// resetIncumbent discards the previous query's incumbent; each
+// optimization call starts with no feasible model in hand.
+func (s *Solver) resetIncumbent() { s.haveIncumbent = false }
+
+// setIncumbent records th as proven satisfiable — a feasible model the
+// query could fall back on if it is cut short.
+func (s *Solver) setIncumbent(th core.Thresholds) { s.incumbent, s.haveIncumbent = th, true }
+
+// AnytimeDesign extracts the feasible design at the best bound the last
+// optimization descent proved before it was interrupted — the
+// degrade-to-anytime path confserved takes when a job's deadline
+// expires mid-descent. It reports false when the descent never reached
+// a satisfiable probe (nothing to degrade to) or when re-extraction
+// itself fails. The returned design has Exact=false.
+func (s *Solver) AnytimeDesign() (*core.Design, bool) {
+	if !s.haveIncumbent {
+		return nil, false
+	}
+	// The interrupt that cut the descent short is sticky; re-arm before
+	// the extraction check or it would immediately return Unknown.
+	s.clearAll()
+	d, err := s.canon.AnytimeAt(s.incumbent)
+	if err != nil {
+		return nil, false
+	}
+	return d, true
+}
+
 // MaxIsolation computes the maximum achievable network isolation (0–10
 // scale) subject to a usability threshold and a cost budget, as in the
 // paper's Fig. 3 curves. With workers, each binary-search probe is
@@ -256,6 +372,7 @@ func (s *Solver) MaxIsolation(usabilityTenths int, costBudget int64) (float64, *
 	if s.work == nil {
 		return s.canon.MaxIsolation(usabilityTenths, costBudget)
 	}
+	s.resetIncumbent()
 	base := core.Thresholds{UsabilityTenths: usabilityTenths, CostBudget: costBudget}
 	switch s.raceStatus(base, false) {
 	case smt.Unknown:
@@ -267,11 +384,13 @@ func (s *Solver) MaxIsolation(usabilityTenths int, costBudget int64) (float64, *
 		}
 		return 0, nil, err
 	}
+	s.setIncumbent(base)
 	best, exact := s.descent(0, 100, true, func(v int64) smt.Status {
 		th := base
 		th.IsolationTenths = int(v)
 		st := s.raceStatus(th, true)
 		if st == smt.Sat {
+			s.setIncumbent(th)
 			s.emitBound(core.ThresholdIsolation, v)
 		}
 		return st
@@ -291,6 +410,7 @@ func (s *Solver) MaxUsability(isolationTenths int, costBudget int64) (float64, *
 	if s.work == nil {
 		return s.canon.MaxUsability(isolationTenths, costBudget)
 	}
+	s.resetIncumbent()
 	base := core.Thresholds{IsolationTenths: isolationTenths, CostBudget: costBudget}
 	switch s.raceStatus(base, false) {
 	case smt.Unknown:
@@ -302,11 +422,13 @@ func (s *Solver) MaxUsability(isolationTenths int, costBudget int64) (float64, *
 		}
 		return 0, nil, err
 	}
+	s.setIncumbent(base)
 	best, exact := s.descent(0, 100, true, func(v int64) smt.Status {
 		th := base
 		th.UsabilityTenths = int(v)
 		st := s.raceStatus(th, true)
 		if st == smt.Sat {
+			s.setIncumbent(th)
 			s.emitBound(core.ThresholdUsability, v)
 		}
 		return st
@@ -326,6 +448,7 @@ func (s *Solver) MinCost(isolationTenths, usabilityTenths int) (int64, *core.Des
 	if s.work == nil {
 		return s.canon.MinCost(isolationTenths, usabilityTenths)
 	}
+	s.resetIncumbent()
 	upper := s.canon.CostUpperBound()
 	base := core.Thresholds{
 		IsolationTenths: isolationTenths,
@@ -342,11 +465,13 @@ func (s *Solver) MinCost(isolationTenths, usabilityTenths int) (int64, *core.Des
 		}
 		return 0, nil, err
 	}
+	s.setIncumbent(base)
 	best, exact := s.descent(0, upper, false, func(v int64) smt.Status {
 		th := base
 		th.CostBudget = v
 		st := s.raceStatus(th, true)
 		if st == smt.Sat {
+			s.setIncumbent(th)
 			s.emitBound(core.ThresholdCost, v)
 		}
 		return st

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+
+	"configsynth/internal/faults"
 )
 
 // ErrAddAfterUnsat is returned when clauses are added to a solver that is
@@ -792,6 +794,18 @@ func luby(y float64, x int64) float64 {
 // the subset of assumptions responsible. After Sat, ModelValue reads the
 // model.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	if faults.Active() {
+		// Chaos hooks, inert unless a CONFSYNTH_FAULTS plan is installed:
+		// a stretched solve, a spuriously-cancelled solve, or a poisoned
+		// solver instance that panics mid-search.
+		faults.Delay(faults.SatSolveDelay)
+		if faults.Fire(faults.SatSolveInterrupt) {
+			s.Interrupt()
+		}
+		if faults.Fire(faults.SatSolvePanic) {
+			panic("sat: injected solver panic (CONFSYNTH_FAULTS " + faults.SatSolvePanic + ")")
+		}
+	}
 	if s.rootUnsat {
 		s.conflictSet = s.conflictSet[:0]
 		return Unsat

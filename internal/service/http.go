@@ -24,9 +24,21 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	// /healthz is liveness: the process is up and serving. /readyz is
+	// readiness: 503 while the journal replay is still draining, the
+	// queue is saturated, or shutdown drain has begun — load balancers
+	// should stop routing, but the process must not be killed.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := s.Ready()
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{"ready": ready, "reason": reason})
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -57,6 +69,11 @@ func submitError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, "job queue is full; retry shortly")
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "service is shutting down")
+	case errors.Is(err, ErrJournal):
+		// The job was refused before enqueue, so retrying is safe; the
+		// journal may recover (self-repair) by the next attempt.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "job journal unavailable; retry shortly")
 	case errors.As(err, &bad):
 		writeError(w, http.StatusBadRequest, "%s", bad.Msg)
 	default:
@@ -66,26 +83,27 @@ func submitError(w http.ResponseWriter, err error) {
 
 // parseProblem reads the request problem: the body in the paper's
 // Table IV spec format, or the built-in paper example with ?example=1
-// (and an empty body).
-func parseProblem(r *http.Request) (*core.Problem, error) {
+// (and an empty body). The returned JobSource is the replayable origin
+// the journal records — HTTP submissions always have one.
+func parseProblem(r *http.Request) (*core.Problem, *JobSource, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
-		return nil, &BadRequestError{Msg: fmt.Sprintf("reading body: %v", err)}
+		return nil, nil, &BadRequestError{Msg: fmt.Sprintf("reading body: %v", err)}
 	}
 	if r.URL.Query().Get("example") != "" {
 		if len(strings.TrimSpace(string(body))) != 0 {
-			return nil, &BadRequestError{Msg: "example=1 takes no body"}
+			return nil, nil, &BadRequestError{Msg: "example=1 takes no body"}
 		}
-		return netgen.PaperExample(), nil
+		return netgen.PaperExample(), &JobSource{Example: true}, nil
 	}
 	if len(strings.TrimSpace(string(body))) == 0 {
-		return nil, &BadRequestError{Msg: "empty body; POST a problem in the Table IV spec format (or use ?example=1)"}
+		return nil, nil, &BadRequestError{Msg: "empty body; POST a problem in the Table IV spec format (or use ?example=1)"}
 	}
 	p, err := spec.Parse(strings.NewReader(string(body)))
 	if err != nil {
-		return nil, &BadRequestError{Msg: err.Error()}
+		return nil, nil, &BadRequestError{Msg: err.Error()}
 	}
-	return p, nil
+	return p, &JobSource{Spec: string(body)}, nil
 }
 
 // parseTimeout reads ?timeout=30s style deadlines.
@@ -109,7 +127,7 @@ func parseTimeout(r *http.Request) (time.Duration, error) {
 //	?stream=1        NDJSON event stream: queued, started, bound…, done
 //	?example=1       use the built-in paper example problem
 func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	prob, err := parseProblem(r)
+	prob, src, err := parseProblem(r)
 	if err != nil {
 		submitError(w, err)
 		return
@@ -125,6 +143,7 @@ func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	opts := SubmitOptions{
 		Mode:    Mode(q.Get("mode")),
 		Timeout: timeout,
+		Source:  src,
 	}
 	if opts.Mode == "" {
 		opts.Mode = ModeSolve
@@ -261,9 +280,13 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var prob *core.Problem
+	var (
+		prob *core.Problem
+		src  *JobSource
+	)
 	if r.URL.Query().Get("example") != "" {
 		prob = netgen.PaperExample()
+		src = &JobSource{Example: true}
 	} else {
 		if strings.TrimSpace(req.Problem) == "" {
 			writeError(w, http.StatusBadRequest, `missing "problem" (spec text)`)
@@ -274,13 +297,14 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		src = &JobSource{Spec: req.Problem}
 	}
 	timeout, err := parseTimeout(r)
 	if err != nil {
 		submitError(w, err)
 		return
 	}
-	vr, dj, err := s.Verify(r.Context(), prob, req.Design, timeout)
+	vr, dj, err := s.Verify(r.Context(), prob, req.Design, timeout, src)
 	if err != nil {
 		submitError(w, err)
 		return

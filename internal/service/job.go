@@ -92,6 +92,13 @@ type Result struct {
 	// Cached is true when the result was served from the canonical
 	// result cache instead of the SAT core.
 	Cached bool `json:"cached"`
+	// Degraded marks an anytime answer: the design is feasible but not
+	// proven optimal, because the deadline or the conflict budget cut the
+	// descent short. Degraded results are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason says what truncated the descent: "deadline",
+	// "canceled", or "budget".
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// ElapsedMS is the solve wall-clock of the run that produced the
 	// result (cache hits keep the original solve time).
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -119,6 +126,10 @@ type Job struct {
 	prob   *core.Problem
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// replayed marks a job re-enqueued from the journal on startup; the
+	// service tracks these for readiness gating.
+	replayed bool
 
 	created time.Time
 

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"configsynth/internal/core"
+	"configsynth/internal/faults"
+	"configsynth/internal/netgen"
+	"configsynth/internal/spec"
+	"configsynth/internal/wal"
+)
+
+// This file is the service's durability layer: every accepted job is
+// journaled to an internal/wal write-ahead log at submit, every
+// terminal outcome at completion. Opening a service against an
+// existing journal replays it — proven results re-seed the cache,
+// accepted-but-unfinished jobs are re-enqueued under their original
+// IDs (deduplicated by fingerprint against the re-seeded cache, so a
+// replayed job whose answer is already proven completes instantly),
+// and the journal is compacted down to what is still live.
+
+// Journal record kinds.
+const (
+	recSubmit = "submit"
+	recResult = "result"
+)
+
+// JobSource is the re-parseable origin of a submitted problem: the raw
+// spec text, or the built-in paper example. The HTTP layer always
+// provides one; programmatic submits may omit it, in which case the
+// service derives a spec via WriteProblem when that round-trips to the
+// same fingerprint, and otherwise journals the job as non-replayable.
+type JobSource struct {
+	Spec    string `json:"spec,omitempty"`
+	Example bool   `json:"example,omitempty"`
+}
+
+// submitRecord journals one accepted job.
+type submitRecord struct {
+	ID          string `json:"id"`
+	Mode        Mode   `json:"mode"`
+	Fingerprint string `json:"fp"`
+	Spec        string `json:"spec,omitempty"`
+	Example     bool   `json:"example,omitempty"`
+	TimeoutMS   int64  `json:"timeout_ms"`
+}
+
+// resultRecord journals one terminal outcome.
+type resultRecord struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Mode        Mode     `json:"mode"`
+	Fingerprint string   `json:"fp"`
+	Result      *Result  `json:"result,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// journalAppend writes one record through the fault-injection gate.
+// With no journal configured it is a no-op.
+func (s *Service) journalAppend(kind string, v any) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := faults.Err(faults.ServiceJournalErr); err != nil {
+		return err
+	}
+	return s.wal.Append(kind, v)
+}
+
+// journalResult records a job's terminal state. Failures here are
+// counted but do not fail the job: the result has already been
+// delivered in memory, and the worst a lost result record costs is a
+// redundant re-solve after a crash (answering with an identical,
+// fingerprint-keyed result).
+func (s *Service) journalResult(j *Job) {
+	if s.wal == nil {
+		return
+	}
+	res, jerr := j.Result()
+	rr := resultRecord{
+		ID:          j.ID,
+		State:       j.State(),
+		Mode:        j.Mode,
+		Fingerprint: j.Fingerprint,
+		Result:      res,
+	}
+	if jerr != nil {
+		rr.Error = jerr.Error()
+	}
+	if err := s.journalAppend(recResult, rr); err != nil {
+		s.journalErrors.Add(1)
+	}
+}
+
+// sourceFor resolves the journaled form of a submission: the
+// caller-provided source verbatim, or a WriteProblem-derived spec that
+// provably re-parses to the same fingerprint. nil means the job cannot
+// be replayed (it is journaled anyway, so a crash converts it into an
+// explicit failure rather than silence).
+func sourceFor(prob *core.Problem, fp string, opts SubmitOptions) *JobSource {
+	if opts.Source != nil {
+		return opts.Source
+	}
+	var sb strings.Builder
+	if err := spec.WriteProblem(&sb, prob); err != nil {
+		return nil
+	}
+	re, err := spec.Parse(strings.NewReader(sb.String()))
+	if err != nil || spec.Fingerprint(re) != fp {
+		return nil
+	}
+	return &JobSource{Spec: sb.String()}
+}
+
+// problemFromSource rebuilds the problem a submit record was journaled
+// with and checks it still matches the journaled fingerprint.
+func problemFromSource(rec submitRecord) (*core.Problem, error) {
+	var prob *core.Problem
+	switch {
+	case rec.Example:
+		prob = netgen.PaperExample()
+	case rec.Spec != "":
+		p, err := spec.Parse(strings.NewReader(rec.Spec))
+		if err != nil {
+			return nil, fmt.Errorf("re-parsing journaled spec: %w", err)
+		}
+		prob = p
+	default:
+		return nil, fmt.Errorf("job was journaled without a replayable source")
+	}
+	if fp := spec.Fingerprint(prob); fp != rec.Fingerprint {
+		return nil, fmt.Errorf("journaled spec re-parses to fingerprint %s, want %s", fp[:12], rec.Fingerprint[:12])
+	}
+	return prob, nil
+}
+
+// provenResult reports whether a journaled result is safe to re-seed
+// the cache with: unsat cores and exact sat designs, the same classes
+// runJob caches. Degraded and budget-truncated answers are transient.
+func provenResult(rr resultRecord) bool {
+	if rr.State != StateDone || rr.Result == nil {
+		return false
+	}
+	switch rr.Result.Status {
+	case "unsat":
+		return true
+	case "sat":
+		return rr.Result.Design != nil && rr.Result.Design.Exact && !rr.Result.Degraded
+	}
+	return false
+}
+
+// replayState is what a journal scan recovers.
+type replayState struct {
+	pending []submitRecord // accepted jobs with no terminal record, in order
+	proven  []resultRecord // cache-seedable results, oldest first
+	maxID   int64          // highest numeric job ID seen
+}
+
+// scanJournal folds the raw WAL records into replay state.
+func scanJournal(records []wal.Record) replayState {
+	var st replayState
+	type pendingEntry struct {
+		rec  submitRecord
+		live bool
+	}
+	order := make([]string, 0, len(records))
+	submits := make(map[string]*pendingEntry, len(records))
+	for _, r := range records {
+		switch r.Kind {
+		case recSubmit:
+			var sr submitRecord
+			if json.Unmarshal(r.Data, &sr) != nil || sr.ID == "" {
+				continue
+			}
+			if _, dup := submits[sr.ID]; dup {
+				continue
+			}
+			submits[sr.ID] = &pendingEntry{rec: sr, live: true}
+			order = append(order, sr.ID)
+			var n int64
+			if _, err := fmt.Sscanf(sr.ID, "j%d", &n); err == nil && n > st.maxID {
+				st.maxID = n
+			}
+		case recResult:
+			var rr resultRecord
+			if json.Unmarshal(r.Data, &rr) != nil || rr.ID == "" {
+				continue
+			}
+			if e, ok := submits[rr.ID]; ok {
+				e.live = false
+			}
+			if provenResult(rr) {
+				st.proven = append(st.proven, rr)
+			}
+		}
+	}
+	for _, id := range order {
+		if e := submits[id]; e.live {
+			st.pending = append(st.pending, e.rec)
+		}
+	}
+	return st
+}
+
+// compactionRecords rebuilds the minimal journal: still-pending
+// submits plus the most recent cache-seedable results (bounded by the
+// cache size — older proven results would not fit the cache anyway).
+func compactionRecords(st replayState, cacheEntries int) ([]wal.Record, error) {
+	proven := st.proven
+	if len(proven) > cacheEntries {
+		proven = proven[len(proven)-cacheEntries:]
+	}
+	recs := make([]wal.Record, 0, len(proven)+len(st.pending))
+	for _, rr := range proven {
+		data, err := json.Marshal(rr)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, wal.Record{Kind: recResult, Data: data})
+	}
+	for _, sr := range st.pending {
+		data, err := json.Marshal(sr)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, wal.Record{Kind: recSubmit, Data: data})
+	}
+	return recs, nil
+}

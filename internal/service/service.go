@@ -14,13 +14,22 @@
 //	POST /v1/verify       independently validate a design
 //	GET  /v1/jobs/{id}    job status, ?stream=1 for NDJSON events
 //	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 while replaying, saturated, or draining)
 //	GET  /statsz          queue depth, cache and solver counters
+//
+// With Config.JournalPath set the service is crash-recoverable: jobs
+// are journaled to a write-ahead log at accept and at completion, and
+// reopening against the same journal replays unfinished work (see
+// journal.go). Solver panics are contained per job — the worker
+// converts them into failed results and restarts — so one poisoned
+// instance never takes the daemon down.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +38,7 @@ import (
 	"configsynth/internal/core"
 	"configsynth/internal/portfolio"
 	"configsynth/internal/spec"
+	"configsynth/internal/wal"
 )
 
 // Config tunes the service. Zero values select the documented defaults.
@@ -49,6 +59,13 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-requested deadlines (default 10m).
 	MaxTimeout time.Duration
+	// JournalPath, when non-empty, enables the durable job journal at
+	// that file path: accepted jobs and terminal results are logged, and
+	// Open replays unfinished work after a crash.
+	JournalPath string
+	// JournalSync fsyncs every journal append (durability against power
+	// loss, not just process death) at the cost of one flush per record.
+	JournalSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -84,7 +101,25 @@ var (
 	ErrQueueFull = errors.New("service: job queue is full")
 	// ErrClosed means the service is shutting down.
 	ErrClosed = errors.New("service: closed")
+	// ErrJournal means the job could not be made durable: the journal
+	// append failed, so the submission is rejected rather than accepted
+	// into a state a crash would silently lose.
+	ErrJournal = errors.New("service: journal write failed")
 )
+
+// SolverPanicError is the failed-job outcome of a contained solver
+// panic: the worker recovered it, recorded the panic value and stack,
+// and kept the daemon alive. Fingerprint identifies the problem so the
+// crash is reproducible offline.
+type SolverPanicError struct {
+	Value       string
+	Stack       string
+	Fingerprint string
+}
+
+func (e *SolverPanicError) Error() string {
+	return fmt.Sprintf("solver panic: %s (problem %s)\n%s", e.Value, e.Fingerprint, e.Stack)
+}
 
 // BadRequestError marks client errors (malformed spec, bad mode) so the
 // HTTP layer can map them to 400 instead of 500.
@@ -106,7 +141,25 @@ type Stats struct {
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	JobsActive    int64 `json:"jobs_active"`
 
+	// PanicsRecovered counts solver panics the service contained: worker
+	// and portfolio recoveries that were converted into failed jobs (or
+	// absorbed entirely) instead of crashing the daemon.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// JobsDegraded counts jobs answered with an anytime (Exact=false)
+	// incumbent after their deadline or budget expired mid-optimization.
+	JobsDegraded int64 `json:"jobs_degraded"`
+	// JobsReplayed counts jobs re-enqueued from the journal at startup.
+	JobsReplayed int64 `json:"jobs_replayed"`
+	// JournalErrors counts journal appends that failed (and were either
+	// rejected at submit or tolerated at result time).
+	JournalErrors int64 `json:"journal_errors"`
+	// Ready mirrors the /readyz verdict.
+	Ready bool `json:"ready"`
+
 	Cache CacheStats `json:"cache"`
+	// Journal reports write-ahead-log health when a journal is
+	// configured.
+	Journal *wal.Stats `json:"journal,omitempty"`
 	// Solver aggregates core.ModelStats across every finished job.
 	Solver core.ModelStats `json:"solver"`
 }
@@ -117,6 +170,7 @@ type Service struct {
 	cfg   Config
 	queue chan *Job
 	cache *cache
+	wal   *wal.Log // nil when no journal is configured
 	start time.Time
 
 	mu       sync.Mutex
@@ -125,51 +179,187 @@ type Service struct {
 	totals   core.ModelStats
 	closed   bool
 
-	nextID    atomic.Int64
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	active    atomic.Int64
+	nextID          atomic.Int64
+	submitted       atomic.Int64
+	completed       atomic.Int64
+	failed          atomic.Int64
+	canceled        atomic.Int64
+	active          atomic.Int64
+	panicsRecovered atomic.Int64
+	degraded        atomic.Int64
+	replayed        atomic.Int64
+	journalErrors   atomic.Int64
+	// replayPending tracks re-enqueued journal jobs that have not yet
+	// reached a terminal state; /readyz reports 503 until it drains.
+	replayPending atomic.Int64
+	// draining flips once shutdown begins: the service stops accepting
+	// before it finishes in-flight work.
+	draining atomic.Bool
 
 	wg sync.WaitGroup
 }
 
-// New starts a service with cfg's worker pool running.
+// New starts a service with cfg's worker pool running. It panics if
+// the configured journal cannot be opened or replayed — use Open to
+// handle that error; New exists for journal-less callers (tests,
+// embedded use) where no failure mode remains.
 func New(cfg Config) *Service {
-	cfg = cfg.withDefaults()
-	s := &Service{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		cache: newCache(cfg.CacheEntries),
-		jobs:  make(map[string]*Job),
-		start: time.Now(),
-	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for job := range s.queue {
-				s.runJob(job)
-			}
-		}()
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
 
-// Close drains the pool: queued jobs are canceled, running jobs are
-// interrupted, and the workers exit.
-func (s *Service) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+// Open starts a service, opening and replaying the job journal when
+// Config.JournalPath is set: proven journaled results re-seed the
+// cache, accepted-but-unfinished jobs are re-enqueued (instantly
+// completed when their fingerprint already has a proven answer), and
+// the journal is compacted.
+func Open(cfg Config) (*Service, error) {
+	return open(cfg, true)
+}
+
+// open is the constructor body; startWorkers false leaves the pool
+// unstarted so crash-recovery tests can inspect and restart
+// deterministically.
+func open(cfg Config, startWorkers bool) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheEntries),
+		jobs:  make(map[string]*Job),
+		start: time.Now(),
+	}
+
+	var pending []submitRecord
+	if cfg.JournalPath != "" {
+		log, records, err := wal.Open(cfg.JournalPath, wal.Options{Sync: cfg.JournalSync})
+		if err != nil {
+			return nil, err
+		}
+		s.wal = log
+		st := scanJournal(records)
+		s.nextID.Store(st.maxID)
+		for _, rr := range st.proven {
+			s.cache.put(cacheKey(rr.Fingerprint, rr.Mode), rr.Result)
+		}
+		recs, err := compactionRecords(st, cfg.CacheEntries)
+		if err == nil {
+			err = log.Rewrite(recs)
+		}
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("service: compacting journal: %w", err)
+		}
+		pending = st.pending
+	}
+
+	// The queue must absorb every replayed job on top of the configured
+	// depth, so re-enqueueing below can never block; Submit enforces the
+	// configured depth itself.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(pending))
+	for _, rec := range pending {
+		s.replayJob(rec)
+	}
+
+	if startWorkers {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	return s, nil
+}
+
+// replayJob re-admits one journaled submit: instantly terminal on a
+// (re-seeded) cache hit or an undecodable source, re-enqueued
+// otherwise. Replayed jobs keep their original IDs so clients polling
+// GET /v1/jobs/{id} across the restart still find them.
+func (s *Service) replayJob(rec submitRecord) {
+	s.replayed.Add(1)
+	prob, derr := problemFromSource(rec)
+	if derr != nil {
+		// The job was accepted but cannot be reconstructed: surface an
+		// explicit failure instead of silently dropping it.
+		ctx, cancel := context.WithCancel(context.Background())
+		j := newJob(rec.ID, rec.Mode, nil, rec.Fingerprint, ctx, cancel)
+		s.register(j)
+		j.setRunning()
+		j.finish(nil, fmt.Errorf("replay: %w", derr))
+		s.retire(j.ID)
+		s.failed.Add(1)
+		s.journalResult(j)
 		return
 	}
-	s.closed = true
-	// Closing the queue under the mutex excludes the (also mutex-held,
-	// non-blocking) enqueue in Submit, so no send can hit a closed
-	// channel.
-	close(s.queue)
+	if res, ok := s.cache.get(cacheKey(rec.Fingerprint, rec.Mode)); ok {
+		hit := *res
+		hit.Cached = true
+		ctx, cancel := context.WithCancel(context.Background())
+		j := newJob(rec.ID, rec.Mode, prob, rec.Fingerprint, ctx, cancel)
+		s.register(j)
+		j.setRunning()
+		j.finish(&hit, nil)
+		s.retire(j.ID)
+		s.completed.Add(1)
+		s.journalResult(j)
+		return
+	}
+	timeout := time.Duration(rec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := newJob(rec.ID, rec.Mode, prob, rec.Fingerprint, ctx, cancel)
+	j.replayed = true
+	s.replayPending.Add(1)
+	s.register(j)
+	s.queue <- j
+}
+
+// worker drains the queue. A panic escaping a job (a solver bug the
+// per-job recover could not translate, or a service bug) retires this
+// worker goroutine and starts a replacement, so the pool never shrinks
+// because of a poisoned problem.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			// Replacement keeps the pool at full strength; it also keeps
+			// draining a closed queue during shutdown. The wg.Add happens
+			// before this goroutine's Done (defers run LIFO), so Close's
+			// Wait cannot slip between them.
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// beginShutdown marks the service draining and closes the queue so
+// workers exit once it is empty. Idempotent.
+func (s *Service) beginShutdown() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		// Closing the queue under the mutex excludes the (also mutex-held,
+		// non-blocking) enqueue in Submit, so no send can hit a closed
+		// channel.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+}
+
+// cancelAll cancels every registered job, queued or running.
+func (s *Service) cancelAll() {
+	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
@@ -178,6 +368,78 @@ func (s *Service) Close() {
 	for _, j := range jobs {
 		j.Cancel()
 	}
+}
+
+// Close shuts down immediately: queued jobs are canceled, running jobs
+// are interrupted, the workers exit, and the journal is closed.
+func (s *Service) Close() {
+	s.beginShutdown()
+	s.cancelAll()
+	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
+// Drain shuts down gracefully: the service stops accepting first
+// (/readyz flips to 503, Submit returns ErrClosed), then lets queued
+// and running jobs finish. If ctx expires before the queue drains, the
+// stragglers are canceled Close-style. The context error, if any, is
+// returned.
+func (s *Service) Drain(ctx context.Context) error {
+	s.beginShutdown()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll()
+		<-done
+	}
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	return err
+}
+
+// Ready reports whether the service should receive new traffic, and if
+// not, why: the journal replay has not finished re-proving its jobs,
+// the queue is saturated, or shutdown has begun.
+func (s *Service) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false, "closed"
+	}
+	if s.replayPending.Load() > 0 {
+		return false, "replaying journal"
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return false, "queue saturated"
+	}
+	return true, ""
+}
+
+// crash is the test hook simulating a hard kill (SIGKILL-style): the
+// journal file is closed first — so no in-flight job gets a terminal
+// record, exactly as if the process died mid-solve — and only then are
+// the workers torn down. State recovery is exercised by reopening a
+// service on the same journal path.
+func (s *Service) crash() {
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	s.beginShutdown()
+	s.cancelAll()
 	s.wg.Wait()
 }
 
@@ -193,6 +455,11 @@ type SubmitOptions struct {
 	// client disconnect cancels the job through the solvers' cooperative
 	// interrupt. Async submissions leave it nil.
 	Parent context.Context
+	// Source is the re-parseable origin of the problem, journaled so a
+	// crash can replay the job. The HTTP layer always sets it; left nil,
+	// the service derives one via spec.WriteProblem when that provably
+	// round-trips, and otherwise journals the job as non-replayable.
+	Source *JobSource
 }
 
 // Submit fingerprints the problem, answers from the cache when it can,
@@ -212,6 +479,9 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 	id := fmt.Sprintf("j%06d", s.nextID.Add(1))
 
 	if res, ok := s.cache.get(cacheKey(fp, opts.Mode)); ok {
+		// Cache hits complete synchronously before Submit returns, so no
+		// accepted-but-unfinished window exists for a crash to lose; they
+		// are deliberately not journaled.
 		hit := *res
 		hit.Cached = true
 		ctx, cancel := context.WithCancel(context.Background())
@@ -225,6 +495,10 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 		return j, nil
 	}
 
+	var src *JobSource
+	if s.wal != nil {
+		src = sourceFor(prob, fp, opts)
+	}
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -245,17 +519,45 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 		cancel()
 		return nil, ErrClosed
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.ID] = j
-		s.mu.Unlock()
-		s.submitted.Add(1)
-		return j, nil
-	default:
+	// The channel may be over-provisioned to absorb replayed jobs, so
+	// backpressure is enforced against the configured depth, not cap().
+	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		cancel()
 		return nil, ErrQueueFull
 	}
+	// Journal before enqueueing, still under the mutex: once Submit
+	// returns success the job is durable, and a journal that cannot
+	// accept the record rejects the submission instead of accepting work
+	// a crash would silently lose.
+	if err := s.journalAppend(recSubmit, submitRecord{
+		ID:          j.ID,
+		Mode:        j.Mode,
+		Fingerprint: fp,
+		Spec:        specOf(src),
+		Example:     src != nil && src.Example,
+		TimeoutMS:   timeout.Milliseconds(),
+	}); err != nil {
+		s.mu.Unlock()
+		cancel()
+		s.journalErrors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	// Cannot block: capacity was checked above and only Submit (which
+	// holds the mutex) sends.
+	s.queue <- j
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return j, nil
+}
+
+// specOf unwraps a source's spec text, tolerating nil.
+func specOf(src *JobSource) string {
+	if src == nil {
+		return ""
+	}
+	return src.Spec
 }
 
 // Job looks a job up by ID.
@@ -285,14 +587,96 @@ func (s *Service) retire(id string) {
 	s.mu.Unlock()
 }
 
+// solveJob runs the job's query under a recover barrier: a panic
+// escaping the solver stack (poisoned instance, injected fault) is
+// converted into a SolverPanicError carrying the stack and the problem
+// fingerprint, so the job fails cleanly and the daemon survives.
+func (s *Service) solveJob(j *Job, syn *portfolio.Solver, res *Result) (design *core.Design, qerr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			design = nil
+			qerr = &SolverPanicError{
+				Value:       fmt.Sprint(r),
+				Stack:       string(debug.Stack()),
+				Fingerprint: j.Fingerprint,
+			}
+		}
+	}()
+	th := j.prob.Thresholds
+	switch j.Mode {
+	case ModeSolve:
+		design, qerr = syn.SolveContext(j.ctx)
+	case ModeMaxIsolation:
+		res.Objective, design, qerr = syn.MaxIsolationContext(j.ctx, th.UsabilityTenths, th.CostBudget)
+	case ModeMaxUsability:
+		res.Objective, design, qerr = syn.MaxUsabilityContext(j.ctx, th.IsolationTenths, th.CostBudget)
+	case ModeMinCost:
+		var cost int64
+		cost, design, qerr = syn.MinCostContext(j.ctx, th.IsolationTenths, th.UsabilityTenths)
+		res.Objective = float64(cost)
+	}
+	return design, qerr
+}
+
+// degradeToAnytime attempts the anytime fallback after a deadline or
+// cancellation cut an optimization short: if the descent had already
+// proven a feasible incumbent, that model (Exact=false) becomes the
+// job's answer, marked degraded with the reason, instead of a bare
+// timeout error.
+func (s *Service) degradeToAnytime(j *Job, syn *portfolio.Solver, res *Result, qerr error) bool {
+	switch j.Mode {
+	case ModeMaxIsolation, ModeMaxUsability, ModeMinCost:
+	default:
+		return false
+	}
+	ad, ok := syn.AnytimeDesign()
+	if !ok {
+		return false
+	}
+	switch j.Mode {
+	case ModeMaxIsolation:
+		res.Objective = ad.Isolation
+	case ModeMaxUsability:
+		res.Objective = ad.Usability
+	case ModeMinCost:
+		res.Objective = float64(ad.Cost)
+	}
+	res.Status = "sat"
+	res.Degraded = true
+	if errors.Is(qerr, context.DeadlineExceeded) {
+		res.DegradedReason = "deadline"
+	} else {
+		res.DegradedReason = "canceled"
+	}
+	s.fillDesign(res, j, ad)
+	return true
+}
+
+// fillDesign renders a design into the result (wire form plus the
+// paper's text format).
+func (s *Service) fillDesign(res *Result, j *Job, design *core.Design) {
+	res.Design = designJSON(j.prob, design)
+	var sb strings.Builder
+	if werr := spec.WriteDesign(&sb, j.prob, design); werr == nil {
+		res.Text = sb.String()
+	}
+}
+
 // runJob executes one job on a worker: build the portfolio synthesizer,
-// run the query under the job context, publish bound events as the
-// descent improves, store the result in the cache, and fold the solver
-// counters into the fleet totals.
+// run the query under the job context (and a panic barrier), publish
+// bound events as the descent improves, degrade to the anytime
+// incumbent when the deadline lands mid-optimization, store proven
+// results in the cache, journal the terminal outcome, and fold the
+// solver counters into the fleet totals.
 func (s *Service) runJob(j *Job) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	defer s.retire(j.ID)
+	defer s.journalResult(j)
+	if j.replayed {
+		defer s.replayPending.Add(-1)
+	}
 
 	if err := j.ctx.Err(); err != nil {
 		j.finish(nil, err)
@@ -320,23 +704,10 @@ func (s *Service) runJob(j *Job) {
 	})
 
 	res := &Result{Mode: j.Mode, Fingerprint: j.Fingerprint}
-	var (
-		design *core.Design
-		qerr   error
-	)
-	th := j.prob.Thresholds
-	switch j.Mode {
-	case ModeSolve:
-		design, qerr = syn.SolveContext(j.ctx)
-	case ModeMaxIsolation:
-		res.Objective, design, qerr = syn.MaxIsolationContext(j.ctx, th.UsabilityTenths, th.CostBudget)
-	case ModeMaxUsability:
-		res.Objective, design, qerr = syn.MaxUsabilityContext(j.ctx, th.IsolationTenths, th.CostBudget)
-	case ModeMinCost:
-		var cost int64
-		cost, design, qerr = syn.MinCostContext(j.ctx, th.IsolationTenths, th.UsabilityTenths)
-		res.Objective = float64(cost)
-	}
+	design, qerr := s.solveJob(j, syn, res)
+	// Worker panics the portfolio absorbed internally (survivors kept
+	// the query alive) still count as contained.
+	s.panicsRecovered.Add(int64(syn.PanicsRecovered()))
 
 	s.mu.Lock()
 	s.totals.Add(syn.Stats())
@@ -348,15 +719,19 @@ func (s *Service) runJob(j *Job) {
 	switch {
 	case qerr == nil:
 		res.Status = "sat"
-		res.Design = designJSON(j.prob, design)
-		var sb strings.Builder
-		if werr := spec.WriteDesign(&sb, j.prob, design); werr == nil {
-			res.Text = sb.String()
+		if !design.Exact {
+			// The solver itself truncated the descent (conflict budget):
+			// the answer is a feasible incumbent, not a proven optimum.
+			res.Degraded = true
+			res.DegradedReason = "budget"
 		}
+		s.fillDesign(res, j, design)
 		// Only exact answers are cached: an anytime design truncated by
 		// this job's deadline must not be served to a patient client.
 		if design.Exact {
 			s.cache.put(cacheKey(j.Fingerprint, j.Mode), res)
+		} else {
+			s.degraded.Add(1)
 		}
 		j.finish(res, nil)
 		s.completed.Add(1)
@@ -369,22 +744,31 @@ func (s *Service) runJob(j *Job) {
 		s.cache.put(cacheKey(j.Fingerprint, j.Mode), res)
 		j.finish(res, nil)
 		s.completed.Add(1)
+	case errors.Is(qerr, context.Canceled) || errors.Is(qerr, context.DeadlineExceeded):
+		if s.degradeToAnytime(j, syn, res, qerr) {
+			// Degraded results are never cached: a patient client must get
+			// the exact answer, not this job's deadline-truncated one.
+			j.finish(res, nil)
+			s.degraded.Add(1)
+			s.completed.Add(1)
+			return
+		}
+		j.finish(nil, qerr)
+		s.canceled.Add(1)
 	default:
 		j.finish(nil, qerr)
-		if errors.Is(qerr, context.Canceled) || errors.Is(qerr, context.DeadlineExceeded) {
-			s.canceled.Add(1)
-		} else {
-			s.failed.Add(1)
-		}
+		s.failed.Add(1)
 	}
 }
 
 // Verify independently checks a design against a problem. With dj nil
 // the problem is synthesized first (cache-aware, via Submit) and the
-// synthesized design is verified — a self-check round trip.
-func (s *Service) Verify(ctx context.Context, prob *core.Problem, dj *DesignJSON, timeout time.Duration) (*core.VerifyResult, *DesignJSON, error) {
+// synthesized design is verified — a self-check round trip. src, when
+// non-nil, is journaled with the inner synthesis job so a crash
+// mid-verify replays it.
+func (s *Service) Verify(ctx context.Context, prob *core.Problem, dj *DesignJSON, timeout time.Duration, src *JobSource) (*core.VerifyResult, *DesignJSON, error) {
 	if dj == nil {
-		j, err := s.Submit(prob, SubmitOptions{Mode: ModeSolve, Timeout: timeout, Parent: ctx})
+		j, err := s.Submit(prob, SubmitOptions{Mode: ModeSolve, Timeout: timeout, Parent: ctx, Source: src})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -419,18 +803,31 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	totals := s.totals
 	s.mu.Unlock()
-	return Stats{
+	ready, _ := s.Ready()
+	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
 		SolverWorkers: s.cfg.SolverWorkers,
 		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
-		JobsSubmitted: s.submitted.Load(),
-		JobsCompleted: s.completed.Load(),
-		JobsFailed:    s.failed.Load(),
-		JobsCanceled:  s.canceled.Load(),
-		JobsActive:    s.active.Load(),
-		Cache:         s.cache.stats(),
-		Solver:        totals,
+		// The channel is over-provisioned to absorb replayed jobs, so the
+		// configured depth — the admission limit — is the capacity.
+		QueueCapacity:   s.cfg.QueueDepth,
+		JobsSubmitted:   s.submitted.Load(),
+		JobsCompleted:   s.completed.Load(),
+		JobsFailed:      s.failed.Load(),
+		JobsCanceled:    s.canceled.Load(),
+		JobsActive:      s.active.Load(),
+		JobsDegraded:    s.degraded.Load(),
+		JobsReplayed:    s.replayed.Load(),
+		PanicsRecovered: s.panicsRecovered.Load(),
+		JournalErrors:   s.journalErrors.Load(),
+		Ready:           ready,
+		Cache:           s.cache.stats(),
+		Solver:          totals,
 	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.Journal = &ws
+	}
+	return st
 }

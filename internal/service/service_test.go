@@ -301,7 +301,7 @@ func TestVerifySynthesizedDesign(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 
-	vr, dj, err := s.Verify(context.Background(), smallProblem(t), nil, 0)
+	vr, dj, err := s.Verify(context.Background(), smallProblem(t), nil, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestVerifySynthesizedDesign(t *testing.T) {
 	}
 	// Round-trip: the returned design must verify again when passed in
 	// explicitly.
-	vr2, _, err := s.Verify(context.Background(), smallProblem(t), dj, 0)
+	vr2, _, err := s.Verify(context.Background(), smallProblem(t), dj, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

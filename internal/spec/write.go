@@ -1,0 +1,101 @@
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"configsynth/internal/core"
+	"configsynth/internal/topology"
+)
+
+// WriteProblem renders a problem back into the input grammar Parse
+// reads, so the service journal can persist programmatically-submitted
+// problems and re-parse them during crash replay. The rendering is
+// lossy by construction: the grammar cannot express policy rules
+// (WriteProblem refuses those), custom flow ranks, non-default solver
+// options, or a catalog that differs from the default one beyond cost
+// overrides, and it omits `order` lines entirely (the catalog does not
+// retain its raw order constraints, only the solved scores). Callers
+// must therefore treat the output as a candidate and verify it with
+// Fingerprint(Parse(WriteProblem(p))) == Fingerprint(p) before relying
+// on it — Canonical embeds the solved pattern scores, node names, and
+// normalized options, so any information the rendering dropped shows up
+// as a fingerprint mismatch.
+func WriteProblem(w io.Writer, p *core.Problem) error {
+	if p.Network == nil || p.Catalog == nil {
+		return fmt.Errorf("spec: problem has no network or catalog")
+	}
+	if p.Policies != nil && p.Policies.Len() > 0 {
+		return fmt.Errorf("spec: the input grammar cannot express policy rules")
+	}
+
+	hosts := append([]topology.NodeID(nil), p.Network.Hosts()...)
+	routers := append([]topology.NodeID(nil), p.Network.Routers()...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	// Grammar numbering: hosts 1..H, routers H+1..H+R.
+	num := make(map[topology.NodeID]int, len(hosts)+len(routers))
+	for i, id := range hosts {
+		num[id] = i + 1
+	}
+	for i, id := range routers {
+		num[id] = len(hosts) + i + 1
+	}
+
+	bw := bufio.NewWriter(w)
+	devices := p.Catalog.Devices()
+	fmt.Fprintf(bw, "devices %d\n", len(devices))
+	fmt.Fprintf(bw, "costs")
+	for _, d := range devices {
+		fmt.Fprintf(bw, " %d", d.Cost)
+	}
+	fmt.Fprintf(bw, "\n")
+	fmt.Fprintf(bw, "nodes %d %d\n", len(hosts), len(routers))
+
+	links := p.Network.Links()
+	pairs := make([][2]int, 0, len(links))
+	for _, l := range links {
+		a, b := num[l.A], num[l.B]
+		if a == 0 || b == 0 {
+			return fmt.Errorf("spec: link %d-%d references an unknown node", l.A, l.B)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pr := range pairs {
+		fmt.Fprintf(bw, "link %d %d\n", pr[0], pr[1])
+	}
+
+	services := 1
+	for _, f := range p.Flows {
+		if int(f.Svc) > services {
+			services = int(f.Svc)
+		}
+	}
+	fmt.Fprintf(bw, "services %d\n", services)
+
+	if p.Requirements != nil {
+		for _, f := range p.Requirements.All() {
+			s, d := num[f.Src], num[f.Dst]
+			if s == 0 || d == 0 {
+				return fmt.Errorf("spec: requirement %d->%d references an unknown node", f.Src, f.Dst)
+			}
+			fmt.Fprintf(bw, "require %d %d %d\n", s, d, int(f.Svc))
+		}
+	}
+
+	th := p.Thresholds
+	fmt.Fprintf(bw, "sliders %g %g %d\n",
+		float64(th.IsolationTenths)/10, float64(th.UsabilityTenths)/10, th.CostBudget)
+	return bw.Flush()
+}

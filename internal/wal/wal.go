@@ -1,0 +1,293 @@
+// Package wal implements the append-only, checksummed NDJSON
+// write-ahead log the synthesis service journals jobs to. Each record
+// is one JSON line carrying a sequence number, a kind tag, an opaque
+// payload, and a CRC-32 over all three; Open replays the log, stops at
+// the first corrupt or torn record, truncates the bad tail, and hands
+// the surviving records back so the service can re-enqueue unfinished
+// work after a crash. Rewrite compacts the log atomically (temp file +
+// rename) so it does not grow without bound across restarts.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"configsynth/internal/faults"
+)
+
+// Record is one journal entry. Data is an opaque JSON payload owned by
+// the caller; Seq and CRC are managed by the log.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	CRC  string          `json:"crc"`
+	Data json.RawMessage `json:"data"`
+}
+
+// checksum covers the sequence number, the kind, and the exact payload
+// bytes, so any bit flip in a line fails verification.
+func checksum(seq uint64, kind string, data []byte) string {
+	h := crc32.NewIEEE()
+	fmt.Fprintf(h, "%d|%s|", seq, kind)
+	h.Write(data)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Options tune a log.
+type Options struct {
+	// Sync fsyncs the file after every append: full durability against
+	// power loss at the price of one disk flush per record. Off, appends
+	// still reach the OS page cache immediately (crash-of-the-process
+	// safe, which is the failure mode the service journal defends
+	// against).
+	Sync bool
+}
+
+// Stats describes a log's health.
+type Stats struct {
+	// Records is the number of live records: replayed at Open plus
+	// appended since.
+	Records int64 `json:"records"`
+	// Appended counts records written by this process.
+	Appended int64 `json:"appended"`
+	// TruncatedBytes is the size of the corrupt tail Open discarded
+	// (torn final write after a crash, or a bit flip).
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// AppendErrors counts failed appends (I/O errors, injected faults)
+	// the log repaired itself after.
+	AppendErrors int64 `json:"append_errors"`
+}
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an open journal. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	opts   Options
+	seq    uint64
+	offset int64 // end of the last durable good record
+	closed bool
+	stats  Stats
+}
+
+// Open opens (creating if needed) the journal at path, replays every
+// intact record, truncates any corrupt tail, and returns the log
+// positioned for appending. A replay that stops early is not an error:
+// a torn final line is the expected shape of a crash mid-append.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{f: f, path: path, opts: opts}
+	recs, err := l.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// replay scans the file line by line, verifying checksums and sequence
+// continuity, and truncates the file after the last good record.
+func (l *Log) replay() ([]Record, error) {
+	size, err := l.f.Seek(0, 2)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(l.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			break
+		}
+		if r.CRC != checksum(r.Seq, r.Kind, r.Data) || r.Seq != l.seq+1 {
+			break
+		}
+		l.seq = r.Seq
+		// +1 for the newline the scanner stripped.
+		l.offset += int64(len(line)) + 1
+		recs = append(recs, r)
+	}
+	// A scanner error (over-long line) is treated like any other corrupt
+	// tail: replay what was intact, drop the rest.
+	if l.offset < size {
+		l.stats.TruncatedBytes = size - l.offset
+		if err := l.f.Truncate(l.offset); err != nil {
+			return nil, fmt.Errorf("wal: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(l.offset, 0); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.stats.Records = int64(len(recs))
+	return recs, nil
+}
+
+// Append journals one record of the given kind. The payload is
+// marshalled, framed with a fresh sequence number and checksum, and
+// written as a single line. On a write error (including the injected
+// wal.append.err fault, which tears the line mid-write) the log repairs
+// itself by truncating back to the last good record, so one failed
+// append cannot corrupt the records around it.
+func (l *Log) Append(kind string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	rec := Record{Seq: l.seq + 1, Kind: kind, CRC: checksum(l.seq+1, kind, data), Data: data}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	line = append(line, '\n')
+
+	if ferr := faults.Err(faults.WALAppendErr); ferr != nil {
+		// Simulate a torn write: half the line lands, then the "disk"
+		// fails. The repair path below must erase it.
+		l.f.Write(line[:len(line)/2])
+		return l.repair(ferr)
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return l.repair(err)
+	}
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			return l.repair(err)
+		}
+	}
+	l.seq = rec.Seq
+	l.offset += int64(len(line))
+	l.stats.Records++
+	l.stats.Appended++
+	return nil
+}
+
+// repair truncates back to the last good record after a failed append.
+// Called with the mutex held.
+func (l *Log) repair(cause error) error {
+	l.stats.AppendErrors++
+	if terr := l.f.Truncate(l.offset); terr != nil {
+		// Cannot even truncate: fail closed so later appends do not land
+		// after torn bytes.
+		l.closed = true
+		return fmt.Errorf("wal: append failed (%v) and repair failed: %w", cause, terr)
+	}
+	if _, serr := l.f.Seek(l.offset, 0); serr != nil {
+		l.closed = true
+		return fmt.Errorf("wal: append failed (%v) and reseek failed: %w", cause, serr)
+	}
+	return fmt.Errorf("wal: append: %w", cause)
+}
+
+// Rewrite atomically replaces the log's contents with the given
+// records, renumbering sequences from 1 — the compaction step the
+// service runs after replay so completed work stops occupying the
+// journal. The rewrite goes through a temp file and rename, so a crash
+// mid-compaction leaves either the old or the new journal, never a mix.
+func (l *Log) Rewrite(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var buf bytes.Buffer
+	for i, r := range recs {
+		nr := Record{Seq: uint64(i) + 1, Kind: r.Kind, Data: r.Data}
+		nr.CRC = checksum(nr.Seq, nr.Kind, nr.Data)
+		line, err := json.Marshal(nr)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := l.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := tf.Write(buf.Bytes()); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	old := l.f
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		l.closed = true
+		return fmt.Errorf("wal: reopening after compaction: %w", err)
+	}
+	old.Close()
+	l.f = nf
+	l.seq = uint64(len(recs))
+	l.offset = int64(buf.Len())
+	if _, err := l.f.Seek(l.offset, 0); err != nil {
+		l.closed = true
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.Records = int64(len(recs))
+	return nil
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Path returns the journal file path.
+func (l *Log) Path() string { return l.path }
+
+// Close flushes and closes the log. Further appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.opts.Sync {
+		l.f.Sync()
+	}
+	return l.f.Close()
+}

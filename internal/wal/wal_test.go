@@ -1,0 +1,253 @@
+package wal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"configsynth/internal/faults"
+)
+
+type payload struct {
+	ID   string `json:"id"`
+	N    int    `json:"n"`
+	Note string `json:"note,omitempty"`
+}
+
+func openT(t *testing.T, path string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	l, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append("submit", payload{ID: "job-1", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Records != 5 || st.Appended != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("submit", payload{}); err != ErrClosed {
+		t.Errorf("append after close: %v", err)
+	}
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind != "submit" || r.Seq != uint64(i)+1 {
+			t.Errorf("record %d = %+v", i, r)
+		}
+		var p payload
+		if err := json.Unmarshal(r.Data, &p); err != nil || p.N != i {
+			t.Errorf("record %d payload %s (err %v)", i, r.Data, err)
+		}
+	}
+	// Appends continue the sequence after replay.
+	if err := l2.Append("result", payload{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	l3, recs := openT(t, path)
+	defer l3.Close()
+	if len(recs) != 6 || recs[5].Seq != 6 || recs[5].Kind != "result" {
+		t.Fatalf("after reopen+append: %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: a partial final
+// line must be dropped on replay and overwritten by the next append.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	l, _ := openT(t, path)
+	for i := 0; i < 3; i++ {
+		if err := l.Append("submit", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Tear the file mid-record.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(b, []byte(`{"seq":4,"kind":"submit","crc":"00`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openT(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	if st := l2.Stats(); st.TruncatedBytes == 0 {
+		t.Error("torn tail not reported in stats")
+	}
+	if err := l2.Append("result", payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, recs := openT(t, path)
+	defer l3.Close()
+	if len(recs) != 4 {
+		t.Fatalf("after repair+append: %d records, want 4", len(recs))
+	}
+}
+
+// TestCorruptMiddleStopsReplay: a bit flip in the middle of the file
+// invalidates that record's checksum; replay keeps the prefix and
+// truncates everything from the flip on.
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	l, _ := openT(t, path)
+	for i := 0; i < 4; i++ {
+		if err := l.Append("submit", payload{ID: "x", N: i, Note: "padding-padding"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	// Flip a payload byte in the second record.
+	lines[1] = strings.Replace(lines[1], "padding-padding", "padding-PADDING", 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a corrupt line, want 1", len(recs))
+	}
+	if st := l2.Stats(); st.TruncatedBytes == 0 {
+		t.Error("corruption not reported in stats")
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	l, _ := openT(t, path)
+	for i := 0; i < 10; i++ {
+		if err := l.Append("submit", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep only the even records, as the service keeps only pending work.
+	reader, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.Close()
+	var keep []Record
+	for _, r := range recs {
+		var p payload
+		json.Unmarshal(r.Data, &p)
+		if p.N%2 == 0 {
+			keep = append(keep, r)
+		}
+	}
+	if err := l.Rewrite(keep); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted log must keep accepting appends with a continuous
+	// sequence.
+	if err := l.Append("result", payload{N: 100}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l3, recs := openT(t, path)
+	defer l3.Close()
+	if len(recs) != 6 {
+		t.Fatalf("after compaction: %d records, want 6", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i)+1 {
+			t.Errorf("record %d seq %d not renumbered", i, r.Seq)
+		}
+	}
+	var last payload
+	json.Unmarshal(recs[5].Data, &last)
+	if recs[5].Kind != "result" || last.N != 100 {
+		t.Errorf("post-compaction append lost: %+v %+v", recs[5], last)
+	}
+}
+
+// TestInjectedAppendErrorSelfRepairs drives the wal.append.err fault at
+// rate 1: every append fails with a torn write, and each failure must
+// leave the log byte-identical to its pre-append state so later clean
+// appends succeed.
+func TestInjectedAppendErrorSelfRepairs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	l, _ := openT(t, path)
+	if err := l.Append("submit", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := faults.Parse("seed=1," + faults.WALAppendErr + "=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faults.Set(p)
+	for i := 0; i < 3; i++ {
+		if err := l.Append("submit", payload{N: 1 + i}); err == nil {
+			t.Fatal("injected append unexpectedly succeeded")
+		}
+	}
+	restore()
+
+	if st := l.Stats(); st.AppendErrors != 3 {
+		t.Errorf("AppendErrors = %d, want 3", st.AppendErrors)
+	}
+	if err := l.Append("submit", payload{N: 4}); err != nil {
+		t.Fatalf("clean append after repair: %v", err)
+	}
+	l.Close()
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (torn writes must not survive)", len(recs))
+	}
+	var p0, p1 payload
+	json.Unmarshal(recs[0].Data, &p0)
+	json.Unmarshal(recs[1].Data, &p1)
+	if p0.N != 0 || p1.N != 4 {
+		t.Errorf("surviving payloads N=%d,%d want 0,4", p0.N, p1.N)
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	l, _, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("submit", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path)
+	if len(recs) != 1 {
+		t.Fatalf("synced log replayed %d records", len(recs))
+	}
+}

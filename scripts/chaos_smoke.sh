@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Chaos smoke of the fault-tolerant service: boot confserved with a
+# durable journal and seeded fault injection (solver panics + journal
+# write errors), drive load through confload while faults fire, confirm
+# the daemon survives and /statsz counts recovered panics, then kill -9
+# mid-load, restart fault-free against the same journal, and verify the
+# replay completes — /readyz flips back to 200 and every journaled job
+# reaches a terminal state.
+set -euo pipefail
+
+ADDR="127.0.0.1:8733"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+JOURNAL="$WORKDIR/journal.ndjson"
+
+go build -o /tmp/confserved ./cmd/confserved
+go build -o /tmp/confload ./cmd/confload
+
+cleanup() {
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+
+wait_http() { # url, want_status, tries
+  local url="$1" want="$2" tries="${3:-100}" code
+  for i in $(seq 1 "$tries"); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$url" 2>/dev/null || true)"
+    if [ "$code" = "$want" ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "$url never returned $want (last: ${code:-none})" >&2
+  return 1
+}
+
+# Phase 1: serve under injected faults. The panic rate is well above the
+# issue's 10% floor; the journal-error rate exercises the WAL self-repair
+# and the ErrJournal -> 503 -> client-retry path; the per-solve delay
+# stretches jobs so the phase-2 kill -9 provably lands mid-work.
+CONFSYNTH_FAULTS="seed=7,sat.solve.panic=0.15,wal.append.err=0.02,sat.solve.delay=1:40ms" \
+  /tmp/confserved -addr "$ADDR" -workers 2 -journal "$JOURNAL" &
+SERVER_PID=$!
+trap cleanup EXIT
+
+wait_http "$BASE/healthz" 200
+wait_http "$BASE/readyz" 200
+
+# -allow-errors: panicked jobs fail (contained, terminal) — the point is
+# that the daemon survives them, not that every request succeeds.
+/tmp/confload -addr "$BASE" -clients 4 -requests 60 -problems 8 -allow-errors
+
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "confserved exited under injected solver panics" >&2
+  exit 1
+fi
+
+stats="$(curl -sf "$BASE/statsz")"
+panics="$(echo "$stats" | grep -o '"panics_recovered": [0-9]*' | grep -o '[0-9]*$')"
+if [ -z "$panics" ] || [ "$panics" -lt 1 ]; then
+  echo "no recovered panics in /statsz after the chaos load:" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+
+# Phase 2: kill -9 mid-load. The second run uses max-isolation — a
+# different cache key and a much slower query than phase 1's solves —
+# so jobs are accepted (journaled) but still queued or mid-descent when
+# the process dies.
+/tmp/confload -addr "$BASE" -clients 4 -requests 60 -problems 8 -mode max-isolation -allow-errors >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 0.3
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+
+if [ ! -s "$JOURNAL" ]; then
+  echo "journal is empty after the crash" >&2
+  exit 1
+fi
+
+# Phase 3: restart fault-free on the same journal; the replay must
+# complete (readyz 200 means replayPending drained) and the replayed
+# jobs must show up as terminal work in /statsz.
+/tmp/confserved -addr "$ADDR" -workers 2 -journal "$JOURNAL" &
+SERVER_PID=$!
+
+wait_http "$BASE/healthz" 200
+wait_http "$BASE/readyz" 200 300
+
+stats="$(curl -sf "$BASE/statsz")"
+replayed="$(echo "$stats" | grep -o '"jobs_replayed": [0-9]*' | grep -o '[0-9]*$')"
+completed="$(echo "$stats" | grep -o '"jobs_completed": [0-9]*' | grep -o '[0-9]*$')"
+failed="$(echo "$stats" | grep -o '"jobs_failed": [0-9]*' | grep -o '[0-9]*$')"
+active="$(echo "$stats" | grep -o '"jobs_active": [0-9]*' | grep -o '[0-9]*$')"
+queued="$(echo "$stats" | grep -o '"queue_depth": [0-9]*' | grep -o '[0-9]*$')"
+
+if [ "${replayed:-0}" -lt 1 ]; then
+  echo "kill -9 mid-load stranded no jobs for replay:" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+# Ready + empty queue + nothing active means every replayed job reached
+# a terminal state.
+if [ "${active:-0}" -ne 0 ] || [ "${queued:-0}" -ne 0 ]; then
+  echo "replayed jobs still pending after readyz flipped to 200:" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+if [ "$((${completed:-0} + ${failed:-0}))" -lt "${replayed:-0}" ]; then
+  echo "replayed jobs did not all reach terminal states:" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+
+# The restarted daemon still answers fresh work.
+post="$(curl -sf -X POST "$BASE/v1/synthesize?example=1")"
+echo "$post" | grep -q '"status": "sat"' || {
+  echo "post-restart synthesis not sat:" >&2
+  echo "$post" >&2
+  exit 1
+}
+
+echo "chaos smoke OK: $panics panic(s) contained, ${replayed:-0} job(s) replayed after kill -9, readyz recovered"
