@@ -9,6 +9,7 @@
 //	confserved [-addr :8732] [-workers 2] [-solver-workers 1]
 //	           [-queue 64] [-cache 256] [-timeout 120s] [-max-timeout 10m]
 //	           [-journal path] [-journal-sync] [-drain-timeout 10s]
+//	           [-pprof-addr localhost:6060]
 //
 // With -journal, every accepted job is recorded in an append-only,
 // checksummed write-ahead log before it is enqueued, and every terminal
@@ -35,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +67,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		journal       = fs.String("journal", "", "durable job journal path (empty disables durability)")
 		journalSync   = fs.Bool("journal-sync", false, "fsync the journal after every record")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight jobs before they are canceled")
+		pprofAddr     = fs.String("pprof-addr", "", "debug listener for net/http/pprof profiles (empty disables; bind loopback, e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +87,27 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 	defer svc.Close()
+
+	if *pprofAddr != "" {
+		// Separate listener so profiling is never exposed on the service
+		// port; the DefaultServeMux carries the net/http/pprof handlers
+		// registered by the import above. Live captures of the solver hot
+		// path (see EXPERIMENTS.md):
+		//
+		//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(stdout, "confserved pprof listening on %s\n", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: http.DefaultServeMux}
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(stdout, "confserved pprof: %v\n", err)
+			}
+		}()
+		defer pln.Close()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

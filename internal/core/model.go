@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"configsynth/internal/isolation"
 	"configsynth/internal/policy"
@@ -51,7 +52,16 @@ type Synthesizer struct {
 	ftInputs [][]ftOption
 
 	nRoutes int
+
+	nb []byte // scratch for building variable names without fmt
 }
+
+// name finishes the scratch buffer into a variable name. Encoding
+// allocates one y/x/l variable per flow-pattern, pair-device, and
+// link-device combination; naming them through fmt.Sprintf was a
+// measurable slice of probe time, so the names are built with strconv
+// appends into a reused buffer instead.
+func (s *Synthesizer) name() string { return string(s.nb) }
 
 // NewSynthesizer validates the problem and encodes the full constraint
 // system Constr ≡ CR ∧ TC ∧ IIC ∧ UIC into the SMT solver.
@@ -146,7 +156,18 @@ func (s *Synthesizer) encodeFlows() {
 		group := make([]smt.Bool, 0, len(s.patterns))
 		opts := make([]ftOption, 0, len(s.patterns))
 		for _, p := range s.patterns {
-			v := s.sol.NewBool(fmt.Sprintf("y%d[%v]", p.ID, f))
+			// y<k>[g<svc>(<src>-><dst>)], as Flow.String renders it.
+			nb := append(s.nb[:0], 'y')
+			nb = strconv.AppendInt(nb, int64(p.ID), 10)
+			nb = append(nb, "[g"...)
+			nb = strconv.AppendInt(nb, int64(f.Svc), 10)
+			nb = append(nb, '(')
+			nb = strconv.AppendInt(nb, int64(f.Src), 10)
+			nb = append(nb, "->"...)
+			nb = strconv.AppendInt(nb, int64(f.Dst), 10)
+			nb = append(nb, ")]"...)
+			s.nb = nb
+			v := s.sol.NewBool(s.name())
 			vars[p.ID] = v
 			group = append(group, v)
 			// Isolation contribution L_k · y.
@@ -269,7 +290,15 @@ func (s *Synthesizer) xVar(pair pairKey, d isolation.DeviceID) smt.Bool {
 	if v, ok := s.x[key]; ok {
 		return v
 	}
-	v := s.sol.NewBool(fmt.Sprintf("x%d[%d,%d]", d, pair.a, pair.b))
+	nb := append(s.nb[:0], 'x')
+	nb = strconv.AppendInt(nb, int64(d), 10)
+	nb = append(nb, '[')
+	nb = strconv.AppendInt(nb, int64(pair.a), 10)
+	nb = append(nb, ',')
+	nb = strconv.AppendInt(nb, int64(pair.b), 10)
+	nb = append(nb, ']')
+	s.nb = nb
+	v := s.sol.NewBool(s.name())
 	s.x[key] = v
 	return v
 }
@@ -279,7 +308,13 @@ func (s *Synthesizer) lVar(link topology.LinkID, d isolation.DeviceID) smt.Bool 
 	if v, ok := s.l[key]; ok {
 		return v
 	}
-	v := s.sol.NewBool(fmt.Sprintf("l%d[%d]", d, link))
+	nb := append(s.nb[:0], 'l')
+	nb = strconv.AppendInt(nb, int64(d), 10)
+	nb = append(nb, '[')
+	nb = strconv.AppendInt(nb, int64(link), 10)
+	nb = append(nb, ']')
+	s.nb = nb
+	v := s.sol.NewBool(s.name())
 	s.l[key] = v
 	dev, _ := s.prob.Catalog.Device(d)
 	s.costSum.Add(v, dev.Cost)
@@ -440,6 +475,16 @@ type ModelStats struct {
 	// RandomDecisions counts diversified branching decisions.
 	Interrupts      int64
 	RandomDecisions int64
+	// Inprocessing counters: clauses removed by forward subsumption,
+	// literals removed by self-subsuming resolution, and learnt clauses
+	// dropped by database reduction.
+	Subsumed     int64
+	Strengthened int64
+	Reduced      int64
+	// Clause-sharing counters (portfolio): imported clauses kept and
+	// export candidates dropped on a full exchange buffer.
+	SharedKept    int64
+	SharedDropped int64
 	// EstimatedBytes approximates the resident model size from structure
 	// counts (the paper's Table VI reports MB against problem size).
 	EstimatedBytes int64
@@ -464,6 +509,11 @@ func (s *ModelStats) Add(b ModelStats) {
 	s.GeomRestarts += b.GeomRestarts
 	s.Interrupts += b.Interrupts
 	s.RandomDecisions += b.RandomDecisions
+	s.Subsumed += b.Subsumed
+	s.Strengthened += b.Strengthened
+	s.Reduced += b.Reduced
+	s.SharedKept += b.SharedKept
+	s.SharedDropped += b.SharedDropped
 	s.EstimatedBytes += b.EstimatedBytes
 }
 
@@ -488,6 +538,11 @@ func (s *Synthesizer) Stats() ModelStats {
 		GeomRestarts:    st.GeomRestarts,
 		Interrupts:      st.Interrupts,
 		RandomDecisions: st.RandomDecisions,
+		Subsumed:        st.Subsumed,
+		Strengthened:    st.Strengthened,
+		Reduced:         st.Reduced,
+		SharedKept:      st.SharedKept,
+		SharedDropped:   st.SharedDropped,
 		EstimatedBytes: int64(st.Vars)*64 +
 			int64(st.Clauses+st.Learnts)*96 +
 			int64(pbTerms)*24,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"configsynth/internal/sat"
 	"configsynth/internal/smt"
 )
 
@@ -38,6 +39,23 @@ func (s *Synthesizer) Interrupt() { s.sol.Interrupt() }
 
 // ClearInterrupt re-arms the solver after an Interrupt.
 func (s *Synthesizer) ClearInterrupt() { s.sol.ClearInterrupt() }
+
+// EnableClauseSharing turns on collection of this synthesizer's sharp
+// learnt clauses for cross-worker exchange. Workers built from the same
+// problem encode identically (ProbeStatus allocates guards on demand in
+// probe order, so a fixed probe sequence yields identical variable
+// numbering), which is what makes a clause learnt by one worker sound
+// for every other.
+func (s *Synthesizer) EnableClauseSharing() { s.sol.EnableClauseSharing() }
+
+// DrainSharedClauses returns and clears the clauses collected since the
+// last drain. Must not be called while a probe runs.
+func (s *Synthesizer) DrainSharedClauses() [][]sat.Lit { return s.sol.DrainSharedClauses() }
+
+// ImportSharedClauses folds clauses drained from sibling workers into
+// this synthesizer's solver, between probes. Already-seen clauses
+// (including this worker's own exports) are skipped.
+func (s *Synthesizer) ImportSharedClauses(cls [][]sat.Lit) { s.sol.ImportSharedClauses(cls) }
 
 // CostUpperBound returns the total cost of placing every candidate
 // device on every candidate link — a trivially sufficient budget, used

@@ -13,8 +13,26 @@
 // The theory uses counter propagation: it maintains the sum of weights of
 // currently-true literals per constraint, detects violations in O(1), and
 // propagates ¬l for any unassigned literal whose weight exceeds the
-// remaining slack. Explanations are the set of currently-true literals of
-// the constraint, which is a correct (if not minimal) reason clause.
+// remaining slack. Two hot-path refinements keep large stores cheap:
+//
+//   - Watermark gating: a constraint is only queued for Propagate when
+//     its sum exceeds watermark = bound − maxWeight. Below the
+//     watermark, neither a conflict (needs sum > bound ≥ watermark) nor
+//     a propagation (needs maxWeight > slack, i.e. sum > watermark) is
+//     possible, so Propagate would visit it and do nothing — the queue
+//     push in Assign is skipped instead, and most assignments touch
+//     nothing but the counters.
+//
+//   - Lazy explanations: implied literals are enqueued through
+//     sat.TheoryEnqueueLazy with the constraint id as the tag, and the
+//     reason clause is only reconstructed if conflict analysis asks for
+//     it. Restricting the reconstruction to literals assigned strictly
+//     before the implied one (sat.Solver.TrailPos) makes it bit-identical
+//     to the reason an eager call would have built at implication time.
+//
+// Explanations are the set of currently-true literals of the constraint,
+// greedily preferring heavy literals, which is a correct (if not minimal)
+// reason clause.
 package pb
 
 import (
@@ -29,12 +47,20 @@ import (
 // mismatched slice lengths, or duplicate variables).
 var ErrBadConstraint = errors.New("pb: malformed constraint")
 
+// term is one weighted literal of a constraint. Terms are stored in one
+// flat slice per constraint (sorted by descending weight), so the
+// propagation and explanation scans walk contiguous memory.
+type term struct {
+	lit    sat.Lit
+	weight int64
+}
+
 type constraint struct {
-	lits    []sat.Lit // sorted by descending weight
-	weights []int64
-	bound   int64
-	sum     int64 // total weight of currently-true literals
-	dead    bool  // deactivated: removed from the occ lists, never propagates
+	terms     []term // sorted by descending weight
+	bound     int64
+	sum       int64 // total weight of currently-true literals
+	watermark int64 // bound − max weight; only sums above it can act
+	dead      bool  // deactivated: removed from the occ lists, never propagates
 }
 
 func (c *constraint) slack() int64 { return c.bound - c.sum }
@@ -45,7 +71,7 @@ type occEntry struct {
 }
 
 // Theory is a pseudo-Boolean constraint store attached to a sat.Solver.
-// It implements sat.Theory.
+// It implements sat.Theory and sat.LazyExplainer.
 type Theory struct {
 	solver      *sat.Solver
 	constraints []*constraint
@@ -59,7 +85,10 @@ type Theory struct {
 	expl []sat.Lit
 }
 
-var _ sat.Theory = (*Theory)(nil)
+var (
+	_ sat.Theory        = (*Theory)(nil)
+	_ sat.LazyExplainer = (*Theory)(nil)
+)
 
 // New creates a theory bound to s and registers it with the solver.
 func New(s *sat.Solver) *Theory {
@@ -105,28 +134,35 @@ func (t *Theory) AddAtMost(lits []sat.Lit, weights []int64, bound int64) error {
 		return nil
 	}
 	c := &constraint{
-		lits:    append([]sat.Lit(nil), lits...),
-		weights: append([]int64(nil), weights...),
-		bound:   bound,
+		terms: make([]term, len(lits)),
+		bound: bound,
 	}
-	sort.Sort(byWeightDesc{c})
+	for i, l := range lits {
+		c.terms[i] = term{lit: l, weight: weights[i]}
+	}
+	sort.SliceStable(c.terms, func(i, j int) bool {
+		return c.terms[i].weight > c.terms[j].weight
+	})
+	c.watermark = bound
+	if len(c.terms) > 0 {
+		c.watermark = bound - c.terms[0].weight
+	}
 	id := int32(len(t.constraints))
 	t.constraints = append(t.constraints, c)
 	t.onQueue = append(t.onQueue, false)
 
-	for i, l := range c.lits {
-		t.growOcc(l)
-		t.occ[l] = append(t.occ[l], occEntry{id: id, weight: c.weights[i]})
+	for _, tm := range c.terms {
+		t.growOcc(tm.lit)
+		t.occ[tm.lit] = append(t.occ[tm.lit], occEntry{id: id, weight: tm.weight})
 		// Account for literals already true at the root level.
-		if t.solver.ValueLit(l) == sat.True {
-			c.sum += c.weights[i]
+		if t.solver.ValueLit(tm.lit) == sat.True {
+			c.sum += tm.weight
 		}
 	}
 	if c.sum > c.bound {
 		t.rootViol = true
 		return nil
 	}
-	t.push(id)
 	// Root-level forcing: a literal still unassigned whose weight exceeds
 	// the remaining root slack can never become true. Forcing it false
 	// through the solver now — rather than waiting for the next Solve's
@@ -134,27 +170,16 @@ func (t *Theory) AddAtMost(lits []sat.Lit, weights []int64, bound int64) error {
 	// store, so that later AddClause root simplification sees the implied
 	// units. The unit may cascade through clause and theory propagation;
 	// a root conflict surfacing from the cascade marks the store violated.
-	for i, l := range c.lits {
-		if c.weights[i] <= c.bound-c.sum || t.solver.ValueLit(l) != sat.Undef {
+	for _, tm := range c.terms {
+		if tm.weight <= c.bound-c.sum || t.solver.ValueLit(tm.lit) != sat.Undef {
 			continue
 		}
-		if err := t.solver.AddClause(l.Not()); err != nil {
+		if err := t.solver.AddClause(tm.lit.Not()); err != nil {
 			t.rootViol = true
 			return nil
 		}
 	}
 	return nil
-}
-
-type byWeightDesc struct{ c *constraint }
-
-func (b byWeightDesc) Len() int { return len(b.c.lits) }
-func (b byWeightDesc) Less(i, j int) bool {
-	return b.c.weights[i] > b.c.weights[j]
-}
-func (b byWeightDesc) Swap(i, j int) {
-	b.c.lits[i], b.c.lits[j] = b.c.lits[j], b.c.lits[i]
-	b.c.weights[i], b.c.weights[j] = b.c.weights[j], b.c.weights[i]
 }
 
 func (t *Theory) growOcc(l sat.Lit) {
@@ -170,14 +195,20 @@ func (t *Theory) push(id int32) {
 	}
 }
 
-// Assign implements sat.Theory.
+// Assign implements sat.Theory. Besides maintaining the true-weight
+// counters, it queues a constraint for Propagate only once its sum rises
+// above the watermark — the exact point below which Propagate can
+// neither conflict nor imply anything.
 func (t *Theory) Assign(l sat.Lit) {
 	if int(l) >= len(t.occ) {
 		return
 	}
 	for _, e := range t.occ[l] {
-		t.constraints[e.id].sum += e.weight
-		t.push(e.id)
+		c := t.constraints[e.id]
+		c.sum += e.weight
+		if c.sum > c.watermark {
+			t.push(e.id)
+		}
 	}
 }
 
@@ -198,9 +229,9 @@ func (t *Theory) Unassign(l sat.Lit) {
 // literal l the slack always stays ≥ weight(l), so l never propagates.)
 func (t *Theory) deadUnderRoot(c *constraint) bool {
 	var max int64
-	for i, l := range c.lits {
-		if t.solver.ValueLit(l) != sat.False {
-			max += c.weights[i]
+	for _, tm := range c.terms {
+		if t.solver.ValueLit(tm.lit) != sat.False {
+			max += tm.weight
 		}
 	}
 	return max <= c.bound
@@ -216,12 +247,12 @@ func (t *Theory) deactivate(id int32) {
 	}
 	c.dead = true
 	t.dead++
-	for _, l := range c.lits {
-		occ := t.occ[l]
+	for _, tm := range c.terms {
+		occ := t.occ[tm.lit]
 		for i := range occ {
 			if occ[i].id == id {
 				occ[i] = occ[len(occ)-1]
-				t.occ[l] = occ[:len(occ)-1]
+				t.occ[tm.lit] = occ[:len(occ)-1]
 				break
 			}
 		}
@@ -282,14 +313,14 @@ func (t *Theory) DeactivateDead() int {
 func (t *Theory) VerifyModel(val func(sat.Lit) bool) error {
 	for id, c := range t.constraints {
 		var sum int64
-		for i, l := range c.lits {
-			if val(l) {
-				sum += c.weights[i]
+		for _, tm := range c.terms {
+			if val(tm.lit) {
+				sum += tm.weight
 			}
 		}
 		if sum > c.bound {
 			return fmt.Errorf("pb: constraint %d violated by model: sum %d > bound %d over %d terms",
-				id, sum, c.bound, len(c.lits))
+				id, sum, c.bound, len(c.terms))
 		}
 	}
 	return nil
@@ -307,21 +338,56 @@ func (t *Theory) explain(c *constraint, head sat.Lit, target int64) []sat.Lit {
 		t.expl = append(t.expl, head)
 	}
 	var acc int64
-	for i, l := range c.lits {
+	for _, tm := range c.terms {
 		if acc > target {
 			break
 		}
-		if l.Var() != head.Var() && t.solver.ValueLit(l) == sat.True {
-			t.expl = append(t.expl, l.Not())
-			acc += c.weights[i]
+		if tm.lit.Var() != head.Var() && t.solver.ValueLit(tm.lit) == sat.True {
+			t.expl = append(t.expl, tm.lit.Not())
+			acc += tm.weight
+		}
+	}
+	return t.expl
+}
+
+// Explain implements sat.LazyExplainer: it reconstructs, on demand, the
+// reason for implied literal p = ¬l enqueued by constraint tag. Only
+// literals assigned strictly before p (smaller trail position) may
+// enter, which restricts the scan to exactly the literals that were true
+// at implication time — the reconstruction is therefore bit-identical to
+// the clause an eager explanation would have produced, including order,
+// so conflict analysis (and with it search, models, and cores) is
+// unaffected by the laziness.
+func (t *Theory) Explain(p sat.Lit, tag int32) []sat.Lit {
+	c := t.constraints[tag]
+	l := p.Not() // the constraint literal that was forced false
+	var target int64
+	for _, tm := range c.terms {
+		if tm.lit == l {
+			target = c.bound - tm.weight
+			break
+		}
+	}
+	s := t.solver
+	pos := s.TrailPos(p.Var())
+	t.expl = append(t.expl[:0], p)
+	var acc int64
+	for _, tm := range c.terms {
+		if acc > target {
+			break
+		}
+		if tm.lit.Var() != p.Var() && s.ValueLit(tm.lit) == sat.True &&
+			s.TrailPos(tm.lit.Var()) < pos {
+			t.expl = append(t.expl, tm.lit.Not())
+			acc += tm.weight
 		}
 	}
 	return t.expl
 }
 
 // Propagate implements sat.Theory. It processes all constraints whose sum
-// changed since the last call, reporting a conflict clause or implying
-// literals via s.TheoryEnqueue.
+// rose above their watermark since the last call, reporting a conflict
+// clause or implying literals via s.TheoryEnqueueLazy.
 func (t *Theory) Propagate(s *sat.Solver) []sat.Lit {
 	for len(t.touched) > 0 {
 		id := t.touched[len(t.touched)-1]
@@ -342,20 +408,20 @@ func (t *Theory) Propagate(s *sat.Solver) []sat.Lit {
 		// Weights are sorted descending: once w <= slack no further
 		// literal can propagate.
 		slack := c.slack()
-		if len(c.lits) == 0 || c.weights[0] <= slack {
+		if len(c.terms) == 0 || c.terms[0].weight <= slack {
 			continue
 		}
-		for i, l := range c.lits {
-			if c.weights[i] <= slack {
+		for _, tm := range c.terms {
+			if tm.weight <= slack {
 				break
 			}
-			if s.ValueLit(l) != sat.Undef {
+			if s.ValueLit(tm.lit) != sat.Undef {
 				continue
 			}
-			reason := t.explain(c, l.Not(), c.bound-c.weights[i])
-			if !s.TheoryEnqueue(l.Not(), reason) {
-				// l is already true: the reason clause is fully false,
-				// i.e., a conflict.
+			if !s.TheoryEnqueueLazy(tm.lit.Not(), t, id) {
+				// tm.lit is already true: the eager reason clause is
+				// fully false, i.e., a conflict.
+				reason := t.explain(c, tm.lit.Not(), c.bound-tm.weight)
 				conflict := make([]sat.Lit, len(reason))
 				copy(conflict, reason)
 				return conflict

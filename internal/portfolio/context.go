@@ -55,6 +55,14 @@ func (s *Solver) guard(ctx context.Context, query func() error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The runtime timer behind a context deadline can fire well after the
+	// deadline has passed (it is not a hard-real-time mechanism), leaving
+	// ctx.Err() nil for milliseconds on a busy machine. A query must not
+	// start — and set an anytime incumbent — after its deadline is already
+	// over, so check the wall clock, not just the timer.
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
 	if ctx.Done() == nil {
 		return query()
 	}

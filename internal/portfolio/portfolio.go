@@ -33,6 +33,7 @@ import (
 
 	"configsynth/internal/core"
 	"configsynth/internal/faults"
+	"configsynth/internal/sat"
 	"configsynth/internal/smt"
 )
 
@@ -124,6 +125,16 @@ func NewRacing(p *core.Problem, workers int) (*Solver, error) {
 			return nil, fmt.Errorf("portfolio: worker %d: %w", i, err)
 		}
 		work[i] = w
+	}
+	if len(work) > 1 {
+		// Clause sharing: losers' sharp learnt clauses flow to the other
+		// workers at every race join (see shareClauses). Pointless with a
+		// single worker, and the canonical synthesizer never participates
+		// — its extraction must depend only on the formula, so its search
+		// is never steered by race-timing-dependent imports.
+		for _, w := range work {
+			w.EnableClauseSharing()
+		}
 	}
 	return &Solver{prob: p, canon: canon, work: work, dead: make([]bool, workers)}, nil
 }
@@ -262,7 +273,39 @@ func (s *Solver) raceStatus(th core.Thresholds, limited bool) smt.Status {
 		panic(lastPanic)
 	}
 	s.panics.Add(uint64(panicked))
+	s.shareClauses()
 	return status
+}
+
+// shareClauses runs the learnt-clause exchange at a race-join point:
+// every surviving worker's outgoing buffer (filled during the probe with
+// its binary/low-LBD learnt clauses) is drained, and the union is
+// imported into every other survivor before the next probe. All workers
+// have rejoined when this runs, so the exchange is plain sequential
+// code. Workers retired by a panic neither export (their clause store is
+// suspect) nor import. Sharing never touches the canonical synthesizer:
+// probe statuses are semantic (identical whichever clauses a worker
+// carries), and designs/cores are always extracted canonically, so
+// results stay bit-deterministic in the exact regime even though the
+// shared set depends on where cancellations landed.
+func (s *Solver) shareClauses() {
+	if len(s.work) < 2 {
+		return
+	}
+	var pool [][]sat.Lit
+	for i, w := range s.work {
+		if !s.dead[i] {
+			pool = append(pool, w.DrainSharedClauses()...)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	for i, w := range s.work {
+		if !s.dead[i] {
+			w.ImportSharedClauses(pool)
+		}
+	}
 }
 
 // Solve checks the problem's own thresholds. The satisfiability race
@@ -536,6 +579,11 @@ func (s *Solver) Stats() core.ModelStats {
 		st.GeomRestarts += ws.GeomRestarts
 		st.Interrupts += ws.Interrupts
 		st.RandomDecisions += ws.RandomDecisions
+		st.Subsumed += ws.Subsumed
+		st.Strengthened += ws.Strengthened
+		st.Reduced += ws.Reduced
+		st.SharedKept += ws.SharedKept
+		st.SharedDropped += ws.SharedDropped
 	}
 	return st
 }

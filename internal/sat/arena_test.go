@@ -1,0 +1,383 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// White-box tests for the clause arena: watcher integrity under
+// detach/free/GC interleavings, cref remapping, learnt promotion, and a
+// fuzz target cross-checking the arena solver against brute-force
+// enumeration on small instances.
+
+// watcherCount returns how many watcher entries across all lists point
+// at cref.
+func watcherCount(s *Solver, cref int32) int {
+	n := 0
+	for _, ws := range s.watches {
+		for _, w := range ws {
+			if w.cref == cref {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// checkWatchIntegrity verifies every live clause is watched exactly
+// twice, on the negations of its first two literals, and that no
+// watcher points at a freed clause.
+func checkWatchIntegrity(t *testing.T, s *Solver) {
+	t.Helper()
+	for _, refs := range [2][]int32{s.clauseRefs, s.learntRefs} {
+		for _, cref := range refs {
+			if s.clsFreed(cref) {
+				continue
+			}
+			if n := watcherCount(s, cref); n != 2 {
+				t.Fatalf("clause %d has %d watcher entries, want 2", cref, n)
+			}
+			lits := s.clsLits(cref)
+			for _, w := range [2]Lit{lits[0].Not(), lits[1].Not()} {
+				found := false
+				for _, e := range s.watches[w] {
+					if e.cref == cref {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("clause %d not on watch list of %v", cref, w)
+				}
+			}
+		}
+	}
+	for p, ws := range s.watches {
+		for _, w := range ws {
+			if s.clsFreed(w.cref) {
+				t.Fatalf("watch list %d holds freed clause %d", p, w.cref)
+			}
+		}
+	}
+}
+
+// TestDetachSwapWithLast is the regression test for the detach rework:
+// removing a clause must delete exactly its two watcher entries (swap
+// with last, stop early) and leave every other clause's watchers intact.
+func TestDetachSwapWithLast(t *testing.T) {
+	s := New()
+	v := newVars(s, 6)
+	// Several clauses sharing watched literals, so the lists have
+	// multiple entries and removal order matters.
+	for _, cl := range [][]Lit{
+		{v[0], v[1], v[2]},
+		{v[0], v[1], v[3]},
+		{v[0], v[1], v[4]},
+		{v[0].Not(), v[1], v[5]},
+	} {
+		if err := s.AddClause(cl...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkWatchIntegrity(t, s)
+	// Remove the middle clause and re-verify.
+	victim := s.clauseRefs[1]
+	s.removeClause(victim)
+	if n := watcherCount(s, victim); n != 0 {
+		t.Fatalf("detached clause still has %d watcher entries", n)
+	}
+	live := s.clauseRefs[:0]
+	for _, c := range s.clauseRefs {
+		if !s.clsFreed(c) {
+			live = append(live, c)
+		}
+	}
+	s.clauseRefs = live
+	checkWatchIntegrity(t, s)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve after detach: %v", got)
+	}
+}
+
+// TestDoubleFreePanics locks in the arena's double-free guard: freeing
+// a clause twice must panic rather than corrupt the waste accounting
+// (the bug class the old free-slot reuse design was prone to).
+func TestDoubleFreePanics(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	if err := s.AddClause(v[0], v[1], v[2]); err != nil {
+		t.Fatal(err)
+	}
+	cref := s.clauseRefs[0]
+	s.removeClause(cref)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	s.freeClause(cref)
+}
+
+// TestArenaGCRemapsCrefs interleaves attach/detach/free with trailed
+// reasons, forces a compaction, and verifies clause bodies, watcher
+// lists, and reason crefs all survive the remap.
+func TestArenaGCRemapsCrefs(t *testing.T) {
+	s := New()
+	v := newVars(s, 40)
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 30; round++ {
+		// Attach a batch of random ternary clauses.
+		for i := 0; i < 20; i++ {
+			a, b, c := rng.Intn(40), rng.Intn(40), rng.Intn(40)
+			if a == b || b == c || a == c {
+				continue
+			}
+			lits := []Lit{v[a], v[b].Not(), v[c]}
+			s.attachNew(lits, round%2 == 1, 3)
+		}
+		// Free a random half of the most recent problem clauses.
+		for _, refs := range [2]*[]int32{&s.clauseRefs, &s.learntRefs} {
+			live := (*refs)[:0]
+			for _, cref := range *refs {
+				if rng.Intn(2) == 0 {
+					s.removeClause(cref)
+				} else {
+					live = append(live, cref)
+				}
+			}
+			*refs = live
+		}
+		// Snapshot surviving clause bodies, force GC, compare.
+		type snap struct {
+			learnt bool
+			lits   []Lit
+		}
+		var before []snap
+		for _, refs := range [2][]int32{s.clauseRefs, s.learntRefs} {
+			for _, cref := range refs {
+				before = append(before, snap{s.clsLearnt(cref), append([]Lit(nil), s.clsLits(cref)...)})
+			}
+		}
+		s.garbageCollect()
+		var after []snap
+		for _, refs := range [2][]int32{s.clauseRefs, s.learntRefs} {
+			for _, cref := range refs {
+				after = append(after, snap{s.clsLearnt(cref), append([]Lit(nil), s.clsLits(cref)...)})
+			}
+		}
+		if len(before) != len(after) {
+			t.Fatalf("round %d: GC changed clause count %d -> %d", round, len(before), len(after))
+		}
+		for i := range before {
+			if before[i].learnt != after[i].learnt {
+				t.Fatalf("round %d: clause %d learnt bit flipped", round, i)
+			}
+			for j := range before[i].lits {
+				if before[i].lits[j] != after[i].lits[j] {
+					t.Fatalf("round %d: clause %d lits changed %v -> %v", round, i, before[i].lits, after[i].lits)
+				}
+			}
+		}
+		checkWatchIntegrity(t, s)
+		if s.wasted != 0 {
+			t.Fatalf("round %d: wasted = %d after GC", round, s.wasted)
+		}
+	}
+	if s.stats.ArenaGCs == 0 {
+		t.Fatal("no GCs counted")
+	}
+	// The store is still a consistent solver: solving must not crash and
+	// the all-true assignment check must hold on Sat.
+	if st := s.Solve(); st == Sat {
+		if err := s.VerifyModel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestArenaGCRemapsReasons drives propagation to put clause crefs into
+// reason slots, then compacts mid-trail and checks the reasons survive.
+func TestArenaGCRemapsReasons(t *testing.T) {
+	s := New()
+	v := newVars(s, 8)
+	// Chain: v0 -> v1 -> ... -> v7, plus waste to free.
+	for i := 0; i+1 < 8; i++ {
+		if err := s.AddClause(v[i].Not(), v[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var junk []int32
+	for i := 0; i < 300; i++ {
+		junk = append(junk, s.attachNew([]Lit{v[0], v[3], v[5]}, false, 0))
+	}
+	// Decide v0 at level 1 so the chain propagates with clause reasons.
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+	s.enqueue(v[0], reasonNone)
+	if confl := s.propagate(); confl != nil {
+		t.Fatalf("unexpected conflict: %v", confl)
+	}
+	for _, cref := range junk {
+		s.removeClause(cref)
+	}
+	live := s.clauseRefs[:0]
+	for _, c := range s.clauseRefs {
+		if !s.clsFreed(c) {
+			live = append(live, c)
+		}
+	}
+	s.clauseRefs = live
+	s.garbageCollect()
+	checkWatchIntegrity(t, s)
+	for i := 1; i < 8; i++ {
+		if s.ValueLit(v[i]) != True {
+			t.Fatalf("v%d lost its propagated value", i)
+		}
+		r := s.reasonLits(v[i].Var())
+		if len(r) != 2 || r[0] != v[i] {
+			t.Fatalf("v%d reason corrupted after GC: %v", i, r)
+		}
+	}
+	s.cancelUntil(0)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve after reason remap: %v", st)
+	}
+}
+
+// TestSubsumptionPromotesLearnt checks the soundness guard of
+// subsumption-removal: when a learnt clause subsumes a problem clause,
+// the learnt subsumer must be promoted to problem status (reduceDB may
+// never delete it) before the original is dropped.
+func TestSubsumptionPromotesLearnt(t *testing.T) {
+	s := New()
+	v := newVars(s, 4)
+	if err := s.AddClause(v[0], v[1], v[2]); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.attachNew([]Lit{v[0], v[1]}, true, 2)
+	if !s.subsumptionPass() {
+		t.Fatal("subsumption reported unsat")
+	}
+	if s.clsLearnt(sub) {
+		t.Fatal("subsumer not promoted to problem clause")
+	}
+	if len(s.clauseRefs) != 1 || s.clauseRefs[0] != sub {
+		t.Fatalf("clause lists not rebuilt: problem=%v learnt=%v", s.clauseRefs, s.learntRefs)
+	}
+	if len(s.learntRefs) != 0 {
+		t.Fatalf("promoted clause still listed as learnt: %v", s.learntRefs)
+	}
+	if s.stats.Subsumed != 1 {
+		t.Fatalf("Subsumed = %d, want 1", s.stats.Subsumed)
+	}
+}
+
+// TestSelfSubsumingResolution checks strengthening: {a,b} against
+// {a,¬b,c} must rewrite the latter to {a,c}.
+func TestSelfSubsumingResolution(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	if err := s.AddClause(v[0], v[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(v[0], v[1].Not(), v[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !s.subsumptionPass() {
+		t.Fatal("subsumption reported unsat")
+	}
+	if s.stats.Strengthened == 0 {
+		t.Fatal("no strengthening counted")
+	}
+	found := false
+	for _, cref := range s.clauseRefs {
+		lits := s.clsLits(cref)
+		if len(lits) == 2 && ((lits[0] == v[0] && lits[1] == v[2]) || (lits[0] == v[2] && lits[1] == v[0])) {
+			found = true
+		}
+		for _, l := range lits {
+			if l == v[1].Not() {
+				t.Fatalf("strengthened literal still present in %v", lits)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("resolvent {v0, v2} not found")
+	}
+	checkWatchIntegrity(t, s)
+}
+
+// decodeInstance turns fuzz bytes into a small CNF over at most 11
+// variables; total (every byte sequence is a formula).
+func decodeInstance(data []byte) (nVars int, cnf [][]Lit) {
+	nVars = 5
+	if len(data) > 0 {
+		nVars = 3 + int(data[0]%9)
+		data = data[1:]
+	}
+	var cl []Lit
+	for _, b := range data {
+		if b%13 == 0 || len(cl) >= 4 {
+			if len(cl) > 0 {
+				cnf = append(cnf, cl)
+				cl = nil
+			}
+			continue
+		}
+		v := Var(int(b>>1) % nVars)
+		cl = append(cl, MkLit(v, b&1 == 1))
+	}
+	if len(cl) > 0 {
+		cnf = append(cnf, cl)
+	}
+	return nVars, cnf
+}
+
+// FuzzArenaSolve cross-checks the arena solver against brute-force
+// enumeration on small decoded instances, with inprocessing and GC
+// forced between adds so the compaction paths run even on tiny inputs.
+func FuzzArenaSolve(f *testing.F) {
+	for seed := 0; seed < 16; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		buf := make([]byte, 40)
+		rng.Read(buf)
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nVars, cnf := decodeInstance(data)
+		want := bruteForceSat(nVars, cnf)
+		s := New()
+		newVars(s, nVars)
+		unsatDuringAdd := false
+		for i, cl := range cnf {
+			if err := s.AddClause(cl...); err != nil {
+				unsatDuringAdd = true
+				break
+			}
+			if i%5 == 4 {
+				if !s.inprocess() {
+					unsatDuringAdd = true
+					break
+				}
+				s.garbageCollect()
+			}
+		}
+		if unsatDuringAdd {
+			if want {
+				t.Fatalf("add-time unsat but formula is satisfiable: %v", cnf)
+			}
+			return
+		}
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("got %v, want Sat: %v", got, cnf)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("got %v, want Unsat: %v", got, cnf)
+		}
+		if got == Sat {
+			if err := s.VerifyModel(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

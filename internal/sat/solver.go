@@ -32,20 +32,31 @@ type Theory interface {
 	Propagate(s *Solver) []Lit
 }
 
-type clause struct {
-	lits   []Lit
-	act    float32
-	learnt bool
+// LazyExplainer is the deferred-explanation side channel of DPLL(T):
+// instead of materializing a reason clause for every implied literal up
+// front (TheoryEnqueue copies it), a theory may enqueue with only an
+// integer tag and reconstruct the reason on demand — most theory
+// implications never reach conflict analysis, so most explanations are
+// never built.
+type LazyExplainer interface {
+	// Explain rebuilds the reason clause for the implied literal p that
+	// was enqueued with the given tag. The result must have p first, and
+	// every other literal must be false and assigned strictly before p
+	// on the trail (Solver.TrailPos orders assignments), so the clause
+	// is exactly what an eager explanation at implication time would
+	// have been. The slice may alias theory scratch; it is only read
+	// until the next Explain or Propagate call.
+	Explain(p Lit, tag int32) []Lit
 }
 
 type watcher struct {
-	cref    int32 // index into Solver.clauses
+	cref    int32 // clause arena reference
 	blocker Lit
 }
 
 const (
 	reasonNone   int32 = -1
-	reasonTheory int32 = -2 // theory reasons live in theoryReasons, keyed by var
+	reasonTheory int32 = -2 // theory reasons: lazy via lazyEx, or theoryReasons map
 )
 
 type varOrder struct {
@@ -191,18 +202,36 @@ type Stats struct {
 	// LubyRestarts and GeomRestarts split Restarts by schedule.
 	LubyRestarts int64
 	GeomRestarts int64
+	// Inprocessing counters: Subsumed clauses removed by forward
+	// subsumption, Strengthened literals removed by self-subsuming
+	// resolution, Reduced learnt clauses dropped by database reduction,
+	// RemovedSat root-satisfied clauses removed by simplification, and
+	// ArenaGCs clause-arena compactions.
+	Subsumed     int64
+	Strengthened int64
+	Reduced      int64
+	RemovedSat   int64
+	ArenaGCs     int64
+	// Clause-sharing counters (portfolio): SharedKept imported clauses
+	// attached (or asserted as units), SharedDropped export candidates
+	// that overflowed the outgoing buffer.
+	SharedKept    int64
+	SharedDropped int64
 }
 
 // Solver is an incremental CDCL SAT solver.
 //
 // The zero value is not usable; construct with New.
 type Solver struct {
-	clauses []*clause // problem + learnt clauses; index = cref
-	free    []int32   // recycled clause slots
-	watches [][]watcher
+	arena      []Lit   // flat clause store; see arena.go
+	wasted     int     // reclaimable arena words
+	clauseRefs []int32 // live problem clauses
+	learntRefs []int32 // live learnt clauses
+	watches    [][]watcher
 
 	assigns  []LBool
 	level    []int32
+	trailPos []int32 // trail index at which the variable was assigned
 	reason   []int32 // cref, reasonNone, or reasonTheory
 	trail    []Lit
 	trailLim []int32
@@ -217,21 +246,37 @@ type Solver struct {
 
 	seen      []byte
 	analyzeTs []Lit
+	lbdStamp  []int64 // per-level stamp for LBD computation
+	lbdTick   int64
 
 	theories      []Theory
-	theoryReasons map[Var][]Lit
+	theoryReasons map[Var][]Lit // eager theory reasons, keyed by var
+	lazyEx        []LazyExplainer
+	lazyTag       []int32
 
 	assumptions []Lit
 	conflictSet []Lit // failed assumptions after Unsat
 
 	rootUnsat   bool
-	numLearnts  int
 	maxLearnts  float64
 	budget      int64 // max conflicts; <0 = unlimited
 	stats       Stats
 	model       []LBool
 	lubyRestart int64
 	geomBudget  float64
+
+	// Inprocessing state: conflict count at which the next inprocessing
+	// pass runs, and the trail length the last root simplification saw.
+	nextInprocess     int64
+	lastSimplifyTrail int
+
+	// Clause sharing (portfolio): when collecting, copies of sharp
+	// learnt clauses accumulate in shareOut until drained; shareSeen
+	// fingerprints both exported and imported clauses so the same
+	// clause never crosses the exchange twice for this solver.
+	shareCollect bool
+	shareOut     [][]Lit
+	shareSeen    map[uint64]struct{}
 
 	cfg         Config
 	rng         uint64
@@ -248,6 +293,7 @@ func NewWith(cfg Config) *Solver {
 		claInc:        1,
 		budget:        -1,
 		theoryReasons: make(map[Var][]Lit),
+		nextInprocess: inprocessFirst,
 		cfg:           cfg,
 		rng:           cfg.Seed,
 	}
@@ -304,8 +350,8 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 func (s *Solver) Stats() Stats {
 	st := s.stats
 	st.Vars = len(s.assigns)
-	st.Clauses = len(s.clauses) - len(s.free) - s.numLearnts
-	st.Learnts = s.numLearnts
+	st.Clauses = len(s.clauseRefs)
+	st.Learnts = len(s.learntRefs)
 	return st
 }
 
@@ -314,10 +360,13 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, Undef)
 	s.level = append(s.level, 0)
+	s.trailPos = append(s.trailPos, 0)
 	s.reason = append(s.reason, reasonNone)
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, !s.cfg.PhaseTrue)
 	s.seen = append(s.seen, 0)
+	s.lazyEx = append(s.lazyEx, nil)
+	s.lazyTag = append(s.lazyTag, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.order.push(v)
 	return v
@@ -347,6 +396,12 @@ func (s *Solver) ModelValue(l Lit) LBool {
 // Level returns the decision level at which v was assigned.
 func (s *Solver) Level(v Var) int { return int(s.level[v]) }
 
+// TrailPos returns the trail position at which v was assigned. Positions
+// order assignments: a smaller position was assigned earlier. Only
+// meaningful while v is assigned; lazy explainers use it to restrict
+// reconstructed reasons to literals assigned before the implied one.
+func (s *Solver) TrailPos(v Var) int { return int(s.trailPos[v]) }
+
 // DecisionLevel returns the current decision level (0 at the root,
 // outside of any Solve call).
 func (s *Solver) DecisionLevel() int { return s.decisionLevel() }
@@ -365,7 +420,7 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		return errors.New("sat: AddClause called during search")
 	}
 	// Simplify: drop false/duplicate literals, detect tautologies.
-	out := make([]Lit, 0, len(lits))
+	out := s.analyzeTs[:0] // scratch; copied by allocClause
 	for _, l := range lits {
 		switch s.ValueLit(l) {
 		case True:
@@ -402,33 +457,29 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		}
 		return nil
 	}
-	s.attachNew(out, false)
+	s.attachNew(out, false, 0)
 	return nil
 }
 
-func (s *Solver) attachNew(lits []Lit, learnt bool) int32 {
-	c := &clause{lits: lits, learnt: learnt}
-	var cref int32
-	if n := len(s.free); n > 0 {
-		cref = s.free[n-1]
-		s.free = s.free[:n-1]
-		s.clauses[cref] = c
-	} else {
-		cref = int32(len(s.clauses))
-		s.clauses = append(s.clauses, c)
-	}
+// attachNew allocates a clause in the arena, registers it in the
+// problem or learnt list, and attaches its two watchers.
+func (s *Solver) attachNew(lits []Lit, learnt bool, lbd int) int32 {
+	cref := s.allocClause(lits, learnt, lbd)
 	if learnt {
-		s.numLearnts++
-		c.act = float32(s.claInc)
+		s.learntRefs = append(s.learntRefs, cref)
+	} else {
+		s.clauseRefs = append(s.clauseRefs, cref)
 	}
 	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{cref, lits[1]})
 	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cref, lits[0]})
 	return cref
 }
 
-func (s *Solver) detach(cref int32) {
-	c := s.clauses[cref]
-	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+// detachWatches removes the clause's two watcher entries by scanning
+// each list once: swap the found entry with the last and stop early.
+func (s *Solver) detachWatches(cref int32) {
+	lits := s.clsLits(cref)
+	for _, w := range [2]Lit{lits[0].Not(), lits[1].Not()} {
 		ws := s.watches[w]
 		for i := range ws {
 			if ws[i].cref == cref {
@@ -438,11 +489,13 @@ func (s *Solver) detach(cref int32) {
 			}
 		}
 	}
-	if c.learnt {
-		s.numLearnts--
-	}
-	s.clauses[cref] = nil
-	s.free = append(s.free, cref)
+}
+
+// removeClause detaches and frees a clause. The clause stays in its
+// clause list as a freed hole until the list is next compacted.
+func (s *Solver) removeClause(cref int32) {
+	s.detachWatches(cref)
+	s.freeClause(cref)
 }
 
 func (s *Solver) enqueue(p Lit, from int32) bool {
@@ -459,6 +512,7 @@ func (s *Solver) enqueue(p Lit, from int32) bool {
 		s.assigns[v] = True
 	}
 	s.level[v] = int32(s.decisionLevel())
+	s.trailPos[v] = int32(len(s.trail))
 	s.reason[v] = from
 	s.trail = append(s.trail, p)
 	if len(s.trail) > s.stats.MaxTrail {
@@ -483,7 +537,30 @@ func (s *Solver) TheoryEnqueue(p Lit, reason []Lit) bool {
 	}
 	r := make([]Lit, len(reason))
 	copy(r, reason)
-	s.theoryReasons[p.Var()] = r
+	v := p.Var()
+	s.theoryReasons[v] = r
+	s.lazyEx[v] = nil
+	s.stats.TheoryProps++
+	return s.enqueue(p, reasonTheory)
+}
+
+// TheoryEnqueueLazy implies literal p with a deferred explanation: the
+// reason clause is only reconstructed — via ex.Explain(p, tag) — if
+// conflict analysis actually needs it. This removes the dominant cost of
+// eager theory propagation (building and copying reasons for
+// implications that never reach a conflict). It returns false if p is
+// already false; the caller should then report a conflict with the same
+// explanation it would have given here.
+func (s *Solver) TheoryEnqueueLazy(p Lit, ex LazyExplainer, tag int32) bool {
+	if s.ValueLit(p) == False {
+		return false
+	}
+	if s.ValueLit(p) == True {
+		return true
+	}
+	v := p.Var()
+	s.lazyEx[v] = ex
+	s.lazyTag[v] = tag
 	s.stats.TheoryProps++
 	return s.enqueue(p, reasonTheory)
 }
@@ -526,8 +603,7 @@ func (s *Solver) bcp() []Lit {
 				j++
 				continue
 			}
-			c := s.clauses[w.cref]
-			lits := c.lits
+			lits := s.clsLits(w.cref)
 			// Ensure the false literal is lits[1].
 			if lits[0] == p.Not() {
 				lits[0], lits[1] = lits[1], lits[0]
@@ -580,7 +656,11 @@ func (s *Solver) cancelUntil(lvl int) {
 		s.assigns[v] = Undef
 		s.polarity[v] = p.Neg()
 		if s.reason[v] == reasonTheory {
-			delete(s.theoryReasons, v)
+			if s.lazyEx[v] != nil {
+				s.lazyEx[v] = nil
+			} else {
+				delete(s.theoryReasons, v)
+			}
 		}
 		s.reason[v] = reasonNone
 		s.order.push(v)
@@ -595,9 +675,16 @@ func (s *Solver) reasonLits(v Var) []Lit {
 	case reasonNone:
 		return nil
 	case reasonTheory:
+		if ex := s.lazyEx[v]; ex != nil {
+			p := PosLit(v)
+			if s.assigns[v] == False {
+				p = NegLit(v)
+			}
+			return ex.Explain(p, s.lazyTag[v])
+		}
 		return s.theoryReasons[v]
 	default:
-		return s.clauses[s.reason[v]].lits
+		return s.clsLits(s.reason[v])
 	}
 }
 
@@ -612,16 +699,36 @@ func (s *Solver) bumpVar(v Var) {
 	s.order.update(v)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += float32(s.claInc)
-	if c.act > 1e20 {
-		for _, cl := range s.clauses {
-			if cl != nil && cl.learnt {
-				cl.act *= 1e-20
+func (s *Solver) bumpClause(cref int32) {
+	act := s.clsAct(cref) + float32(s.claInc)
+	s.setClsAct(cref, act)
+	if act > 1e20 {
+		for _, c := range s.learntRefs {
+			if !s.clsFreed(c) {
+				s.setClsAct(c, s.clsAct(c)*1e-20)
 			}
 		}
 		s.claInc *= 1e-20
 	}
+}
+
+// computeLBD returns the literal-block distance of a clause: the number
+// of distinct decision levels among its literals. Glue (small-LBD)
+// clauses connect few levels and are the learnt clauses worth keeping.
+func (s *Solver) computeLBD(lits []Lit) int {
+	s.lbdTick++
+	n := 0
+	for _, q := range lits {
+		lvl := s.level[q.Var()]
+		for int(lvl) >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lvl] != s.lbdTick {
+			s.lbdStamp[lvl] = s.lbdTick
+			n++
+		}
+	}
+	return n
 }
 
 // analyze performs first-UIP conflict analysis. It returns the learnt
@@ -665,8 +772,8 @@ func (s *Solver) analyze(confl []Lit) ([]Lit, int) {
 			break
 		}
 		confl = s.reasonLits(p.Var())
-		if r := s.reason[p.Var()]; r >= 0 && s.clauses[r].learnt {
-			s.bumpClause(s.clauses[r])
+		if r := s.reason[p.Var()]; r >= 0 && s.clsLearnt(r) {
+			s.bumpClause(r)
 		}
 	}
 	learnt[0] = p.Not()
@@ -748,31 +855,57 @@ func (s *Solver) analyzeFinal(a Lit) {
 	s.seen[a.Var()] = 0
 }
 
+// reduceDB halves the learnt-clause database, keeping the clauses most
+// likely to prune future search: glue clauses (LBD ≤ 2), binary
+// clauses, and reason clauses are protected; the rest are ranked by
+// (LBD, activity) and the worse half dropped.
 func (s *Solver) reduceDB() {
-	// Collect learnt clauses that are not reasons, sort by activity and
-	// drop the less active half.
-	type la struct {
+	type cand struct {
 		cref int32
+		lbd  int32
 		act  float32
 	}
-	var learnts []la
-	locked := func(cref int32) bool {
-		c := s.clauses[cref]
-		v := c.lits[0].Var()
+	locked := func(cref int32, lits []Lit) bool {
+		v := lits[0].Var()
 		return s.assigns[v] != Undef && s.reason[v] == cref
 	}
-	for cref, c := range s.clauses {
-		if c != nil && c.learnt && !locked(int32(cref)) && len(c.lits) > 2 {
-			learnts = append(learnts, la{int32(cref), c.act})
+	cands := make([]cand, 0, len(s.learntRefs))
+	for _, c := range s.learntRefs {
+		if s.clsFreed(c) {
+			continue
+		}
+		lits := s.clsLits(c)
+		if lbd := s.clsLBD(c); lbd > 2 && len(lits) > 2 && !locked(c, lits) {
+			cands = append(cands, cand{c, int32(lbd), s.clsAct(c)})
 		}
 	}
-	if len(learnts) == 0 {
+	if len(cands) == 0 {
 		return
 	}
-	sort.Slice(learnts, func(i, j int) bool { return learnts[i].act < learnts[j].act })
-	for _, e := range learnts[:len(learnts)/2] {
-		s.detach(e.cref)
+	// Worst first: highest LBD, then lowest activity; cref breaks ties
+	// deterministically (older clauses drop first).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lbd != cands[j].lbd {
+			return cands[i].lbd > cands[j].lbd
+		}
+		if cands[i].act != cands[j].act {
+			return cands[i].act < cands[j].act
+		}
+		return cands[i].cref < cands[j].cref
+	})
+	drop := cands[:len(cands)/2]
+	for _, e := range drop {
+		s.removeClause(e.cref)
 	}
+	s.stats.Reduced += int64(len(drop))
+	live := s.learntRefs[:0]
+	for _, c := range s.learntRefs {
+		if !s.clsFreed(c) {
+			live = append(live, c)
+		}
+	}
+	s.learntRefs = live
+	s.maybeGC()
 }
 
 func luby(y float64, x int64) float64 {
@@ -812,7 +945,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.conflictSet = s.conflictSet[:0]
-	s.maxLearnts = math.Max(float64(len(s.clauses))*0.4, 5000)
+	// Incremental hygiene: root units accumulated since the last Solve
+	// (relaxed guards, imported units) let satisfied clauses be removed
+	// and false literals stripped before the search pays for them.
+	if !s.simplifyRoot() {
+		s.rootUnsat = true
+		return Unsat
+	}
+	s.maxLearnts = math.Max(float64(len(s.clauseRefs))*0.4, 5000)
 	s.lubyRestart = 0
 	s.geomBudget = 100
 	conflictsAtStart := s.stats.Conflicts
@@ -861,6 +1001,15 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		s.stats.Restarts++
 		s.cancelUntil(0)
+		// Inprocessing between restarts: bounded simplification of the
+		// clause database while the trail is back at the root.
+		if s.stats.Conflicts >= s.nextInprocess {
+			s.nextInprocess = s.stats.Conflicts + inprocessPeriod
+			if !s.inprocess() {
+				s.rootUnsat = true
+				return Unsat
+			}
+		}
 	}
 }
 
@@ -900,12 +1049,16 @@ func (s *Solver) search(maxConflicts int64) Status {
 			if len(learnt) == 1 {
 				s.enqueue(learnt[0], reasonNone)
 			} else {
-				cref := s.attachNew(learnt, true)
+				lbd := s.computeLBD(learnt)
+				cref := s.attachNew(learnt, true, lbd)
 				s.enqueue(learnt[0], cref)
+				if s.shareCollect && (len(learnt) <= 2 || lbd <= shareMaxLBD) {
+					s.shareExport(learnt)
+				}
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
-			if float64(s.numLearnts) > s.maxLearnts {
+			if float64(len(s.learntRefs)) > s.maxLearnts {
 				s.reduceDB()
 				s.maxLearnts *= 1.1
 			}
@@ -982,23 +1135,25 @@ func (s *Solver) VerifyModel() error {
 			return fmt.Errorf("sat: variable v%d unassigned in model", v)
 		}
 	}
-	for cref, c := range s.clauses {
-		if c == nil {
-			continue
-		}
-		ok := false
-		for _, l := range c.lits {
-			if s.ModelValue(l) == True {
-				ok = true
-				break
+	for _, refs := range [2][]int32{s.clauseRefs, s.learntRefs} {
+		for _, cref := range refs {
+			if s.clsFreed(cref) {
+				continue
 			}
-		}
-		if !ok {
-			kind := "clause"
-			if c.learnt {
-				kind = "learnt clause"
+			ok := false
+			for _, l := range s.clsLits(cref) {
+				if s.ModelValue(l) == True {
+					ok = true
+					break
+				}
 			}
-			return fmt.Errorf("sat: %s %d (%d lits) unsatisfied by model", kind, cref, len(c.lits))
+			if !ok {
+				kind := "clause"
+				if s.clsLearnt(cref) {
+					kind = "learnt clause"
+				}
+				return fmt.Errorf("sat: %s %d (%d lits) unsatisfied by model", kind, cref, s.clsSize(cref))
+			}
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -235,7 +236,7 @@ func (j *Job) finish(res *Result, err error) {
 		j.state = StateDone
 		j.result = res
 		e = Event{Event: "done", Result: res}
-	case j.ctx.Err() != nil && err == j.ctx.Err():
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCanceled
 		j.err = err
 		e = Event{Event: "canceled", Error: err.Error()}

@@ -85,7 +85,7 @@ func (s *Sum) Total() int64 { return s.total }
 type Solver struct {
 	sat       *sat.Solver
 	th        *pb.Theory
-	names     map[sat.Var]string
+	names     []string // diagnostic names, indexed by variable; "" = unnamed
 	rootUnsat bool
 	trueTerm  Bool
 	hasTrue   bool
@@ -115,9 +115,8 @@ func NewSolver() *Solver { return NewSolverWith(SolverConfig{}) }
 func NewSolverWith(cfg SolverConfig) *Solver {
 	s := sat.NewWith(cfg)
 	return &Solver{
-		sat:   s,
-		th:    pb.New(s),
-		names: make(map[sat.Var]string),
+		sat: s,
+		th:  pb.New(s),
 	}
 }
 
@@ -141,19 +140,23 @@ func (s *Solver) SAT() *sat.Solver { return s.sat }
 // diagnostics.
 func (s *Solver) NewBool(name string) Bool {
 	v := s.sat.NewVar()
-	if name != "" {
-		s.names[v] = name
+	// Vars are normally allocated only here, but a caller reaching the
+	// SAT core directly may have created unnamed ones; keep aligned.
+	for int(v) > len(s.names) {
+		s.names = append(s.names, "")
 	}
+	s.names = append(s.names, name)
 	return Bool{sat.PosLit(v)}
 }
 
 // Name returns the diagnostic name of the term's variable.
 func (s *Solver) Name(b Bool) string {
-	if n, ok := s.names[b.lit.Var()]; ok {
+	v := b.lit.Var()
+	if int(v) < len(s.names) && s.names[v] != "" {
 		if b.lit.Neg() {
-			return "!" + n
+			return "!" + s.names[v]
 		}
-		return n
+		return s.names[v]
 	}
 	return b.lit.String()
 }
@@ -537,6 +540,17 @@ type Stats struct {
 	// losers), RandomDecisions the diversified branching decisions.
 	Interrupts      int64
 	RandomDecisions int64
+	// Inprocessing counters: clauses removed by forward subsumption,
+	// literals removed by self-subsuming resolution, learnt clauses
+	// dropped by database reduction, and clause-arena compactions.
+	Subsumed     int64
+	Strengthened int64
+	Reduced      int64
+	ArenaGCs     int64
+	// Clause-sharing counters (portfolio): imported clauses kept and
+	// export candidates dropped on a full buffer.
+	SharedKept    int64
+	SharedDropped int64
 }
 
 // Stats returns a snapshot of solver counters.
@@ -556,5 +570,29 @@ func (s *Solver) Stats() Stats {
 		GeomRestarts:    st.GeomRestarts,
 		Interrupts:      st.Interrupts,
 		RandomDecisions: st.RandomDecisions,
+		Subsumed:        st.Subsumed,
+		Strengthened:    st.Strengthened,
+		Reduced:         st.Reduced,
+		ArenaGCs:        st.ArenaGCs,
+		SharedKept:      st.SharedKept,
+		SharedDropped:   st.SharedDropped,
+	}
+}
+
+// EnableClauseSharing turns on collection of sharp learnt clauses
+// (binary or low-LBD) into a bounded outgoing buffer for portfolio
+// exchange; see internal/sat.
+func (s *Solver) EnableClauseSharing() { s.sat.SetShareCollect(true) }
+
+// DrainSharedClauses returns and clears the outgoing share buffer. Must
+// not be called while a Check runs.
+func (s *Solver) DrainSharedClauses() [][]sat.Lit { return s.sat.DrainShared() }
+
+// ImportSharedClauses adds learnt clauses drained from other solvers
+// over the same encoding. Must be called between Checks; clauses this
+// solver already exported or imported are skipped.
+func (s *Solver) ImportSharedClauses(cls [][]sat.Lit) {
+	for _, c := range cls {
+		s.sat.ImportClause(c)
 	}
 }

@@ -1,0 +1,181 @@
+package configsynth_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"configsynth/internal/core"
+	"configsynth/internal/netgen"
+	"configsynth/internal/smt"
+)
+
+// Solver microbenchmarks: raw backend speed on seeded netgen instances,
+// the trajectory anchor for BENCH_solver.json. Unlike the experiment
+// benchmarks above (which regenerate whole paper figures), these measure
+// a single satisfiability probe — the unit every portfolio race, cache
+// miss, and descent step pays — at 20/50/100 hosts in both the SAT and
+// the UNSAT regime, plus the pseudo-Boolean propagation hot path in
+// isolation. Run with:
+//
+//	go test -bench 'Solver|PB' -benchmem
+//
+// Statuses are asserted every iteration, so `-benchtime=1x` doubles as a
+// correctness smoke (the CI bench-smoke job).
+
+// solverBenchConfig is the shared instance shape: paper-scale routers,
+// 3 services per pair, 10% connectivity requirements, deterministic
+// seed derived from the host count.
+func solverBenchConfig(hosts int) netgen.Config {
+	return netgen.Config{
+		Hosts: hosts, Routers: 10, MaxServices: 3,
+		CRFraction: 0.10, Seed: int64(hosts),
+	}
+}
+
+// satThresholds keeps 20/50/100-host probes in the satisfiable regime
+// (the experiments' "moderate" setting).
+func satThresholds(hosts int) core.Thresholds {
+	return core.Thresholds{IsolationTenths: 30, UsabilityTenths: 50, CostBudget: int64(hosts) * 4}
+}
+
+// unsatThresholds demands more isolation than usability 8 permits (the
+// Fig. 5(c) UNSAT construction), forcing a full refutation.
+func unsatThresholds(hosts int) core.Thresholds {
+	return core.Thresholds{IsolationTenths: 90, UsabilityTenths: 80, CostBudget: int64(hosts) * 10}
+}
+
+// benchProbe measures encode+solve of one status probe. Each iteration
+// builds a fresh synthesizer: the solver is incremental, so re-probing a
+// warm instance would measure clause-database reuse, not a solve.
+func benchProbe(b *testing.B, hosts int, th core.Thresholds, want smt.Status) {
+	prob, err := netgen.Generate(solverBenchConfig(hosts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob.Thresholds = th
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn, err := core.NewSynthesizer(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := syn.ProbeStatus(th, false); got != want {
+			b.Fatalf("probe at %d hosts: status %v, want %v", hosts, got, want)
+		}
+	}
+}
+
+func BenchmarkSolverSAT20(b *testing.B)  { benchProbe(b, 20, satThresholds(20), smt.Sat) }
+func BenchmarkSolverSAT50(b *testing.B)  { benchProbe(b, 50, satThresholds(50), smt.Sat) }
+func BenchmarkSolverSAT100(b *testing.B) { benchProbe(b, 100, satThresholds(100), smt.Sat) }
+
+func BenchmarkSolverUNSAT20(b *testing.B)  { benchProbe(b, 20, unsatThresholds(20), smt.Unsat) }
+func BenchmarkSolverUNSAT50(b *testing.B)  { benchProbe(b, 50, unsatThresholds(50), smt.Unsat) }
+func BenchmarkSolverUNSAT100(b *testing.B) { benchProbe(b, 100, unsatThresholds(100), smt.Unsat) }
+
+// BenchmarkSolverMinCost50 measures a full optimization descent (binary
+// search over guarded cost probes) — the shape every MinCost service
+// request and slider sweep runs.
+func BenchmarkSolverMinCost50(b *testing.B) {
+	prob, err := netgen.Generate(solverBenchConfig(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn, err := core.NewSynthesizer(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := syn.MinCost(30, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pbInstance builds a dense seeded pseudo-Boolean store: nVars decision
+// variables under overlapping weighted at-most bounds plus mixing
+// clauses. It stresses pb.Theory's assign/unassign counter maintenance
+// and propagation queue — the backend hot path behind the isolation,
+// usability, and cost sums.
+func pbInstance(s *smt.Solver, nVars, nCons int, seed int64) []smt.Bool {
+	rng := rand.New(rand.NewSource(seed))
+	vars := make([]smt.Bool, nVars)
+	for i := range vars {
+		vars[i] = s.NewBool(fmt.Sprintf("x%d", i))
+	}
+	for c := 0; c < nCons; c++ {
+		sum := &smt.Sum{}
+		n := 4 + rng.Intn(9)
+		seen := map[int]bool{}
+		for t := 0; t < n; t++ {
+			v := rng.Intn(nVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			term := vars[v]
+			if rng.Intn(2) == 1 {
+				term = term.Not()
+			}
+			sum.Add(term, int64(1+rng.Intn(5)))
+		}
+		// Tight-ish bounds: 40–70% of the total, so constraints both
+		// propagate and conflict.
+		bound := sum.Total() * int64(40+rng.Intn(31)) / 100
+		s.AssertAtMost(sum, bound)
+	}
+	for c := 0; c < nCons/2; c++ {
+		a, b2, cc := rng.Intn(nVars), rng.Intn(nVars), rng.Intn(nVars)
+		s.AddClause(vars[a], vars[b2].Not(), vars[cc])
+	}
+	return vars
+}
+
+// benchPB measures Check on the dense PB store; the expected status is
+// asserted so -benchtime=1x is a correctness smoke.
+func benchPB(b *testing.B, nVars, nCons int, seed int64) {
+	// Determine the expected status once, outside the timed loop.
+	ref := smt.NewSolver()
+	pbInstance(ref, nVars, nCons, seed)
+	want := ref.Check()
+	if want == smt.Unknown {
+		b.Fatal("pb bench instance unexpectedly unknown")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := smt.NewSolver()
+		pbInstance(s, nVars, nCons, seed)
+		if got := s.Check(); got != want {
+			b.Fatalf("pb check: status %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkPBPropagateSmall(b *testing.B) { benchPB(b, 60, 90, 7) }
+func BenchmarkPBPropagateLarge(b *testing.B) { benchPB(b, 140, 240, 11) }
+
+// BenchmarkPBMaximize measures a guarded-probe Maximize descent over a
+// dense PB objective — the smt-level shape of the big-M optimization
+// probes.
+func BenchmarkPBMaximize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := smt.NewSolver()
+		// Fewer constraints than the propagate benches: the descent needs a
+		// feasible region to climb in (60 vars / 90 cons at these bounds
+		// is unsat, which Maximize rejects outright).
+		vars := pbInstance(s, 60, 40, 7)
+		obj := &smt.Sum{}
+		for j, v := range vars {
+			obj.Add(v, int64(1+j%4))
+		}
+		if _, err := s.Maximize(obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
