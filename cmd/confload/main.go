@@ -6,10 +6,15 @@
 //
 //	confload [-addr http://host:8732] [-clients 8] [-requests 200]
 //	         [-problems 10] [-mode solve] [-json BENCH_serve.json]
-//	         [-allow-errors]
+//	         [-whatif 0] [-allow-errors]
 //
 // With -addr empty an in-process confserved is started on a loopback
 // port, so the benchmark is self-contained.
+//
+// With -whatif N, after the load phase one parent problem is solved
+// asynchronously and N threshold deltas are posted to /v1/whatif
+// against it, measuring the warm-session slider-sweep path: the report
+// gains delta latencies and how many deltas reused a warm session.
 //
 // Backpressure (429) and transient unavailability (503) are retried
 // with capped exponential backoff plus full jitter, honoring the
@@ -63,6 +68,13 @@ type report struct {
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	JobsCompleted int64   `json:"jobs_completed"`
+
+	// What-if sweep phase (-whatif N), zero-valued when disabled.
+	WhatIfRequests int     `json:"whatif_requests,omitempty"`
+	WhatIfReused   int     `json:"whatif_reused,omitempty"`
+	WhatIfCached   int     `json:"whatif_cached,omitempty"`
+	WhatIfP50MS    float64 `json:"whatif_p50_ms,omitempty"`
+	WhatIfMaxMS    float64 `json:"whatif_max_ms,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -76,6 +88,7 @@ func run(args []string, stdout io.Writer) error {
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request deadline")
 		jsonOut  = fs.String("json", "", "write the report as JSON to this file")
 		workers  = fs.Int("workers", 2, "in-process server: synthesis workers")
+		whatif   = fs.Int("whatif", 0, "after the load phase, post this many threshold deltas to /v1/whatif against one parent job (0 disables)")
 		allowErr = fs.Bool("allow-errors", false, "count request failures instead of failing the run (chaos testing)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -212,6 +225,14 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	if *whatif > 0 {
+		if err := runWhatIfSweep(base, *timeout, *whatif, &rep, stdout); err != nil {
+			if !*allowErr {
+				return fmt.Errorf("whatif sweep: %w", err)
+			}
+			fmt.Fprintf(stdout, "tolerated whatif sweep failure: %v\n", err)
+		}
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -222,6 +243,101 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "report written to %s\n", *jsonOut)
 	}
+	return nil
+}
+
+// runWhatIfSweep drives the incremental what-if path: solve one parent
+// problem asynchronously, wait for it, then post n threshold deltas to
+// /v1/whatif sequentially (warm sessions are exclusively owned per job,
+// so a sequential sweep is the maximal-reuse pattern a slider UI
+// produces). Results land in rep's WhatIf fields.
+func runWhatIfSweep(base string, timeout time.Duration, n int, rep *report, stdout io.Writer) error {
+	// Parent solve: async submit, then poll the job to completion.
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/synthesize?async=1&timeout=%s", base, timeout),
+		"text/plain", strings.NewReader(problemSpec(0)))
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("parent submit: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(data, &accepted); err != nil || accepted.JobID == "" {
+		return fmt.Errorf("parent submit: bad response %q", strings.TrimSpace(string(data)))
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + accepted.JobID)
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("parent job: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return err
+		}
+		if st.Status == "sat" || st.Status == "unsat" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("parent job %s still %q after %s", accepted.JobID, st.Status, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	url := fmt.Sprintf("%s/v1/whatif?timeout=%s", base, timeout)
+	lat := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Distinct isolation targets for n <= 100, so the sweep measures
+		// the session path rather than pure fingerprint-cache hits.
+		iso := (i * 97) % 100
+		body := fmt.Sprintf(`{"parent":%q,"delta":{"isolation_tenths":%d}}`, accepted.JobID, iso)
+		t0 := time.Now()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("delta %d: status %d: %s", i, resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		var res struct {
+			Status  string `json:"status"`
+			Session string `json:"session"`
+			Cached  bool   `json:"cached"`
+		}
+		if err := json.Unmarshal(data, &res); err != nil {
+			return err
+		}
+		if res.Status != "sat" && res.Status != "unsat" {
+			return fmt.Errorf("delta %d: unexpected status %q", i, res.Status)
+		}
+		rep.WhatIfRequests++
+		if res.Session == "reused" {
+			rep.WhatIfReused++
+		}
+		if res.Cached {
+			rep.WhatIfCached++
+		}
+	}
+	sort.Float64s(lat)
+	rep.WhatIfP50MS = percentile(lat, 50)
+	rep.WhatIfMaxMS = lat[len(lat)-1]
+	fmt.Fprintf(stdout, "whatif: %d deltas on job parent, %d reused warm sessions, %d cache hits, p50=%.2fms max=%.2fms\n",
+		rep.WhatIfRequests, rep.WhatIfReused, rep.WhatIfCached, rep.WhatIfP50MS, rep.WhatIfMaxMS)
 	return nil
 }
 

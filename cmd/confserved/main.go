@@ -7,7 +7,8 @@
 // Usage:
 //
 //	confserved [-addr :8732] [-workers 2] [-solver-workers 1]
-//	           [-queue 64] [-cache 256] [-timeout 120s] [-max-timeout 10m]
+//	           [-queue 64] [-cache 256] [-sessions 8] [-session-ttl 10m]
+//	           [-timeout 120s] [-max-timeout 10m]
 //	           [-journal path] [-journal-sync] [-drain-timeout 10s]
 //	           [-pprof-addr localhost:6060]
 //
@@ -21,6 +22,8 @@
 //
 //	POST /v1/synthesize   problem spec in (Table IV format), design out;
 //	                      ?example=1 ?mode= ?timeout= ?async=1 ?stream=1
+//	POST /v1/whatif       re-solve a finished job's problem under a
+//	                      threshold/link delta on a warm solver session
 //	POST /v1/verify       independently validate a design
 //	GET  /v1/jobs/{id}    job status; ?stream=1 replays NDJSON events
 //	GET  /healthz         liveness (process up)
@@ -62,6 +65,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		solverWorkers = fs.Int("solver-workers", 1, "portfolio size per job")
 		queue         = fs.Int("queue", 64, "job queue depth (full queue returns 429)")
 		cacheEntries  = fs.Int("cache", 256, "result cache entries")
+		sessions      = fs.Int("sessions", 8, "warm what-if sessions kept for /v1/whatif deltas")
+		sessionTTL    = fs.Duration("session-ttl", 10*time.Minute, "idle eviction for warm what-if sessions")
 		timeout       = fs.Duration("timeout", 120*time.Second, "default per-job deadline")
 		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 		journal       = fs.String("journal", "", "durable job journal path (empty disables durability)")
@@ -78,6 +83,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		SolverWorkers:  *solverWorkers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
+		SessionEntries: *sessions,
+		SessionTTL:     *sessionTTL,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		JournalPath:    *journal,

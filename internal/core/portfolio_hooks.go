@@ -40,6 +40,15 @@ func (s *Synthesizer) Interrupt() { s.sol.Interrupt() }
 // ClearInterrupt re-arms the solver after an Interrupt.
 func (s *Synthesizer) ClearInterrupt() { s.sol.ClearInterrupt() }
 
+// ResetSearchState forgets the solver's search heuristics while keeping
+// its clause database, learnt clauses included. What-if sessions call
+// this when retargeting a warm worker to new thresholds: saved phases
+// and activities tuned to the previous query's bounds can send the next
+// probe orders of magnitude astray, while the learnt clauses stay sound
+// (they are threshold-conditioned through the guards) and carry the
+// warm-start payoff.
+func (s *Synthesizer) ResetSearchState() { s.sol.ResetSearchState() }
+
 // EnableClauseSharing turns on collection of this synthesizer's sharp
 // learnt clauses for cross-worker exchange. Workers built from the same
 // problem encode identically (ProbeStatus allocates guards on demand in

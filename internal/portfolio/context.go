@@ -26,18 +26,30 @@ import (
 const reassertInterval = time.Millisecond
 
 // interruptAll asks every solver — raced workers and the canonical
-// extractor — to abandon its current check.
+// extractor — to abandon its current check. In session mode there is no
+// long-lived canonical; the live per-query extractor (if an extraction
+// is in flight) is interrupted instead.
 func (s *Solver) interruptAll() {
-	s.canon.Interrupt()
+	if s.canon != nil {
+		s.canon.Interrupt()
+	}
+	s.extractMu.Lock()
+	if s.extract != nil {
+		s.extract.Interrupt()
+	}
+	s.extractMu.Unlock()
 	for _, w := range s.work {
 		w.Interrupt()
 	}
 }
 
 // clearAll re-arms every solver after a context cancellation, so the
-// Solver remains usable for later queries.
+// Solver remains usable for later queries. Session per-query extractors
+// are not re-armed: each one is discarded with its query.
 func (s *Solver) clearAll() {
-	s.canon.ClearInterrupt()
+	if s.canon != nil {
+		s.canon.ClearInterrupt()
+	}
 	for _, w := range s.work {
 		w.ClearInterrupt()
 	}

@@ -29,6 +29,7 @@ package portfolio
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"configsynth/internal/core"
@@ -60,6 +61,17 @@ type Solver struct {
 	// feasible model at these thresholds instead of losing the work.
 	incumbent     core.Thresholds
 	haveIncumbent bool
+
+	// session marks a persistent what-if solver (NewSession): canon is
+	// nil, workers stay warm across Retarget calls, and designs/cores are
+	// extracted by a fresh per-query canonical synthesizer instead (see
+	// session.go). family is the thresholds-zeroed fingerprint Retarget
+	// validates against; extract tracks the live per-query extractor so a
+	// context cancellation can interrupt it.
+	session   bool
+	family    string
+	extractMu sync.Mutex
+	extract   *core.Synthesizer
 
 	// onBound, when set, observes every improvement an optimization
 	// descent proves: after each satisfiable probe the newly established
@@ -162,8 +174,9 @@ func WorkerConfig(i int) smt.SolverConfig {
 // Workers returns the number of raced workers (0 in delegate mode).
 func (s *Solver) Workers() int { return len(s.work) }
 
-// Problem returns the problem the solver was built on.
-func (s *Solver) Problem() *core.Problem { return s.canon.Problem() }
+// Problem returns the problem the solver currently targets (for a
+// session, the problem of the most recent Retarget).
+func (s *Solver) Problem() *core.Problem { return s.prob }
 
 // liveWorkers returns the indices of workers that have not been retired
 // by a panic.
@@ -187,6 +200,15 @@ func (s *Solver) probeWorker(i int, th core.Thresholds, limited bool) (st smt.St
 			st, pval = smt.Unknown, r
 		}
 	}()
+	if s.session {
+		// Warm workers keep their learnt clauses across queries, but
+		// search heuristics tuned to a previous threshold combination can
+		// derail the next probe by orders of magnitude (saved phases
+		// replay a stale model against a changed bound). Start every
+		// session probe from fresh heuristics; the clause database is the
+		// warm-start payoff.
+		s.work[i].ResetSearchState()
+	}
 	return s.work[i].ProbeStatus(th, limited), nil
 }
 
@@ -315,10 +337,19 @@ func (s *Solver) Solve() (*core.Design, error) {
 	if s.work == nil {
 		return s.canon.Solve()
 	}
+	if s.session {
+		// Model-producing queries gain nothing from the status race: the
+		// per-query canonical extraction re-decides satisfiability on its
+		// own (design, core, and budget errors all come from it), so the
+		// race would only add the warm workers' probe time on top. Go
+		// straight to the canonical; the warm workers are kept for the
+		// optimization descents, where probes outnumber extractions.
+		return s.canonSolve()
+	}
 	if st := s.raceStatus(s.prob.Thresholds, false); st == smt.Unknown {
 		return nil, core.ErrBudgetExceeded
 	}
-	return s.canon.Solve()
+	return s.canonSolve()
 }
 
 // CheckAt checks satisfiability at the given thresholds (a what-if
@@ -327,10 +358,14 @@ func (s *Solver) CheckAt(th core.Thresholds) (*core.Design, error) {
 	if s.work == nil {
 		return s.canon.CheckAt(th)
 	}
+	if s.session {
+		// See Solve: the canonical extraction decides the status itself.
+		return s.canonCheckAt(th)
+	}
 	if st := s.raceStatus(th, false); st == smt.Unknown {
 		return nil, core.ErrBudgetExceeded
 	}
-	return s.canon.CheckAt(th)
+	return s.canonCheckAt(th)
 }
 
 // descent runs the shared central binary search: feasible() must hold
@@ -371,7 +406,7 @@ func (s *Solver) descent(lo, hi int64, maximize bool, probe func(v int64) smt.St
 
 // finish extracts the canonical design at th and stamps its exactness.
 func (s *Solver) finish(th core.Thresholds, exact bool) (*core.Design, error) {
-	d, err := s.canon.CheckAt(th)
+	d, err := s.canonCheckAt(th)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +435,7 @@ func (s *Solver) AnytimeDesign() (*core.Design, bool) {
 	// The interrupt that cut the descent short is sticky; re-arm before
 	// the extraction check or it would immediately return Unknown.
 	s.clearAll()
-	d, err := s.canon.AnytimeAt(s.incumbent)
+	d, err := s.canonAnytimeAt(s.incumbent)
 	if err != nil {
 		return nil, false
 	}
@@ -421,7 +456,7 @@ func (s *Solver) MaxIsolation(usabilityTenths int, costBudget int64) (float64, *
 	case smt.Unknown:
 		return 0, nil, core.ErrBudgetExceeded
 	case smt.Unsat:
-		_, err := s.canon.CheckAt(base) // canonical unsat core
+		_, err := s.canonCheckAt(base) // canonical unsat core
 		if err == nil {
 			err = fmt.Errorf("portfolio: workers proved unsat but canonical check succeeded")
 		}
@@ -459,7 +494,7 @@ func (s *Solver) MaxUsability(isolationTenths int, costBudget int64) (float64, *
 	case smt.Unknown:
 		return 0, nil, core.ErrBudgetExceeded
 	case smt.Unsat:
-		_, err := s.canon.CheckAt(base)
+		_, err := s.canonCheckAt(base)
 		if err == nil {
 			err = fmt.Errorf("portfolio: workers proved unsat but canonical check succeeded")
 		}
@@ -492,7 +527,7 @@ func (s *Solver) MinCost(isolationTenths, usabilityTenths int) (int64, *core.Des
 		return s.canon.MinCost(isolationTenths, usabilityTenths)
 	}
 	s.resetIncumbent()
-	upper := s.canon.CostUpperBound()
+	upper := s.costUpperBound()
 	base := core.Thresholds{
 		IsolationTenths: isolationTenths,
 		UsabilityTenths: usabilityTenths,
@@ -502,7 +537,7 @@ func (s *Solver) MinCost(isolationTenths, usabilityTenths int) (int64, *core.Des
 	case smt.Unknown:
 		return 0, nil, core.ErrBudgetExceeded
 	case smt.Unsat:
-		_, err := s.canon.CheckAt(base)
+		_, err := s.canonCheckAt(base)
 		if err == nil {
 			err = fmt.Errorf("portfolio: workers proved unsat but canonical check succeeded")
 		}
@@ -561,15 +596,32 @@ func (s *Solver) Assist(usabilityLevels []int) ([]core.AssistEntry, error) {
 // Explain runs the paper's Algorithm 1 on the canonical synthesizer.
 // Explanation is inherently sequential and model-extraction heavy, so
 // it is not raced.
-func (s *Solver) Explain() (*core.Explanation, error) { return s.canon.Explain() }
+func (s *Solver) Explain() (*core.Explanation, error) {
+	syn, err := s.extractor()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(syn)
+	return syn.Explain()
+}
 
 // Stats returns the canonical model statistics with the dynamic search
 // counters (conflicts, decisions, propagations, restarts, interrupts,
 // random decisions) aggregated across the canonical solver and every
 // worker.
 func (s *Solver) Stats() core.ModelStats {
-	st := s.canon.Stats()
-	for _, w := range s.work {
+	var st core.ModelStats
+	rest := s.work
+	if s.canon != nil {
+		st = s.canon.Stats()
+	} else {
+		// Session: no long-lived canonical. Worker 0 supplies the static
+		// model shape (identical on every worker) plus its own counters;
+		// the remaining workers are aggregated below.
+		st = s.work[0].Stats()
+		rest = s.work[1:]
+	}
+	for _, w := range rest {
 		ws := w.Stats()
 		st.Conflicts += ws.Conflicts
 		st.Decisions += ws.Decisions

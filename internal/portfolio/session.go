@@ -1,0 +1,177 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"configsynth/internal/core"
+	"configsynth/internal/spec"
+)
+
+// This file implements what-if sessions: a Solver variant whose raced
+// workers stay alive — encoded instance, clause arena, and learnt
+// clauses intact — across queries against threshold variants of one
+// problem. Thresholds are never baked into the clause database (they
+// are assumption guards created on demand, see core.Synthesizer), so
+// re-solving a delta is a new Check under new assumptions on a warm
+// solver, which is where the slider-sweep speedup comes from.
+//
+// Determinism is preserved by construction rather than by trying to
+// keep a canonical solver bit-stable across queries (it cannot be: root
+// simplification, learnt units, and on-demand guard allocation mutate
+// it irreversibly). A session has no long-lived canonical synthesizer
+// at all. Each query's design or unsat core is extracted by a fresh
+// canonical synthesizer built from the session's current problem, used
+// for exactly one model-producing check, and discarded — byte for byte
+// the same computation a from-scratch NewRacing solve of that problem
+// performs. Statuses from the warm workers are semantic properties of
+// the formula, so the descent takes the same path either way, and in
+// the exact regime (probe budgets that do not bind) session results
+// are bit-identical to independent from-scratch solves.
+
+// NewSession builds a persistent what-if session over p: a racing
+// portfolio whose workers are kept warm across queries. Retarget moves
+// the session to a new threshold combination of the same problem
+// family; every query then re-solves only the delta. workers < 1 is
+// treated as 1.
+func NewSession(p *core.Problem, workers int) (*Solver, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	s, err := NewRacing(p, workers)
+	if err != nil {
+		return nil, err
+	}
+	// The long-lived canonical synthesizer is the racing engine's
+	// per-problem extractor; a session extracts through fresh per-query
+	// canonicals instead (see extractor), so it would only go stale.
+	s.canon = nil
+	s.session = true
+	s.family = spec.FamilyFingerprint(p)
+	return s, nil
+}
+
+// Session reports whether this solver is a persistent what-if session.
+func (s *Solver) Session() bool { return s.session }
+
+// Family returns the session's family fingerprint (the problem with
+// thresholds zeroed); empty for non-session solvers.
+func (s *Solver) Family() string { return s.family }
+
+// Retarget points the session at a modified problem. Only threshold
+// deltas are legal: the workers' encodings (routes, flows, placements,
+// policies) are reused verbatim, which is sound exactly when everything
+// except the thresholds is unchanged — enforced by comparing
+// thresholds-zeroed canonical fingerprints. Any leftover per-query
+// state (incumbent, bound observer, sticky interrupts) is cleared.
+func (s *Solver) Retarget(p *core.Problem) error {
+	if !s.session {
+		return fmt.Errorf("portfolio: Retarget on a non-session solver")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if fam := spec.FamilyFingerprint(p); fam != s.family {
+		return fmt.Errorf("portfolio: retarget problem differs beyond thresholds (family %.12s, session %.12s)", fam, s.family)
+	}
+	s.prob = p
+	s.ResetQueryState()
+	// Keep the learnt clauses (the warm-start payoff) but forget the
+	// search heuristics: phases and activities tuned to the previous
+	// thresholds can derail the next probe by orders of magnitude.
+	for i, w := range s.work {
+		if !s.dead[i] {
+			w.ResetSearchState()
+		}
+	}
+	return nil
+}
+
+// ResetQueryState clears everything one query may have left on the
+// solver — the anytime incumbent, the bound observer, and sticky
+// interrupts — so the next query (possibly on behalf of a different
+// client) starts clean. The service runs this before a session is
+// checked back into its registry.
+func (s *Solver) ResetQueryState() {
+	s.onBound = nil
+	s.resetIncumbent()
+	s.clearAll()
+}
+
+// extractor returns the canonical synthesizer to extract one query's
+// design or core with. Non-session solvers use their dedicated
+// long-lived canonical; a session builds a fresh one from its current
+// problem, records it so a concurrent context cancellation can reach it
+// (interruptAll), and the caller releases it when the extraction
+// returns.
+func (s *Solver) extractor() (*core.Synthesizer, error) {
+	if !s.session {
+		return s.canon, nil
+	}
+	syn, err := core.NewSynthesizer(s.prob)
+	if err != nil {
+		return nil, err
+	}
+	s.extractMu.Lock()
+	s.extract = syn
+	s.extractMu.Unlock()
+	return syn, nil
+}
+
+// release drops a session's per-query extractor again.
+func (s *Solver) release(syn *core.Synthesizer) {
+	if !s.session {
+		return
+	}
+	s.extractMu.Lock()
+	if s.extract == syn {
+		s.extract = nil
+	}
+	s.extractMu.Unlock()
+}
+
+// canonSolve runs the canonical Solve for this query (fresh synthesizer
+// in session mode).
+func (s *Solver) canonSolve() (*core.Design, error) {
+	syn, err := s.extractor()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(syn)
+	return syn.Solve()
+}
+
+// canonCheckAt runs the canonical CheckAt for this query.
+func (s *Solver) canonCheckAt(th core.Thresholds) (*core.Design, error) {
+	syn, err := s.extractor()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(syn)
+	return syn.CheckAt(th)
+}
+
+// canonAnytimeAt runs the canonical anytime re-extraction for this
+// query (degrade-to-anytime path).
+func (s *Solver) canonAnytimeAt(th core.Thresholds) (*core.Design, error) {
+	syn, err := s.extractor()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(syn)
+	return syn.AnytimeAt(th)
+}
+
+// costUpperBound returns the trivially sufficient cost budget. The cost
+// sum is a property of the encoding, identical on every worker and
+// canonical synthesizer, so in session mode any live worker can answer.
+func (s *Solver) costUpperBound() int64 {
+	if !s.session {
+		return s.canon.CostUpperBound()
+	}
+	for i, w := range s.work {
+		if !s.dead[i] {
+			return w.CostUpperBound()
+		}
+	}
+	panic("portfolio: all raced workers retired by panics")
+}

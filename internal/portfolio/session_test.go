@@ -1,0 +1,182 @@
+package portfolio
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"configsynth/internal/core"
+	"configsynth/internal/netgen"
+	"configsynth/internal/spec"
+)
+
+func sessionProblem(t *testing.T, seed int64) *core.Problem {
+	t.Helper()
+	p, err := netgen.Generate(netgen.Config{
+		Hosts:       3,
+		Routers:     3,
+		MaxServices: 2,
+		CRFraction:  0.2,
+		Seed:        seed,
+		Thresholds:  core.Thresholds{IsolationTenths: 30, UsabilityTenths: 30, CostBudget: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSessionAccessorsAndRetargetRules(t *testing.T) {
+	p := sessionProblem(t, 1)
+	s, err := NewSession(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Session() {
+		t.Fatal("NewSession must mark the solver as a session")
+	}
+	if want := spec.FamilyFingerprint(p); s.Family() != want {
+		t.Fatalf("Family = %.12s, want %.12s", s.Family(), want)
+	}
+
+	plain, err := NewRacing(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Session() || plain.Family() != "" {
+		t.Fatal("NewRacing must not produce a session")
+	}
+	if err := plain.Retarget(p); err == nil || !strings.Contains(err.Error(), "non-session") {
+		t.Fatalf("Retarget on a non-session solver: err = %v, want non-session rejection", err)
+	}
+
+	// Threshold deltas stay in the family.
+	q := *p
+	q.Thresholds.IsolationTenths = 70
+	if err := s.Retarget(&q); err != nil {
+		t.Fatalf("threshold-only Retarget: %v", err)
+	}
+
+	// Anything beyond thresholds changes the family and must be refused:
+	// the warm workers' encodings would silently describe the old problem.
+	other := sessionProblem(t, 2)
+	if err := s.Retarget(other); err == nil || !strings.Contains(err.Error(), "beyond thresholds") {
+		t.Fatalf("cross-family Retarget: err = %v, want family rejection", err)
+	}
+}
+
+// TestSessionReuseMatchesFreshAcrossQueryMix drives one session through
+// the full query surface — Solve, MaxIsolation, MinCost — at several
+// threshold points in sequence, comparing every answer against a fresh
+// from-scratch portfolio making the same single query (a new one per
+// query: the session contract is single-query equivalence, matching the
+// service's one-query-per-job usage, because a long-lived canonical is
+// incremental across queries while a session extracts each query from a
+// fresh synthesizer). This is the strong form of the reuse contract:
+// not just repeated Solves, but interleaved optimizations must leave no
+// state behind that the next query can observe.
+func TestSessionReuseMatchesFreshAcrossQueryMix(t *testing.T) {
+	p := sessionProblem(t, 3)
+	s, err := NewSession(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := func(q *core.Problem) *Solver {
+		t.Helper()
+		f, err := NewRacing(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	for _, iso := range []int{20, 50, 20, 80} { // revisit 20: warm state from iso=50 must not show
+		q := *p
+		q.Thresholds.IsolationTenths = iso
+		if err := s.Retarget(&q); err != nil {
+			t.Fatalf("iso=%d: %v", iso, err)
+		}
+
+		dS, errS := s.Solve()
+		dF, errF := scratch(&q).Solve()
+		if (errS == nil) != (errF == nil) {
+			t.Fatalf("iso=%d Solve: session err %v, fresh err %v", iso, errS, errF)
+		}
+		if errS == nil {
+			assertSameDesign(t, iso, "Solve", dS, dF)
+		}
+
+		vS, mS, errS := s.MaxIsolation(q.Thresholds.UsabilityTenths, q.Thresholds.CostBudget)
+		vF, mF, errF := scratch(&q).MaxIsolation(q.Thresholds.UsabilityTenths, q.Thresholds.CostBudget)
+		if (errS == nil) != (errF == nil) {
+			t.Fatalf("iso=%d MaxIsolation: session err %v, fresh err %v", iso, errS, errF)
+		}
+		if errS == nil {
+			if vS != vF {
+				t.Fatalf("iso=%d MaxIsolation: session %v, fresh %v", iso, vS, vF)
+			}
+			assertSameDesign(t, iso, "MaxIsolation", mS, mF)
+		}
+
+		cS, eS, errS := s.MinCost(q.Thresholds.IsolationTenths, q.Thresholds.UsabilityTenths)
+		cF, eF, errF := scratch(&q).MinCost(q.Thresholds.IsolationTenths, q.Thresholds.UsabilityTenths)
+		if (errS == nil) != (errF == nil) {
+			t.Fatalf("iso=%d MinCost: session err %v, fresh err %v", iso, errS, errF)
+		}
+		if errS == nil {
+			if cS != cF {
+				t.Fatalf("iso=%d MinCost: session %d, fresh %d", iso, cS, cF)
+			}
+			assertSameDesign(t, iso, "MinCost", eS, eF)
+		}
+	}
+}
+
+func assertSameDesign(t *testing.T, iso int, what string, a, b *core.Design) {
+	t.Helper()
+	if a.Isolation != b.Isolation || a.Usability != b.Usability || a.Cost != b.Cost || a.Exact != b.Exact {
+		t.Fatalf("iso=%d %s: scores diverge: session (%v, %v, %d, exact=%v) vs fresh (%v, %v, %d, exact=%v)",
+			iso, what, a.Isolation, a.Usability, a.Cost, a.Exact, b.Isolation, b.Usability, b.Cost, b.Exact)
+	}
+	if !reflect.DeepEqual(a.Placements, b.Placements) {
+		t.Fatalf("iso=%d %s: placements diverge:\n%v\nvs\n%v", iso, what, a.Placements, b.Placements)
+	}
+	if !reflect.DeepEqual(a.FlowPatterns, b.FlowPatterns) {
+		t.Fatalf("iso=%d %s: flow patterns diverge:\n%v\nvs\n%v", iso, what, a.FlowPatterns, b.FlowPatterns)
+	}
+}
+
+// TestSessionStatsAggregateWarmWorkers pins the Stats path with no
+// canonical solver: a session's stats are the aggregate of its warm
+// workers alone, and they must keep growing across reused queries
+// (the warm state is the point of the session).
+func TestSessionStatsAggregateWarmWorkers(t *testing.T) {
+	p := sessionProblem(t, 1)
+	s, err := NewSession(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err != nil && !core.IsUnsat(err) {
+		t.Fatal(err)
+	}
+	first := s.Stats()
+	// Session Solve goes straight to the per-query canonical, so the warm
+	// workers' search counters stay untouched; the static model shape must
+	// still come through (worker 0 encodes the same instance).
+	if first.Vars == 0 {
+		t.Fatalf("session stats missing model shape after a solve: %+v", first)
+	}
+	q := *p
+	q.Thresholds.IsolationTenths = 60
+	if err := s.Retarget(&q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MaxIsolation(q.Thresholds.UsabilityTenths, q.Thresholds.CostBudget); err != nil && !core.IsUnsat(err) {
+		t.Fatal(err)
+	}
+	second := s.Stats()
+	// The descent races its probes on the warm workers, so now their
+	// counters must show search work and never go backwards.
+	if second.Propagations == 0 || second.Propagations < first.Propagations {
+		t.Fatalf("warm worker counters wrong: %d then %d", first.Propagations, second.Propagations)
+	}
+}

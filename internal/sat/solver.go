@@ -343,6 +343,41 @@ func (s *Solver) SetTheory(t Theory) { s.theories = append(s.theories, t) }
 // Unknown.
 func (s *Solver) SetBudget(conflicts int64) { s.budget = conflicts }
 
+// ResetSearchState forgets the search heuristics — saved phases, VSIDS
+// activities and their heap order, restart schedule position, and the
+// diversification PRNG — restoring each to its fresh-solver initial
+// value while keeping the clause database (including learnt clauses)
+// and all counters. Sessions call this between queries: heuristic state
+// tuned to the previous query's thresholds can send the next one far
+// astray (saved phases replay the old model against a changed bound),
+// while the learnt clauses remain sound and are the warm-start payoff.
+// Must be called at the root level, between Solve calls.
+func (s *Solver) ResetSearchState() {
+	if s.decisionLevel() != 0 {
+		panic("sat: ResetSearchState off the root level")
+	}
+	s.varInc = 1
+	for v := range s.activity {
+		s.activity[v] = 0
+		s.polarity[v] = !s.cfg.PhaseTrue
+	}
+	// With all activities equal, a heap holding every variable in index
+	// order is exactly the fresh-solver order (NewVar pushes onto an
+	// all-zero heap with no swaps). Assigned (root-fixed) variables stay
+	// in the heap, as they do on a fresh solver; decide() skips them.
+	s.order.heap = s.order.heap[:0]
+	for v := range s.assigns {
+		s.order.heap = append(s.order.heap, Var(v))
+		s.order.indices[v] = int32(v)
+	}
+	s.lubyRestart = 0
+	s.geomBudget = 0
+	s.rng = s.cfg.Seed
+	if s.rng == 0 {
+		s.rng = 0x9E3779B97F4A7C15
+	}
+}
+
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 

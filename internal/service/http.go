@@ -22,6 +22,7 @@ const maxBodyBytes = 4 << 20
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	// /healthz is liveness: the process is up and serving. /readyz is
@@ -243,6 +244,82 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		"job_id": job.ID,
 		"status": string(state),
 	})
+}
+
+// whatIfRequest is the POST /v1/whatif body: a parent job ID and the
+// delta to apply to its problem.
+type whatIfRequest struct {
+	Parent string      `json:"parent"`
+	Delta  WhatIfDelta `json:"delta"`
+}
+
+// handleWhatIf is POST /v1/whatif: body {"parent": "<job id>",
+// "delta": {"isolation_tenths": 60, "cost_budget": 400, "add_links":
+// [{"a":1,"b":7}], ...}}. The parent's problem is re-solved with the
+// delta applied, reusing the parent family's warm solver session when
+// one is registered. Query parameters mirror /v1/synthesize:
+//
+//	?mode=...        query mode (default: the parent job's mode)
+//	?timeout=30s     per-job deadline
+//	?async=1         return 202 + job id immediately
+//	?stream=1        NDJSON event stream
+func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req whatIfRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Parent) == "" {
+		writeError(w, http.StatusBadRequest, `missing "parent" (job id of the baseline solve)`)
+		return
+	}
+	timeout, err := parseTimeout(r)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	async := q.Get("async") != ""
+	stream := q.Get("stream") != ""
+	opts := SubmitOptions{
+		Mode:    Mode(q.Get("mode")),
+		Timeout: timeout,
+	}
+	if !async {
+		opts.Parent = r.Context()
+	}
+	job, err := s.WhatIf(req.Parent, req.Delta, opts)
+	if err != nil {
+		if errors.Is(err, ErrUnknownJob) {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		submitError(w, err)
+		return
+	}
+	switch {
+	case async:
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id": job.ID,
+			"status": string(job.State()),
+			"href":   "/v1/jobs/" + job.ID,
+		})
+	case stream:
+		streamEvents(w, job)
+	default:
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			job.Cancel()
+			<-job.Done()
+		}
+		writeJobResult(w, job)
+	}
 }
 
 // verifyRequest is the POST /v1/verify body.

@@ -79,10 +79,15 @@ type DesignJSON struct {
 // Result is the outcome of a finished job, and the unit the cache
 // stores.
 type Result struct {
-	Status      string      `json:"status"` // "sat" or "unsat"
-	Mode        Mode        `json:"mode"`
-	Fingerprint string      `json:"fingerprint"`
-	Design      *DesignJSON `json:"design,omitempty"`
+	Status      string `json:"status"` // "sat" or "unsat"
+	Mode        Mode   `json:"mode"`
+	Fingerprint string `json:"fingerprint"`
+	// JobID names the job that served this response (cache hits carry
+	// the serving job's id, not the producer's), so a synchronous
+	// /v1/synthesize response can be used directly as a /v1/whatif
+	// parent.
+	JobID  string      `json:"job_id,omitempty"`
+	Design *DesignJSON `json:"design,omitempty"`
 	// Objective is the optimum of an optimization mode: isolation or
 	// usability on the 0–10 scale, or a cost value.
 	Objective float64 `json:"objective,omitempty"`
@@ -93,6 +98,11 @@ type Result struct {
 	// Cached is true when the result was served from the canonical
 	// result cache instead of the SAT core.
 	Cached bool `json:"cached"`
+	// Session reports how a what-if job got its solver: "reused" (a warm
+	// session for the problem family re-solved the delta) or "fresh" (a
+	// new session was built and kept for the next delta). Empty for
+	// ordinary jobs and cache hits.
+	Session string `json:"session,omitempty"`
 	// Degraded marks an anytime answer: the design is feasible but not
 	// proven optimal, because the deadline or the conflict budget cut the
 	// descent short. Degraded results are never cached.
@@ -131,6 +141,11 @@ type Job struct {
 	// replayed marks a job re-enqueued from the journal on startup; the
 	// service tracks these for readiness gating.
 	replayed bool
+	// whatif marks a job derived via WhatIf: runJob routes it onto a
+	// warm session for its problem family when the registry has one.
+	// Journal replay never sets it — a restarted service has no warm
+	// sessions, so replayed what-if jobs re-solve from scratch.
+	whatif bool
 
 	created time.Time
 
@@ -234,6 +249,10 @@ func (j *Job) finish(res *Result, err error) {
 	switch {
 	case err == nil:
 		j.state = StateDone
+		// Stamp the serving job's id so every successful response names a
+		// valid /v1/whatif parent; cache-hit copies overwrite the
+		// producer's id with their own job's.
+		res.JobID = j.ID
 		j.result = res
 		e = Event{Event: "done", Result: res}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

@@ -11,6 +11,9 @@
 //
 //	POST /v1/synthesize   spec-format problem in, design out (sync,
 //	                      async, or NDJSON-streamed)
+//	POST /v1/whatif       re-solve a finished job's problem under a
+//	                      threshold/link delta, reusing the problem
+//	                      family's warm solver session
 //	POST /v1/verify       independently validate a design
 //	GET  /v1/jobs/{id}    job status, ?stream=1 for NDJSON events
 //	GET  /healthz         liveness
@@ -66,6 +69,13 @@ type Config struct {
 	// JournalSync fsyncs every journal append (durability against power
 	// loss, not just process death) at the cost of one flush per record.
 	JournalSync bool
+	// SessionEntries bounds the what-if session registry (default 8
+	// warm sessions). Each session pins SolverWorkers encoded solver
+	// instances in memory, so the cap is deliberately small.
+	SessionEntries int
+	// SessionTTL evicts what-if sessions idle longer than this (default
+	// 10m); 0 uses the default, negative disables expiry.
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +96,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.SessionEntries <= 0 {
+		c.SessionEntries = 8
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 10 * time.Minute
 	}
 	return c
 }
@@ -157,6 +173,9 @@ type Stats struct {
 	Ready bool `json:"ready"`
 
 	Cache CacheStats `json:"cache"`
+	// Sessions reports the what-if session registry: warm solver state
+	// reused across /v1/whatif deltas.
+	Sessions SessionStats `json:"sessions"`
 	// Journal reports write-ahead-log health when a journal is
 	// configured.
 	Journal *wal.Stats `json:"journal,omitempty"`
@@ -167,11 +186,12 @@ type Stats struct {
 // Service owns the queue, the worker pool, the job registry, and the
 // result cache.
 type Service struct {
-	cfg   Config
-	queue chan *Job
-	cache *cache
-	wal   *wal.Log // nil when no journal is configured
-	start time.Time
+	cfg      Config
+	queue    chan *Job
+	cache    *cache
+	sessions *sessionRegistry
+	wal      *wal.Log // nil when no journal is configured
+	start    time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -226,10 +246,11 @@ func Open(cfg Config) (*Service, error) {
 func open(cfg Config, startWorkers bool) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: newCache(cfg.CacheEntries),
-		jobs:  make(map[string]*Job),
-		start: time.Now(),
+		cfg:      cfg,
+		cache:    newCache(cfg.CacheEntries),
+		sessions: newSessionRegistry(cfg.SessionEntries, cfg.SessionTTL),
+		jobs:     make(map[string]*Job),
+		start:    time.Now(),
 	}
 
 	var pending []submitRecord
@@ -295,6 +316,7 @@ func (s *Service) replayJob(rec submitRecord) {
 	if res, ok := s.cache.get(cacheKey(rec.Fingerprint, rec.Mode)); ok {
 		hit := *res
 		hit.Cached = true
+		hit.Session = ""
 		ctx, cancel := context.WithCancel(context.Background())
 		j := newJob(rec.ID, rec.Mode, prob, rec.Fingerprint, ctx, cancel)
 		s.register(j)
@@ -460,6 +482,13 @@ type SubmitOptions struct {
 	// the service derives one via spec.WriteProblem when that provably
 	// round-trips, and otherwise journals the job as non-replayable.
 	Source *JobSource
+
+	// whatif marks a job derived by WhatIf: runJob routes it onto a warm
+	// session from the registry when the problem family has one. Only
+	// WhatIf sets it — everything else about the job (cache, journal,
+	// queue, results) is identical to an ordinary submission, which is
+	// what keeps what-if answers cache-compatible with /v1/synthesize.
+	whatif bool
 }
 
 // Submit fingerprints the problem, answers from the cache when it can,
@@ -484,6 +513,7 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 		// are deliberately not journaled.
 		hit := *res
 		hit.Cached = true
+		hit.Session = "" // describes how this response was produced: no session ran
 		ctx, cancel := context.WithCancel(context.Background())
 		j := newJob(id, opts.Mode, prob, fp, ctx, cancel)
 		s.register(j)
@@ -512,6 +542,7 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 	}
 	ctx, cancel := context.WithTimeout(parent, timeout)
 	j := newJob(id, opts.Mode, prob, fp, ctx, cancel)
+	j.whatif = opts.whatif
 
 	s.mu.Lock()
 	if s.closed {
@@ -619,6 +650,54 @@ func (s *Service) solveJob(j *Job, syn *portfolio.Solver, res *Result) (design *
 	return design, qerr
 }
 
+// solverFor builds (or checks out) the job's synthesizer. Ordinary jobs
+// get a fresh racing portfolio — NewRacing even for one worker, so the
+// engine path drives optimization descents centrally, which is what
+// makes bound streaming work and results independent of K. What-if jobs
+// consult the session registry first: a warm session for the problem
+// family is retargeted at the job's thresholds and re-solves only the
+// delta; on a miss a fresh session is built and, after the job, checked
+// in for the family's next delta.
+func (s *Service) solverFor(j *Job) (syn *portfolio.Solver, reused bool, err error) {
+	if !j.whatif {
+		syn, err = portfolio.NewRacing(j.prob, s.cfg.SolverWorkers)
+		return syn, false, err
+	}
+	family := spec.FamilyFingerprint(j.prob)
+	if sess, ok := s.sessions.checkout(family); ok {
+		if rerr := sess.Retarget(j.prob); rerr == nil {
+			return sess, true, nil
+		}
+		// A session that cannot retarget within its own family is
+		// defective; drop it and fall through to a fresh one.
+	}
+	syn, err = portfolio.NewSession(j.prob, s.cfg.SolverWorkers)
+	return syn, false, err
+}
+
+// statsDelta returns this job's share of a solver's cumulative model
+// statistics: the dynamic search counters advanced since base was
+// snapshotted, with the static model-shape counts (vars, clauses, PB
+// constraints…) reported as-is. For a fresh solver base is zero and
+// this is the identity.
+func statsDelta(after, base core.ModelStats) core.ModelStats {
+	d := after
+	d.Conflicts -= base.Conflicts
+	d.Decisions -= base.Decisions
+	d.Propagations -= base.Propagations
+	d.Restarts -= base.Restarts
+	d.LubyRestarts -= base.LubyRestarts
+	d.GeomRestarts -= base.GeomRestarts
+	d.Interrupts -= base.Interrupts
+	d.RandomDecisions -= base.RandomDecisions
+	d.Subsumed -= base.Subsumed
+	d.Strengthened -= base.Strengthened
+	d.Reduced -= base.Reduced
+	d.SharedKept -= base.SharedKept
+	d.SharedDropped -= base.SharedDropped
+	return d
+}
+
 // degradeToAnytime attempts the anytime fallback after a deadline or
 // cancellation cut an optimization short: if the descent had already
 // proven a feasible incumbent, that model (Exact=false) becomes the
@@ -686,14 +765,20 @@ func (s *Service) runJob(j *Job) {
 	j.setRunning()
 	start := time.Now()
 
-	// NewRacing even for one worker: the engine path drives optimization
-	// descents centrally, which is what makes bound streaming work and
-	// results independent of K.
-	syn, err := portfolio.NewRacing(j.prob, s.cfg.SolverWorkers)
+	syn, reused, err := s.solverFor(j)
 	if err != nil {
 		j.finish(nil, &BadRequestError{Msg: err.Error()})
 		s.failed.Add(1)
 		return
+	}
+	// Session solvers carry counters accumulated by earlier jobs;
+	// snapshot them so this job folds only its own share into the fleet
+	// totals below.
+	var statsBase core.ModelStats
+	var panicsBase uint64
+	if reused {
+		statsBase = syn.Stats()
+		panicsBase = syn.PanicsRecovered()
 	}
 	syn.SetBoundObserver(func(kind core.ThresholdKind, v int64) {
 		val := float64(v)
@@ -707,11 +792,31 @@ func (s *Service) runJob(j *Job) {
 	design, qerr := s.solveJob(j, syn, res)
 	// Worker panics the portfolio absorbed internally (survivors kept
 	// the query alive) still count as contained.
-	s.panicsRecovered.Add(int64(syn.PanicsRecovered()))
+	s.panicsRecovered.Add(int64(syn.PanicsRecovered() - panicsBase))
 
 	s.mu.Lock()
-	s.totals.Add(syn.Stats())
+	s.totals.Add(statsDelta(syn.Stats(), statsBase))
 	s.mu.Unlock()
+
+	if syn.Session() {
+		if reused {
+			res.Session = "reused"
+		} else {
+			res.Session = "fresh"
+		}
+		// Check the warm session back in for the family's next delta —
+		// unless a panic escaped the solver stack, in which case its state
+		// is suspect and it is dropped. Deferred to function exit so the
+		// degrade-to-anytime path below can still read the incumbent and
+		// re-extract through the session before it is reset.
+		var pe *SolverPanicError
+		if poisoned := errors.As(qerr, &pe); !poisoned {
+			defer func() {
+				syn.ResetQueryState()
+				s.sessions.checkin(syn.Family(), syn)
+			}()
+		}
+	}
 
 	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 
@@ -823,6 +928,7 @@ func (s *Service) Stats() Stats {
 		JournalErrors:   s.journalErrors.Load(),
 		Ready:           ready,
 		Cache:           s.cache.stats(),
+		Sessions:        s.sessions.stats(),
 		Solver:          totals,
 	}
 	if s.wal != nil {

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"configsynth/internal/faults"
+)
+
+func postWhatIf(t *testing.T, base, query string, parent string, delta string) (*http.Response, []byte) {
+	t.Helper()
+	body := fmt.Sprintf(`{"parent":%q,"delta":%s}`, parent, delta)
+	resp, err := http.Post(base+"/v1/whatif"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		data = append(data, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	return resp, data
+}
+
+// TestHTTPWhatIfSessionReuseAndCache walks the endpoint's happy path:
+// the first delta against a parent starts a fresh session, the second
+// reuses the warm one, and repeating a delta is answered by the
+// ordinary fingerprint cache — a what-if result is indistinguishable
+// from submitting the modified problem directly.
+func TestHTTPWhatIfSessionReuseAndCache(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 1})
+	parent, err := submitSpec(t, s, specVariant(0), ModeSolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := wait(t, parent); res.Status != "sat" {
+		t.Fatalf("parent: status %q", res.Status)
+	}
+
+	resp, data := postWhatIf(t, srv.URL, "", parent.ID, `{"isolation_tenths":50}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first delta: status %d: %s", resp.StatusCode, data)
+	}
+	var r1 Result
+	if err := json.Unmarshal(data, &r1); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if r1.Session != "fresh" || r1.Cached {
+		t.Fatalf("first delta: session %q cached %v, want a fresh session miss", r1.Session, r1.Cached)
+	}
+
+	resp, data = postWhatIf(t, srv.URL, "", parent.ID, `{"isolation_tenths":60}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second delta: status %d: %s", resp.StatusCode, data)
+	}
+	var r2 Result
+	if err := json.Unmarshal(data, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Session != "reused" {
+		t.Fatalf("second delta: session %q, want reused", r2.Session)
+	}
+
+	// Same delta again: the fingerprint cache answers before any solver
+	// (or session) is touched.
+	resp, data = postWhatIf(t, srv.URL, "", parent.ID, `{"isolation_tenths":50}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat delta: status %d: %s", resp.StatusCode, data)
+	}
+	var r3 Result
+	if err := json.Unmarshal(data, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached || r3.Session != "" {
+		t.Fatalf("repeat delta: cached %v session %q, want a pure cache hit", r3.Cached, r3.Session)
+	}
+	if r3.Fingerprint != r1.Fingerprint || r3.Status != r1.Status {
+		t.Fatalf("cache hit diverged from the original what-if: %+v vs %+v", r3, r1)
+	}
+
+	st := s.Stats()
+	if st.Sessions.Misses < 1 || st.Sessions.Hits < 1 || st.Sessions.Entries < 1 {
+		t.Errorf("session stats: %+v, want at least one miss, one hit, one warm entry", st.Sessions)
+	}
+}
+
+func TestHTTPWhatIfRejections(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 1})
+	parent, err := submitSpec(t, s, specVariant(1), ModeSolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, parent)
+
+	cases := []struct {
+		name, parent, delta string
+		want                int
+	}{
+		{"unknown parent", "j999999", `{"isolation_tenths":50}`, http.StatusNotFound},
+		{"empty delta", parent.ID, `{}`, http.StatusBadRequest},
+		{"bogus drop link", parent.ID, `{"drop_links":[{"a":0,"b":0}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, data := postWhatIf(t, srv.URL, "", c.parent, c.delta)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.want, data)
+		}
+	}
+}
+
+// TestWhatIfDegradedNeverCachedNorReplayed is the what-if face of the
+// degraded-results invariant: a delta answered by the anytime fallback
+// (deadline mid-descent under an injected solve delay) must not enter
+// the fingerprint cache, must not be served to a re-submission, and
+// after a crash its journaled record must not re-seed the cache as
+// proven — only the parent's exact result survives the restart.
+func TestWhatIfDegradedNeverCachedNorReplayed(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal.ndjson")
+	cfg := Config{Workers: 1, JournalPath: journal}
+	s1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s1.Handler())
+
+	parent, err := submitSpec(t, s1, specVariant(2), ModeSolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres := wait(t, parent)
+	if pres.Status != "sat" {
+		t.Fatalf("parent: status %q", pres.Status)
+	}
+
+	plan, err := faults.Parse("seed=5," + faults.SatSolveDelay + "=1:100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faults.Set(plan)
+	resp, data := postWhatIf(t, srv.URL, "?mode=max-isolation&timeout=350ms", parent.ID, `{"usability_tenths":20}`)
+	if resp.StatusCode != http.StatusOK {
+		restore()
+		t.Fatalf("degraded what-if: status %d: %s", resp.StatusCode, data)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		restore()
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		restore()
+		if res.Design != nil && res.Design.Exact {
+			t.Skip("descent finished under the deadline; nothing to degrade")
+		}
+		t.Fatalf("deadline mid-descent produced a non-degraded what-if: %+v", res)
+	}
+	if res.Cached {
+		restore()
+		t.Fatal("degraded what-if result claims to be cached")
+	}
+
+	// A re-submission of the same delta must miss the cache: the
+	// degraded answer was never stored.
+	resp, data = postWhatIf(t, srv.URL, "?mode=max-isolation&timeout=350ms", parent.ID, `{"usability_tenths":20}`)
+	restore()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submitted what-if: status %d: %s", resp.StatusCode, data)
+	}
+	var res2 Result
+	if err := json.Unmarshal(data, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached {
+		t.Fatal("degraded what-if answer was served from the cache on re-submit")
+	}
+
+	// Crash and replay: the journal holds the parent's exact result and
+	// the degraded what-if records. Only the former may re-seed the cache.
+	srv.Close()
+	s1.crash()
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Replay may have re-enqueued what-if submissions whose result
+	// records were lost; let them finish before inspecting the cache.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ready, _ := s2.Ready(); ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never became ready after replay")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := s2.cache.get(cacheKey(pres.Fingerprint, ModeSolve)); !ok {
+		t.Error("parent's proven result did not survive the restart")
+	}
+	if got, ok := s2.cache.get(cacheKey(res.Fingerprint, ModeMaxIsolation)); ok && got.Degraded {
+		t.Fatalf("degraded what-if result was replayed into the proven cache: %+v", got)
+	}
+}

@@ -91,7 +91,11 @@ type Solver struct {
 	hasTrue   bool
 
 	model []bool
-	core  []Bool
+	// hasModel gates model reads: it is set by a Sat check and cleared at
+	// the start of every Check, so Value/EvalSum after a non-Sat check
+	// fail loudly instead of silently serving the stale previous model.
+	hasModel bool
+	core     []Bool
 
 	verify   bool
 	inVerify bool
@@ -130,6 +134,13 @@ func (s *Solver) Interrupt() { s.sat.Interrupt() }
 
 // ClearInterrupt re-arms the solver after an Interrupt.
 func (s *Solver) ClearInterrupt() { s.sat.ClearInterrupt() }
+
+// ResetSearchState forgets the backend's search heuristics (saved
+// phases, activities, restart position) while keeping clauses — learnt
+// ones included. See sat.Solver.ResetSearchState; sessions call this
+// between queries so heuristic state tuned to the previous thresholds
+// cannot derail the next probe.
+func (s *Solver) ResetSearchState() { s.sat.ResetSearchState() }
 
 // SAT exposes the underlying SAT solver so that callers can attach
 // custom theory propagators (sat.Solver.SetTheory). Mutating solver
@@ -344,9 +355,12 @@ func (s *Solver) SetVerify(on bool) { s.verify = on }
 // Verifying reports whether self-check mode is enabled.
 func (s *Solver) Verifying() bool { return s.verify }
 
-// Check solves the current assertions under the given assumptions.
+// Check solves the current assertions under the given assumptions. Any
+// model captured by an earlier Sat check is invalidated, whatever this
+// check's outcome: only a Sat result leaves a readable model behind.
 func (s *Solver) Check(assumptions ...Bool) Status {
 	s.core = s.core[:0]
+	s.hasModel = false
 	if s.rootUnsat || s.th.RootViolated() {
 		return Unsat
 	}
@@ -422,10 +436,22 @@ func (s *Solver) captureModel() {
 	for v := 0; v < n; v++ {
 		s.model[v] = s.sat.ModelValue(sat.PosLit(sat.Var(v))) == sat.True
 	}
+	s.hasModel = true
 }
 
-// Value returns b's value in the model of the last Sat check.
+// HasModel reports whether a model from a Sat check is available to
+// read: true after a Sat Check (or a successful optimization), false
+// after Unsat or Unknown and before the first check.
+func (s *Solver) HasModel() bool { return s.hasModel }
+
+// Value returns b's value in the model of the last Sat check. It panics
+// when no model is available — after an Unsat or Unknown check the
+// previous model is stale, and reading it silently was a soundness
+// landmine for callers that reuse one solver across checks.
 func (s *Solver) Value(b Bool) bool {
+	if !s.hasModel {
+		panic("smt: Value called with no model (last Check was not Sat)")
+	}
 	v := b.lit.Var()
 	if int(v) >= len(s.model) {
 		return false
@@ -433,8 +459,12 @@ func (s *Solver) Value(b Bool) bool {
 	return s.model[v] != b.lit.Neg()
 }
 
-// EvalSum evaluates the sum against the last model.
+// EvalSum evaluates the sum against the last model. Like Value, it
+// panics when the last check did not produce a model.
 func (s *Solver) EvalSum(sum *Sum) int64 {
+	if !s.hasModel {
+		panic("smt: EvalSum called with no model (last Check was not Sat)")
+	}
 	var total int64
 	for i, t := range sum.terms {
 		if s.Value(t) {
@@ -479,24 +509,34 @@ func (s *Solver) Maximize(objective *Sum, assumptions ...Bool) (int64, error) {
 		probe++
 		g := s.NewBool(fmt.Sprintf("$max_probe_%d", probe))
 		s.AssertAtLeastIf(g, objective, mid)
-		switch s.Check(append(append([]Bool(nil), assumptions...), g)...) {
+		st := s.Check(append(append([]Bool(nil), assumptions...), g)...)
+		// Permanently relax the probe so later checks are unaffected, and
+		// deactivate its big-M PB constraint: with the guard root-false
+		// the constraint can never trip again, and leaving it live would
+		// make repeated Maximize/Minimize calls accumulate dead
+		// constraints that pay Assign/Unassign cost forever. This must
+		// run on every exit path — including the budget-exhausted return
+		// below — or an interrupted descent leaks its live probe
+		// constraint into every later check on the same solver.
+		s.AddClause(g.Not())
+		s.th.DeactivateDeadFor(g.lit)
+		switch st {
 		case Sat:
 			lo = s.EvalSum(objective)
 			bestModel = append(bestModel[:0], s.model...)
 		case Unsat:
 			hi = mid - 1
 		default:
+			// Restore the best model found so far before bailing, so the
+			// solver is left in the same coherent have-a-model state as a
+			// completed descent (the caller still sees ErrBudget).
+			s.model = append(s.model[:0], bestModel...)
+			s.hasModel = true
 			return 0, ErrBudget
 		}
-		// Permanently relax the probe so later checks are unaffected, and
-		// deactivate its big-M PB constraint: with the guard root-false
-		// the constraint can never trip again, and leaving it live would
-		// make repeated Maximize/Minimize calls accumulate dead
-		// constraints that pay Assign/Unassign cost forever.
-		s.AddClause(g.Not())
-		s.th.DeactivateDeadFor(g.lit)
 	}
 	s.model = append(s.model[:0], bestModel...)
+	s.hasModel = true
 	return lo, nil
 }
 

@@ -126,3 +126,14 @@ func Fingerprint(p *core.Problem) string {
 	sum := sha256.Sum256(Canonical(p))
 	return hex.EncodeToString(sum[:])
 }
+
+// FamilyFingerprint hashes the problem with its thresholds zeroed: two
+// problems share a family fingerprint exactly when they differ only in
+// threshold values. What-if sessions key on it — a session's encoded
+// workers can be re-solved under new threshold assumptions, but only
+// for a problem whose every non-threshold part is unchanged.
+func FamilyFingerprint(p *core.Problem) string {
+	q := *p
+	q.Thresholds = core.Thresholds{}
+	return Fingerprint(&q)
+}

@@ -8,7 +8,7 @@
 # Environment:
 #   BENCHTIME   -benchtime value (default 3x; every iteration asserts the
 #               expected probe status, so even 1x is a correctness smoke)
-#   BENCHFILTER -bench regexp (default 'Solver|PB')
+#   BENCHFILTER -bench regexp (default 'Solver|PB|SliderSweep')
 #   COUNT       -count value (default 1; use >=6 for benchstat significance)
 #
 # Comparison uses benchstat when it is on PATH and falls back to a plain
@@ -32,7 +32,7 @@ if [ "$#" -eq 2 ]; then
 fi
 
 benchtime=${BENCHTIME:-3x}
-filter=${BENCHFILTER:-'Solver|PB'}
+filter=${BENCHFILTER:-'Solver|PB|SliderSweep'}
 count=${COUNT:-1}
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo worktree)
 out="bench-${rev}.txt"

@@ -42,7 +42,9 @@ echo "$second" | grep -q '"cached": true' || {
 }
 
 stats="$(curl -sf "$BASE/statsz")"
-hits="$(echo "$stats" | grep -o '"hits": [0-9]*' | grep -o '[0-9]*')"
+# The result cache renders before the session registry in /statsz, and
+# both carry a "hits" counter — take the first (cache) one.
+hits="$(echo "$stats" | grep -o '"hits": [0-9]*' | head -n 1 | grep -o '[0-9]*')"
 if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
   echo "statsz shows no cache hits:" >&2
   echo "$stats" >&2

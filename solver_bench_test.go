@@ -3,10 +3,12 @@ package configsynth_test
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"configsynth/internal/core"
 	"configsynth/internal/netgen"
+	"configsynth/internal/portfolio"
 	"configsynth/internal/smt"
 )
 
@@ -94,6 +96,111 @@ func BenchmarkSolverMinCost50(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sliderSweepPoints is the full 3-threshold slider sweep around the
+// 50-host instance's base thresholds: each of the three sliders
+// (isolation, usability, cost budget) moves through nearby values while
+// the other two stay at the base — the paper's Table III "slider
+// assistance" UX, thirteen what-if points in one family.
+func sliderSweepPoints(base core.Thresholds) []core.Thresholds {
+	var pts []core.Thresholds
+	for _, iso := range []int{10, 20, 30, 40, 50} {
+		th := base
+		th.IsolationTenths = iso
+		pts = append(pts, th)
+	}
+	for _, usa := range []int{30, 40, 60, 70} {
+		th := base
+		th.UsabilityTenths = usa
+		pts = append(pts, th)
+	}
+	for _, cost := range []int64{120, 160, 240, 280} {
+		th := base
+		th.CostBudget = cost
+		pts = append(pts, th)
+	}
+	return pts
+}
+
+// BenchmarkSliderSweep measures the what-if session payoff: a full
+// 3-threshold slider sweep on the 50-host instance (13 points), solved
+// from scratch (a fresh racing portfolio per point — what /v1/synthesize
+// pays) versus on one persistent session (Retarget per point — what
+// /v1/whatif pays). Designs are asserted bit-identical between the two
+// paths every iteration, so -benchtime=1x doubles as a determinism
+// smoke; the session/scratch ns-per-op ratio is the number
+// EXPERIMENTS.md tracks (acceptance: ≤ 0.5x).
+func BenchmarkSliderSweep(b *testing.B) {
+	const workers = 3
+	prob, err := netgen.Generate(solverBenchConfig(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob.Thresholds = satThresholds(50)
+	sweep := sliderSweepPoints(prob.Thresholds)
+	probAt := func(th core.Thresholds) *core.Problem {
+		q := *prob
+		q.Thresholds = th
+		return &q
+	}
+
+	// Reference designs, computed once outside the timed loops on plain
+	// sequential solvers (every path must agree with them bit for bit).
+	want := make([]*core.Design, len(sweep))
+	for i, th := range sweep {
+		s, err := portfolio.New(probAt(th), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if want[i], err = s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	check := func(i int, d *core.Design) {
+		w := want[i]
+		if d.Isolation != w.Isolation || d.Usability != w.Usability || d.Cost != w.Cost ||
+			!reflect.DeepEqual(d.Placements, w.Placements) {
+			b.Fatalf("sweep point %d diverged from reference", i)
+		}
+	}
+
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for pt, th := range sweep {
+				s, err := portfolio.NewRacing(probAt(th), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := s.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				check(pt, d)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		ses, err := portfolio.NewSession(prob, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for pt, th := range sweep {
+				if err := ses.Retarget(probAt(th)); err != nil {
+					b.Fatal(err)
+				}
+				d, err := ses.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				check(pt, d)
+			}
+		}
+	})
 }
 
 // pbInstance builds a dense seeded pseudo-Boolean store: nVars decision
