@@ -8,6 +8,7 @@
 //
 //	confserved [-addr :8732] [-workers 2] [-solver-workers 1]
 //	           [-queue 64] [-cache 256] [-sessions 8] [-session-ttl 10m]
+//	           [-region-workers 4] [-region-cache 512]
 //	           [-timeout 120s] [-max-timeout 10m]
 //	           [-journal path] [-journal-sync] [-drain-timeout 10s]
 //	           [-pprof-addr localhost:6060]
@@ -22,6 +23,11 @@
 //
 //	POST /v1/synthesize   problem spec in (Table IV format), design out;
 //	                      ?example=1 ?mode= ?timeout= ?async=1 ?stream=1
+//	                      (mode=decomp solves by topology decomposition)
+//	POST /v1/batch        N named spec variants in one request, solved as
+//	                      individual journaled jobs (default mode decomp,
+//	                      sharing the region cache); NDJSON results in
+//	                      completion order, or ?async=1 for job ids
 //	POST /v1/whatif       re-solve a finished job's problem under a
 //	                      threshold/link delta on a warm solver session
 //	POST /v1/verify       independently validate a design
@@ -66,6 +72,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		queue         = fs.Int("queue", 64, "job queue depth (full queue returns 429)")
 		cacheEntries  = fs.Int("cache", 256, "result cache entries")
 		sessions      = fs.Int("sessions", 8, "warm what-if sessions kept for /v1/whatif deltas")
+		regionWorkers = fs.Int("region-workers", 4, "concurrently solved regions inside one decomp-mode job")
+		regionCache   = fs.Int("region-cache", 512, "region result cache entries shared across decomp-mode jobs")
 		sessionTTL    = fs.Duration("session-ttl", 10*time.Minute, "idle eviction for warm what-if sessions")
 		timeout       = fs.Duration("timeout", 120*time.Second, "default per-job deadline")
 		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
@@ -79,16 +87,18 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 
 	svc, err := service.Open(service.Config{
-		Workers:        *workers,
-		SolverWorkers:  *solverWorkers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		SessionEntries: *sessions,
-		SessionTTL:     *sessionTTL,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		JournalPath:    *journal,
-		JournalSync:    *journalSync,
+		Workers:            *workers,
+		SolverWorkers:      *solverWorkers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cacheEntries,
+		SessionEntries:     *sessions,
+		SessionTTL:         *sessionTTL,
+		RegionWorkers:      *regionWorkers,
+		RegionCacheEntries: *regionCache,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		JournalPath:        *journal,
+		JournalSync:        *journalSync,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,133 @@
+package configsynth_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"configsynth/internal/core"
+	"configsynth/internal/decomp"
+	"configsynth/internal/netgen"
+	"configsynth/internal/portfolio"
+)
+
+// Decomposition benchmarks: monolithic vs decomposed synthesis on the
+// campus topologies decomp is built for, plus the batch variant sweep
+// that exercises the region cache. These anchor BENCH_decomp.json. Run
+// with:
+//
+//	go test -bench 'Decomp|BatchSweep' -benchtime 1x
+//
+// The 100-host pair runs by default; the 500- and 1000-host sizes only
+// with CONFSYNTH_BENCH_LARGE=1 (a monolithic 1000-host encode alone is
+// minutes of work — that gap is the point, but not one CI needs to
+// re-prove on every push).
+
+// campusProblem builds the seeded benchmark instance at a given size,
+// in the satisfiable regime.
+func campusProblem(b *testing.B, hosts int) *core.Problem {
+	b.Helper()
+	p, err := netgen.Campus(netgen.CampusConfig{
+		Hosts: hosts,
+		Seed:  int64(hosts),
+		Thresholds: core.Thresholds{
+			IsolationTenths: 30,
+			UsabilityTenths: 40,
+			CostBudget:      int64(hosts) * 20,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func largeOK(b *testing.B, hosts int) {
+	b.Helper()
+	if hosts > 100 && os.Getenv("CONFSYNTH_BENCH_LARGE") == "" {
+		b.Skipf("set CONFSYNTH_BENCH_LARGE=1 to run the %d-host size", hosts)
+	}
+}
+
+func BenchmarkDecompSolve(b *testing.B) {
+	for _, hosts := range []int{100, 500, 1000} {
+		prob := func(b *testing.B) *core.Problem {
+			largeOK(b, hosts)
+			return campusProblem(b, hosts)
+		}
+		b.Run(sizeName("mono", hosts), func(b *testing.B) {
+			p := prob(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				syn, err := portfolio.New(p, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := syn.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sizeName("decomp", hosts), func(b *testing.B) {
+			p := prob(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh solver per iteration: this measures the cold
+				// decomposed solve, not the cache (BenchmarkBatchSweep
+				// measures that).
+				s := decomp.New(decomp.Options{Workers: 4})
+				res, err := s.Solve(context.Background(), p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Fallback {
+					b.Fatalf("campus did not decompose: %s", res.FallbackReason)
+				}
+				if res.Unsat {
+					b.Fatalf("benchmark instance unsat (region %s)", res.ConflictRegion)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSweep measures the variant sweep the batch API runs: 20
+// budget variants of one campus through a shared region cache. The
+// first variant is the only cold one; iterations report the amortized
+// per-variant cost and assert the >50%-hit-rate property the batch API
+// depends on.
+func BenchmarkBatchSweep(b *testing.B) {
+	p := campusProblem(b, 100)
+	const variants = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := decomp.New(decomp.Options{Workers: 4})
+		for v := 0; v < variants; v++ {
+			q := *p
+			q.Thresholds.CostBudget = p.Thresholds.CostBudget + int64(10*v)
+			res, err := s.Solve(context.Background(), &q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Unsat {
+				b.Fatalf("variant %d unsat (region %s)", v, res.ConflictRegion)
+			}
+		}
+		cs := s.CacheStats()
+		if cs.Hits <= cs.Misses {
+			b.Fatalf("region hit rate <= 50%%: hits=%d misses=%d", cs.Hits, cs.Misses)
+		}
+		b.ReportMetric(float64(cs.Hits)/float64(cs.Hits+cs.Misses), "hit-rate")
+	}
+}
+
+func sizeName(kind string, hosts int) string {
+	switch hosts {
+	case 100:
+		return kind + "/h100"
+	case 500:
+		return kind + "/h500"
+	default:
+		return kind + "/h1000"
+	}
+}

@@ -35,6 +35,11 @@ type Synthesizer struct {
 	x      map[pairDev]smt.Bool
 	l      map[linkDev]smt.Bool
 	routes map[pairKey][]topology.Route
+	// preset marks link-device placements the problem declares as already
+	// deployed (Problem.Preplaced): their l variables are pinned true and
+	// contribute nothing to the cost sum, so Design.Cost and MinCost
+	// measure marginal cost over the existing deployment.
+	preset map[linkDev]bool
 
 	isoSum  *smt.Sum // Σ L_k · y  (network isolation numerator)
 	lossSum *smt.Sum // Σ a_f(100−b_k) · y (usability loss numerator)
@@ -85,6 +90,13 @@ func NewSynthesizer(p *Problem) (*Synthesizer, error) {
 		isoGuards:  make(map[int]smt.Bool),
 		usaGuards:  make(map[int]smt.Bool),
 		costGuards: make(map[int64]smt.Bool),
+	}
+	if len(p.Preplaced) > 0 {
+		s.preset = make(map[linkDev]bool, len(p.Preplaced))
+		for _, pp := range p.Preplaced {
+			link, _ := p.Network.LinkBetween(pp.A, pp.B) // Validate checked existence
+			s.preset[linkDev{link: link, dev: pp.Dev}] = true
+		}
 	}
 	if p.Options.SolverBudget > 0 {
 		s.sol.SetBudget(p.Options.SolverBudget)
@@ -316,8 +328,14 @@ func (s *Synthesizer) lVar(link topology.LinkID, d isolation.DeviceID) smt.Bool 
 	s.nb = nb
 	v := s.sol.NewBool(s.name())
 	s.l[key] = v
-	dev, _ := s.prob.Catalog.Device(d)
-	s.costSum.Add(v, dev.Cost)
+	if s.preset[key] {
+		// Already deployed: pinned true and free, so the solver can rely
+		// on it without spending budget.
+		s.sol.AddUnit(v)
+	} else {
+		dev, _ := s.prob.Catalog.Device(d)
+		s.costSum.Add(v, dev.Cost)
+	}
 	return v
 }
 

@@ -114,6 +114,18 @@ func envVerify() bool {
 	}
 }
 
+// Preplacement records a security device already deployed on the link
+// between A and B: the encoding pins the corresponding placement
+// variable true at zero cost, so a solve builds on the existing
+// deployment instead of paying for it again. Decomposition
+// (internal/decomp) hands a boundary subproblem the placements its
+// endpoint regions already chose this way; operators can likewise model
+// brownfield networks with devices already racked.
+type Preplacement struct {
+	A, B topology.NodeID
+	Dev  isolation.DeviceID
+}
+
 // Problem is a complete synthesis input: topology, flows, catalog,
 // business constraints, and policies.
 type Problem struct {
@@ -129,6 +141,9 @@ type Problem struct {
 	Ranks *usability.Ranks
 	// Policies are the user-defined constraints (UIC rules).
 	Policies *policy.Set
+	// Preplaced lists devices already deployed on links (pinned true at
+	// zero marginal cost in the encoding).
+	Preplaced []Preplacement
 	// Thresholds are the three sliders.
 	Thresholds Thresholds
 	// Options tune the model.
@@ -170,6 +185,14 @@ func (p *Problem) Validate() error {
 			if !seen[f] {
 				return fmt.Errorf("core: connectivity requirement %v is not among the flows", f)
 			}
+		}
+	}
+	for _, pp := range p.Preplaced {
+		if _, ok := p.Network.LinkBetween(pp.A, pp.B); !ok {
+			return fmt.Errorf("core: preplacement on non-existent link %d-%d", pp.A, pp.B)
+		}
+		if _, ok := p.Catalog.Device(pp.Dev); !ok {
+			return fmt.Errorf("core: preplacement on link %d-%d names unknown device %d", pp.A, pp.B, pp.Dev)
 		}
 	}
 	return nil

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+
+	"configsynth/internal/isolation"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// CompletePlacements tops up a design's placements until every (pair,
+// device) requirement implied by its flow patterns is covered on every
+// route, under the same semantics the encoding asserts (every route
+// carries the device; for IPSec, both the head and tail tunnel windows
+// do). It returns the number of devices added; d.Placements and d.Cost
+// are updated in place (devices listed in p.Preplaced are free).
+//
+// A design produced by Solve on p needs no completion. The function
+// exists for designs assembled from partial solves — internal/decomp
+// stitches per-region designs whose subnetworks can rank routes
+// differently from the global graph once enumeration hits its search
+// cap, leaving a stitched design short of coverage on some globally
+// enumerated route. Completion restores the invariant checked by
+// Verify at the price of a few extra (deterministically chosen)
+// devices.
+func CompletePlacements(p *Problem, d *Design) (int, error) {
+	p = p.normalized()
+	opts := p.Options.Normalized()
+
+	placed := make(map[linkDev]bool)
+	for link, devs := range d.Placements {
+		for _, dev := range devs {
+			placed[linkDev{link: link, dev: dev}] = true
+		}
+	}
+	preset := make(map[linkDev]bool, len(p.Preplaced))
+	for _, pp := range p.Preplaced {
+		if link, ok := p.Network.LinkBetween(pp.A, pp.B); ok {
+			preset[linkDev{link: link, dev: pp.Dev}] = true
+		}
+	}
+
+	// Needed (pair, device) requirements, deterministically ordered.
+	// Pairs keep the flow's own direction: verification walks each
+	// flow's directional route enumeration, whose top-K tie-breaking can
+	// differ from the reverse direction's, so coverage must hold per
+	// direction.
+	type need struct {
+		a, b topology.NodeID
+		dev  isolation.DeviceID
+	}
+	seen := make(map[need]bool)
+	var needs []need
+	flows := make([]usability.Flow, 0, len(d.FlowPatterns))
+	for f := range d.FlowPatterns {
+		flows = append(flows, f)
+	}
+	for _, f := range sortedFlows(flows) {
+		pid := d.FlowPatterns[f]
+		if pid == isolation.PatternNone {
+			continue
+		}
+		for _, dev := range p.Catalog.DevicesFor(pid) {
+			n := need{a: f.Src, b: f.Dst, dev: dev}
+			if !seen[n] {
+				seen[n] = true
+				needs = append(needs, n)
+			}
+		}
+	}
+
+	place := func(window []topology.LinkID, dev isolation.DeviceID) bool {
+		for _, link := range window {
+			if placed[linkDev{link: link, dev: dev}] {
+				return false
+			}
+		}
+		// Deterministic choice: the lowest link ID in the window.
+		best := window[0]
+		for _, link := range window[1:] {
+			if link < best {
+				best = link
+			}
+		}
+		key := linkDev{link: best, dev: dev}
+		placed[key] = true
+		d.Placements[best] = append(d.Placements[best], dev)
+		if !preset[key] {
+			dd, _ := p.Catalog.Device(dev)
+			d.Cost += dd.Cost
+		}
+		return true
+	}
+
+	added := 0
+	for _, n := range needs {
+		routes, err := p.Network.Routes(n.a, n.b, opts.Routes)
+		if err != nil {
+			return added, err
+		}
+		for _, route := range routes {
+			if n.dev == isolation.IPSec {
+				head, tail := tunnelWindows(route, opts.TunnelSlackHops)
+				if place(head, n.dev) {
+					added++
+				}
+				if place(tail, n.dev) {
+					added++
+				}
+				continue
+			}
+			if place(route, n.dev) {
+				added++
+			}
+		}
+	}
+	if added > 0 {
+		for _, devs := range d.Placements {
+			sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+		}
+	}
+	return added, nil
+}

@@ -168,6 +168,9 @@ func (s *Synthesizer) extractDesign() *Design {
 		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
 	}
 	for ld := range placed {
+		if s.preset[ld] {
+			continue // already deployed: no marginal cost
+		}
 		dev, _ := s.prob.Catalog.Device(ld.dev)
 		d.Cost += dev.Cost
 	}
@@ -244,12 +247,21 @@ func (s *Synthesizer) prunedPlacements(flowPatterns map[usability.Flow]isolation
 	for ld := range placed {
 		candidates = append(candidates, ld)
 	}
+	// Preplaced devices count as free: they sort last, so the pruner
+	// removes paid placements first and keeps the existing deployment
+	// whenever it covers a requirement.
+	effCost := func(ld linkDev) int64 {
+		if s.preset[ld] {
+			return 0
+		}
+		dev, _ := s.prob.Catalog.Device(ld.dev)
+		return dev.Cost
+	}
 	sort.Slice(candidates, func(i, j int) bool {
 		a, b := candidates[i], candidates[j]
-		da, _ := s.prob.Catalog.Device(a.dev)
-		db, _ := s.prob.Catalog.Device(b.dev)
-		if da.Cost != db.Cost {
-			return da.Cost > db.Cost
+		ca, cb := effCost(a), effCost(b)
+		if ca != cb {
+			return ca > cb
 		}
 		if a.link != b.link {
 			return a.link < b.link

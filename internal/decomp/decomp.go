@@ -1,0 +1,406 @@
+package decomp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"configsynth/internal/core"
+	"configsynth/internal/isolation"
+	"configsynth/internal/portfolio"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// Options configure a decomposing solver. The zero value selects
+// defaults.
+type Options struct {
+	// Partition tunes the region partitioner.
+	Partition PartitionOptions
+	// Workers bounds concurrently solved subproblems (default 4).
+	Workers int
+	// SolverWorkers is the portfolio width for escalated subproblems
+	// (default 4). Every subproblem is first attempted by a single
+	// solver under RegionBudget — cheap, and sufficient for almost all
+	// regions — but threshold projection occasionally drops a region
+	// right on its feasibility phase boundary, where a lone CDCL solver
+	// can be orders of magnitude slower than a diversified race. Such
+	// regions blow their budget and are re-solved by SolverWorkers
+	// diversified racers.
+	SolverWorkers int
+	// RegionBudget is the wall-clock budget of the first, single-solver
+	// attempt at each subproblem (default 10s). A conflict budget
+	// cannot catch the boundary-region pathology — the stalled search
+	// thrashes in decisions and propagations, producing almost no
+	// conflicts — so the bound is time. A region that exhausts it, or
+	// whose cost descent came back truncated, escalates to the
+	// diversified portfolio with no extra deadline. Negative skips the
+	// bounded attempt and solves every region with the diversified
+	// portfolio directly.
+	RegionBudget time.Duration
+	// CacheEntries sizes the region result cache (default 512).
+	CacheEntries int
+	// VerifyStitch re-checks every stitched design against the full
+	// monolithic problem with core.Verify before returning it.
+	VerifyStitch bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.SolverWorkers <= 0 {
+		o.SolverWorkers = 4
+	}
+	if o.RegionBudget == 0 {
+		o.RegionBudget = 10 * time.Second
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 512
+	}
+	return o
+}
+
+// RegionReport describes one subproblem's part in a decomposed solve.
+type RegionReport struct {
+	// Key names the subproblem ("r<id>" interior, "x<a>-<b>" boundary,
+	// "monolithic" on fallback).
+	Key string `json:"key"`
+	// Boundary marks region-pair subproblems.
+	Boundary bool `json:"boundary,omitempty"`
+	// Hosts and Flows size the subproblem.
+	Hosts int `json:"hosts"`
+	Flows int `json:"flows"`
+	// Fingerprint is the subproblem cache key (preplacements included).
+	Fingerprint string `json:"fingerprint"`
+	// Cached is true when the result came from the region cache (or an
+	// in-flight solve of the same fingerprint) instead of a fresh solve.
+	Cached bool `json:"cached"`
+	// Escalated is true when the single-solver budgeted attempt blew
+	// RegionBudget and the region was re-solved by the diversified
+	// portfolio.
+	Escalated bool `json:"escalated,omitempty"`
+	// Unsat marks a subproblem with no design at the thresholds.
+	Unsat bool `json:"unsat,omitempty"`
+	// Cost is the subproblem's marginal deployment cost.
+	Cost int64 `json:"cost"`
+	// ElapsedMS is the solve time (original time for cache hits).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Result is the outcome of a decomposed solve.
+type Result struct {
+	// Design is the stitched global design (nil when Unsat).
+	Design *core.Design
+	// Unsat is true when no design was found.
+	Unsat bool
+	// Conflict is the union of threshold kinds implicated across unsat
+	// subproblems (or [cost] when the stitch itself busts the budget).
+	Conflict []core.ThresholdKind
+	// ConflictRegion names the first unsat subproblem, or "stitch" when
+	// every region solved but the combined cost exceeded the budget.
+	ConflictRegion string
+	// Conservative is true when Unsat might be an artifact of the
+	// decomposition rather than a property of the problem: per-region
+	// threshold projection is sufficient, not necessary, so a region
+	// failing its slice does not prove the monolithic problem unsat —
+	// except when a region's hard constraints (a subset of the global
+	// ones) conflict on their own.
+	Conservative bool
+	// Fallback is true when the problem was solved monolithically
+	// because it did not decompose.
+	Fallback bool
+	// FallbackReason explains a fallback.
+	FallbackReason string
+	// Repaired counts devices added by the post-stitch coverage
+	// completion (route-ranking divergence between a subnetwork and the
+	// global graph can leave a global route uncovered).
+	Repaired int
+	// Regions reports per-subproblem outcomes, sorted by key.
+	Regions []RegionReport
+	// Hits and Misses count region-cache outcomes for this solve.
+	Hits, Misses uint64
+	// Stats aggregates solver model statistics across subproblems.
+	Stats core.ModelStats
+	// ElapsedMS is the wall-clock time of the whole solve.
+	ElapsedMS int64
+}
+
+// Solver solves problems by decomposition, keeping a region result
+// cache across solves: re-solving an edited problem (or a batch of
+// problem variants) only pays for the subproblems whose fingerprints
+// changed.
+type Solver struct {
+	opts  Options
+	cache *regionCache
+}
+
+// New builds a decomposing solver.
+func New(opts Options) *Solver {
+	opts = opts.withDefaults()
+	return &Solver{opts: opts, cache: newRegionCache(opts.CacheEntries)}
+}
+
+// CacheStats snapshots the region cache counters.
+func (s *Solver) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Solve decomposes, schedules, and stitches. Problems that do not
+// decompose (fewer than two regions, flows through no region, or
+// policies coupling subproblems) fall back to a monolithic portfolio
+// solve with Fallback set.
+func (s *Solver) Solve(ctx context.Context, p *core.Problem) (*Result, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	regions := Partition(p.Network, s.opts.Partition)
+	var subs []*Subproblem
+	var splitErr error
+	if len(regions) < 2 {
+		splitErr = fmt.Errorf("%w: partition found %d region(s)", ErrNotDecomposable, len(regions))
+	} else {
+		subs, splitErr = Split(p, regions)
+	}
+	if splitErr != nil {
+		if !errors.Is(splitErr, ErrNotDecomposable) {
+			return nil, splitErr
+		}
+		res, err := s.solveMonolithic(ctx, p, splitErr.Error())
+		if res != nil {
+			res.ElapsedMS = time.Since(start).Milliseconds()
+		}
+		return res, err
+	}
+
+	outcomes, err := s.runDAG(ctx, subs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	for _, out := range outcomes {
+		if out.cached {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		res.Stats.Add(out.res.Stats)
+	}
+
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out := outcomes[k]
+		res.Regions = append(res.Regions, RegionReport{
+			Key:         out.sub.Key,
+			Boundary:    out.sub.Boundary,
+			Hosts:       len(out.sub.Prob.Network.Hosts()),
+			Flows:       len(out.sub.Prob.Flows),
+			Fingerprint: out.fp,
+			Cached:      out.cached,
+			Escalated:   out.res.Escalated,
+			Unsat:       out.res.Unsat,
+			Cost:        out.res.Cost,
+			ElapsedMS:   out.res.ElapsedMS,
+		})
+	}
+
+	// Any unsat subproblem means no stitched design. The verdict is
+	// conservative unless some region's hard constraints conflict on
+	// their own (an empty unsat core): those constraints are a subset of
+	// the global ones, so that conflict exists monolithically too.
+	hard := false
+	seenKind := make(map[core.ThresholdKind]bool)
+	for _, k := range keys {
+		out := outcomes[k]
+		if !out.res.Unsat {
+			continue
+		}
+		if res.ConflictRegion == "" {
+			res.ConflictRegion = out.sub.Key
+		}
+		hard = hard || out.res.HardUnsat
+		for _, kind := range out.res.Conflict {
+			if !seenKind[kind] {
+				seenKind[kind] = true
+				res.Conflict = append(res.Conflict, kind)
+			}
+		}
+	}
+	if res.ConflictRegion != "" {
+		res.Unsat = true
+		res.Conservative = !hard
+		sort.Slice(res.Conflict, func(i, j int) bool { return res.Conflict[i] < res.Conflict[j] })
+		res.ElapsedMS = time.Since(start).Milliseconds()
+		return res, nil
+	}
+
+	design, err := s.stitch(p, outcomes)
+	if err != nil {
+		return nil, err
+	}
+	// Subnetworks can rank routes differently from the global graph once
+	// enumeration hits its search cap, so the stitched union may leave a
+	// globally enumerated route uncovered. Complete the placements under
+	// the global route set before judging the budget.
+	if added, err := core.CompletePlacements(p, design); err != nil {
+		return nil, err
+	} else if added > 0 {
+		res.Repaired = added
+	}
+	if design.Cost > p.Thresholds.CostBudget {
+		// Every region fit its slice, but the union is over budget. This
+		// is a decomposition artifact (regions minimized cost locally, not
+		// jointly), so it is always conservative.
+		res.Unsat = true
+		res.Conservative = true
+		res.Conflict = []core.ThresholdKind{core.ThresholdCost}
+		res.ConflictRegion = "stitch"
+		res.ElapsedMS = time.Since(start).Milliseconds()
+		return res, nil
+	}
+	if s.opts.VerifyStitch {
+		vr, err := core.Verify(p, design)
+		if err != nil {
+			return nil, err
+		}
+		if !vr.OK() {
+			return nil, fmt.Errorf("decomp: stitched design failed verification: %v", vr.Violations)
+		}
+	}
+	res.Design = design
+	res.ElapsedMS = time.Since(start).Milliseconds()
+	return res, nil
+}
+
+// solveMonolithic is the fallback path for undecomposable problems.
+func (s *Solver) solveMonolithic(ctx context.Context, p *core.Problem, reason string) (*Result, error) {
+	start := time.Now()
+	solver, err := portfolio.New(p, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Fallback:       true,
+		FallbackReason: reason,
+		Misses:         1,
+	}
+	design, err := solver.SolveContext(ctx)
+	res.Stats = solver.Stats()
+	elapsed := time.Since(start).Milliseconds()
+	res.Regions = []RegionReport{{
+		Key:       "monolithic",
+		Hosts:     len(p.Network.Hosts()),
+		Flows:     len(p.Flows),
+		ElapsedMS: elapsed,
+	}}
+	switch {
+	case err == nil:
+		res.Design = design
+		res.Regions[0].Cost = design.Cost
+	case core.IsUnsat(err):
+		var tc *core.ThresholdConflictError
+		errors.As(err, &tc)
+		res.Unsat = true
+		res.Conflict = tc.Core
+		res.ConflictRegion = "monolithic"
+		res.Regions[0].Unsat = true
+	default:
+		return nil, err
+	}
+	return res, nil
+}
+
+// stitch merges the subproblem designs into one global design: flow
+// patterns map through each subproblem's node remap; placements map to
+// global links and are deduplicated (a boundary keeping an interior's
+// preplaced device re-reports the same global placement); cost,
+// isolation, and usability are recomputed globally.
+func (s *Solver) stitch(p *core.Problem, outcomes map[string]*subOutcome) (*core.Design, error) {
+	d := &core.Design{
+		FlowPatterns: make(map[usability.Flow]isolation.PatternID, len(p.Flows)),
+		Placements:   make(map[topology.LinkID][]isolation.DeviceID),
+		Exact:        true,
+	}
+	placed := make(map[globalPlacement]bool)
+	for _, out := range outcomes {
+		design := out.res.Design
+		if design == nil {
+			return nil, fmt.Errorf("decomp: subproblem %s has no design to stitch", out.sub.Key)
+		}
+		if !design.Exact {
+			d.Exact = false
+		}
+		toGlobal := out.sub.ToGlobalNode
+		for f, pid := range design.FlowPatterns {
+			gf := usability.Flow{Src: toGlobal[f.Src], Dst: toGlobal[f.Dst], Svc: f.Svc}
+			d.FlowPatterns[gf] = pid
+		}
+		for link, devs := range design.Placements {
+			l, ok := out.sub.Prob.Network.Link(link)
+			if !ok {
+				return nil, fmt.Errorf("decomp: subproblem %s places on unknown link %d", out.sub.Key, link)
+			}
+			ga, gb := toGlobal[l.A], toGlobal[l.B]
+			if ga > gb {
+				ga, gb = gb, ga
+			}
+			glink, ok := p.Network.LinkBetween(ga, gb)
+			if !ok {
+				return nil, fmt.Errorf("decomp: subproblem %s link %d-%d missing globally", out.sub.Key, ga, gb)
+			}
+			for _, dev := range devs {
+				gp := globalPlacement{A: ga, B: gb, Dev: dev}
+				if placed[gp] {
+					continue
+				}
+				placed[gp] = true
+				d.Placements[glink] = append(d.Placements[glink], dev)
+			}
+		}
+	}
+	for _, devs := range d.Placements {
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	}
+
+	// Global cost over the deduplicated union, at full device cost:
+	// preplacements were a marginal-cost device within a subproblem, but
+	// globally every placed device is paid for exactly once.
+	for gp := range placed {
+		dev, ok := p.Catalog.Device(gp.Dev)
+		if !ok {
+			return nil, fmt.Errorf("decomp: stitched placement uses unknown device %d", gp.Dev)
+		}
+		d.Cost += dev.Cost
+	}
+
+	// Global scores, the paper's normalizations over the full flow set.
+	cat := p.Catalog
+	var isoNum, lossNum, sumRanks int64
+	for _, f := range p.Flows {
+		pid, ok := d.FlowPatterns[f]
+		if !ok {
+			return nil, fmt.Errorf("decomp: flow %v missing from stitched design", f)
+		}
+		rank := int64(1)
+		if p.Ranks != nil {
+			rank = int64(p.Ranks.Rank(f))
+		}
+		isoNum += int64(cat.Score(pid))
+		lossNum += rank * int64(100-cat.UsabilityPct(pid))
+		sumRanks += rank
+	}
+	if maxIso := int64(len(p.Flows)) * int64(cat.MaxScore()); maxIso > 0 {
+		d.Isolation = 10 * float64(isoNum) / float64(maxIso)
+	}
+	if sumRanks > 0 {
+		d.Usability = 10 * (1 - float64(lossNum)/float64(100*sumRanks))
+	}
+	return d, nil
+}

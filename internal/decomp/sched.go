@@ -1,0 +1,439 @@
+package decomp
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"configsynth/internal/core"
+	"configsynth/internal/isolation"
+	"configsynth/internal/portfolio"
+	"configsynth/internal/spec"
+	"configsynth/internal/topology"
+)
+
+// regionResult is the cached outcome of one subproblem solve. Designs
+// are stored in the subproblem's local ID space; the stitcher maps them
+// back through ToGlobalNode. Only proven results are cached (exact
+// designs and decided unsats), so a cache hit is as trustworthy as a
+// fresh solve.
+type regionResult struct {
+	// Design is the cost-minimal local design (nil on unsat).
+	Design *core.Design
+	// Unsat is true when the subproblem has no design at the thresholds.
+	Unsat bool
+	// Conflict is the unsat core over threshold kinds (empty = hard
+	// constraints conflict, a genuine global unsat).
+	Conflict []core.ThresholdKind
+	// HardUnsat is true when the unsat core is empty: the subproblem's
+	// hard constraints — a subset of the global ones — conflict on their
+	// own, so the global problem is unsat too, not just this cut of it.
+	HardUnsat bool
+	// Cost is the marginal deployment cost of Design.
+	Cost int64
+	// Stats are the solver model statistics for the subproblem,
+	// accumulated across the bounded attempt and any escalation.
+	Stats core.ModelStats
+	// Escalated is true when the bounded single-solver attempt blew its
+	// conflict budget (or had its cost descent truncated) and the
+	// subproblem was re-solved by the diversified portfolio.
+	Escalated bool
+	// ElapsedMS is the original solve time (a cache hit reports the
+	// cached value, not ~0, so reports stay meaningful).
+	ElapsedMS int64
+}
+
+func (r *regionResult) exact() bool { return r.Unsat || (r.Design != nil && r.Design.Exact) }
+
+// CacheStats mirrors the service cache counters for the region cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// regionCache is an LRU over proven subproblem results keyed by the
+// subproblem fingerprint, with singleflight semantics: concurrent
+// requests for the same fingerprint (common in batch sweeps, where many
+// variants share regions) run one solve and share its result.
+type regionCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+	inflight map[string]*flight
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+type flight struct {
+	done chan struct{}
+	res  *regionResult
+	err  error
+}
+
+type cacheEntry struct {
+	key string
+	res *regionResult
+}
+
+func newRegionCache(capacity int) *regionCache {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &regionCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the cached result for fp, or runs compute — once, even
+// under concurrent callers — and caches it if proven. A leader whose
+// compute fails or returns an unproven (anytime) result does not poison
+// waiters: they get the result as-is but it is not stored, so a later
+// call recomputes.
+func (c *regionCache) do(fp string, compute func() (*regionResult, error)) (*regionResult, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[fp]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if fl, ok := c.inflight[fp]; ok {
+		// Someone is already solving this fingerprint: wait and share.
+		// Counts as a hit — no solver work happens on this path.
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.res, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[fp] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	res, err := compute()
+	fl.res, fl.err = res, err
+
+	c.mu.Lock()
+	delete(c.inflight, fp)
+	if err == nil && res != nil && res.exact() {
+		c.entries[fp] = c.order.PushFront(&cacheEntry{key: fp, res: res})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evicted++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return res, false, err
+}
+
+// Stats snapshots the counters.
+func (c *regionCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// subOutcome pairs a subproblem with its (possibly cached) result.
+type subOutcome struct {
+	sub    *Subproblem
+	res    *regionResult
+	cached bool
+	fp     string
+}
+
+// runDAG solves the subproblems in dependency order: interiors have no
+// dependencies and start immediately; a boundary starts once its
+// endpoint interiors finish (their placements become its
+// preplacements). Ready subproblems run concurrently up to
+// opts.Workers. The first error cancels the rest; unsat results are not
+// errors — dependents of an unsat interior still run (without
+// preplacements from it) so the caller sees the full unsat picture.
+func (s *Solver) runDAG(ctx context.Context, subs []*Subproblem) (map[string]*subOutcome, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	byKey := make(map[string]*Subproblem, len(subs))
+	waiting := make(map[string]int, len(subs))
+	dependents := make(map[string][]string)
+	for _, sub := range subs {
+		byKey[sub.Key] = sub
+		waiting[sub.Key] = len(sub.Deps)
+		for _, d := range sub.Deps {
+			dependents[d] = append(dependents[d], sub.Key)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		outcomes = make(map[string]*subOutcome, len(subs))
+		firstErr error
+	)
+	sem := make(chan struct{}, s.opts.Workers)
+
+	var launch func(key string)
+	finish := func(key string, out *subOutcome, err error) {
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		if out != nil {
+			outcomes[key] = out
+		}
+		var ready []string
+		for _, dep := range dependents[key] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		mu.Unlock()
+		for _, r := range ready {
+			launch(r)
+		}
+	}
+	launch = func(key string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				out *subOutcome
+				err error
+			)
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("decomp: subproblem %s panicked: %v\n%s", key, p, debug.Stack())
+					out = nil
+				}
+				finish(key, out, err)
+			}()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				err = ctx.Err()
+				return
+			}
+			if ctx.Err() != nil {
+				err = ctx.Err()
+				return
+			}
+			out, err = s.solveSub(ctx, byKey[key], outcomesSnapshot(&mu, outcomes, byKey[key].Deps))
+		}()
+	}
+
+	for _, sub := range subs {
+		if len(sub.Deps) == 0 {
+			launch(sub.Key)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outcomes, nil
+}
+
+// outcomesSnapshot copies the dependency outcomes a subproblem needs,
+// under the scheduler lock (its deps have finished, but unrelated
+// goroutines still write the map).
+func outcomesSnapshot(mu *sync.Mutex, outcomes map[string]*subOutcome, deps []string) map[string]*subOutcome {
+	if len(deps) == 0 {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	snap := make(map[string]*subOutcome, len(deps))
+	for _, d := range deps {
+		if o, ok := outcomes[d]; ok {
+			snap[d] = o
+		}
+	}
+	return snap
+}
+
+// solveSub solves one subproblem: inject dependency placements as
+// preplacements, fingerprint, and answer from the region cache or a
+// fresh MinCost solve. Preplacements are applied before fingerprinting,
+// so a boundary's cache key covers its interiors' designs — an edit
+// that changes an interior automatically misses on its boundaries too.
+//
+// A fresh solve is attempted single-solver first, under the RegionBudget
+// wall-clock deadline. Most regions finish there in a fraction of the
+// portfolio's cost (a K-wide portfolio encodes the model K+1 times). The
+// rare region that sits on its projected thresholds' feasibility
+// boundary can stall a single search for minutes; when the bounded
+// attempt times out — or returns a truncated, inexact descent — the
+// region is re-solved by SolverWorkers diversified racers with no extra
+// deadline. A definitive answer from the bounded attempt (an exact
+// design or an UNSAT proof) is final and never escalates.
+func (s *Solver) solveSub(ctx context.Context, sub *Subproblem, deps map[string]*subOutcome) (*subOutcome, error) {
+	prob := sub.Prob
+	if len(deps) > 0 {
+		pre := preplacementsFrom(sub, deps)
+		if len(pre) > 0 {
+			clone := *prob
+			clone.Preplaced = pre
+			prob = &clone
+		}
+	}
+	fp := spec.Fingerprint(prob)
+
+	res, cached, err := s.cache.do(fp, func() (*regionResult, error) {
+		start := time.Now()
+		rr := &regionResult{}
+		// run overwrites rr's outcome fields from one solve attempt and
+		// accumulates its stats. It returns the raw solver error so the
+		// caller can distinguish a blown deadline from a hard failure.
+		run := func(ctx context.Context, width int) error {
+			solver, err := portfolio.New(prob, width)
+			if err != nil {
+				return err
+			}
+			cost, design, err := solver.MinCostContext(ctx,
+				int(prob.Thresholds.IsolationTenths), int(prob.Thresholds.UsabilityTenths))
+			rr.Stats.Add(solver.Stats())
+			switch {
+			case err == nil:
+				rr.Design, rr.Cost = design, cost
+				rr.Unsat, rr.Conflict, rr.HardUnsat = false, nil, false
+			case core.IsUnsat(err):
+				var tc *core.ThresholdConflictError
+				if errors.As(err, &tc) {
+					rr.Conflict = tc.Core
+					rr.HardUnsat = len(tc.Core) == 0
+				}
+				rr.Design, rr.Cost = nil, 0
+				rr.Unsat = true
+			default:
+				return err
+			}
+			return nil
+		}
+
+		if budget := s.opts.RegionBudget; budget >= 0 {
+			actx, cancel := context.WithTimeout(ctx, budget)
+			err := run(actx, 1)
+			cancel()
+			switch {
+			case err == nil && rr.exact():
+				rr.ElapsedMS = time.Since(start).Milliseconds()
+				return rr, nil
+			case err == nil,
+				errors.Is(err, context.DeadlineExceeded),
+				errors.Is(err, core.ErrBudgetExceeded):
+				// Truncated descent, blown deadline, or a blown
+				// problem-level conflict budget: try harder.
+				rr.Escalated = true
+			default:
+				// Parent cancellation and hard failures propagate.
+				return nil, fmt.Errorf("decomp: subproblem %s: %w", sub.Key, err)
+			}
+		}
+
+		if err := run(ctx, s.opts.SolverWorkers); err != nil {
+			return nil, fmt.Errorf("decomp: subproblem %s: %w", sub.Key, err)
+		}
+		rr.ElapsedMS = time.Since(start).Milliseconds()
+		return rr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &subOutcome{sub: sub, res: res, cached: cached, fp: fp}, nil
+}
+
+// preplacementsFrom converts dependency designs into preplacements on
+// the subproblem's links: every device an interior placed on a link
+// that also exists in this subproblem's subgraph is already paid for
+// and pinned. Deterministic order keeps the fingerprint stable.
+func preplacementsFrom(sub *Subproblem, deps map[string]*subOutcome) []core.Preplacement {
+	// Local (sub) endpoints for each global link present in the subgraph.
+	type gpair struct{ a, b topology.NodeID }
+	localOf := make(map[gpair][2]topology.NodeID)
+	for _, l := range sub.Prob.Network.Links() {
+		ga, gb := sub.ToGlobalNode[l.A], sub.ToGlobalNode[l.B]
+		la, lb := l.A, l.B
+		if ga > gb {
+			ga, gb = gb, ga
+			la, lb = lb, la
+		}
+		localOf[gpair{ga, gb}] = [2]topology.NodeID{la, lb}
+	}
+
+	keys := make([]string, 0, len(deps))
+	for k := range deps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var pre []core.Preplacement
+	seen := make(map[core.Preplacement]bool)
+	for _, k := range keys {
+		dep := deps[k]
+		if dep.res == nil || dep.res.Design == nil {
+			continue
+		}
+		for link, devs := range dep.res.Design.Placements {
+			l, ok := dep.sub.Prob.Network.Link(link)
+			if !ok {
+				continue
+			}
+			ga, gb := dep.sub.ToGlobalNode[l.A], dep.sub.ToGlobalNode[l.B]
+			if ga > gb {
+				ga, gb = gb, ga
+			}
+			loc, ok := localOf[gpair{ga, gb}]
+			if !ok {
+				continue
+			}
+			for _, dev := range devs {
+				pp := core.Preplacement{A: loc[0], B: loc[1], Dev: dev}
+				if !seen[pp] {
+					seen[pp] = true
+					pre = append(pre, pp)
+				}
+			}
+		}
+	}
+	sort.Slice(pre, func(i, j int) bool {
+		if pre[i].A != pre[j].A {
+			return pre[i].A < pre[j].A
+		}
+		if pre[i].B != pre[j].B {
+			return pre[i].B < pre[j].B
+		}
+		return pre[i].Dev < pre[j].Dev
+	})
+	return pre
+}
+
+// globalPlacement is a stitched placement keyed by global endpoints.
+type globalPlacement struct {
+	A, B topology.NodeID
+	Dev  isolation.DeviceID
+}

@@ -61,6 +61,11 @@ type SolverTotals struct {
 	SharedDropped int64 `json:"shared_dropped"`
 }
 
+// Add folds one solver's counters into the totals. Exported for
+// harnesses outside this package (confsweep -batch) that aggregate
+// into the same BENCH report schema.
+func (t *SolverTotals) Add(st core.ModelStats) { t.add(st) }
+
 func (t *SolverTotals) add(st core.ModelStats) {
 	t.Conflicts += st.Conflicts
 	t.Decisions += st.Decisions

@@ -1,0 +1,235 @@
+package netgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"configsynth/internal/core"
+	"configsynth/internal/isolation"
+	"configsynth/internal/topology"
+	"configsynth/internal/usability"
+)
+
+// CampusConfig describes a multi-region campus network: a transit core
+// of backbone routers (no hosts attached) connecting departments, each
+// department a small cluster of host-bearing edge routers. The shape is
+// what makes thousand-host instances decomposable — internal/decomp's
+// partitioner rediscovers the departments as regions because edge
+// routers of different departments never link directly, only through
+// the core.
+type CampusConfig struct {
+	// Hosts is the total host count (the -hosts knob; required).
+	Hosts int
+	// Departments is the number of host clusters (default ~Hosts/50,
+	// min 2).
+	Departments int
+	// CoreRouters sizes the transit backbone ring (default
+	// 3+Departments/4).
+	CoreRouters int
+	// HostsPerEdge is how many hosts attach to one edge router before the
+	// department grows another (default 16).
+	HostsPerEdge int
+	// MaxServices is the maximum services per intra-department ordered
+	// host pair; each pair gets 1..MaxServices flows (default 1).
+	MaxServices int
+	// CRFraction is the fraction of flows marked as connectivity
+	// requirements (default 0.1).
+	CRFraction float64
+	// CrossFlowsPerHost is the expected number of cross-department flows
+	// originating at each host (default 2). Cross traffic is deliberately
+	// sparse — the paper's all-pairs workload stays within departments —
+	// which keeps the boundary subproblems small.
+	CrossFlowsPerHost float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// Thresholds are the slider values for the generated problem.
+	Thresholds core.Thresholds
+	// Options are passed through to the problem (route caps etc.).
+	Options core.Options
+}
+
+func (c CampusConfig) withDefaults() CampusConfig {
+	if c.Departments <= 0 {
+		c.Departments = c.Hosts / 50
+		if c.Departments < 2 {
+			c.Departments = 2
+		}
+	}
+	if c.CoreRouters <= 0 {
+		c.CoreRouters = 3 + c.Departments/4
+	}
+	if c.HostsPerEdge <= 0 {
+		c.HostsPerEdge = 16
+	}
+	if c.MaxServices <= 0 {
+		c.MaxServices = 1
+	}
+	if c.CRFraction <= 0 {
+		c.CRFraction = 0.1
+	}
+	if c.CrossFlowsPerHost <= 0 {
+		c.CrossFlowsPerHost = 2
+	}
+	if c.Options.Routes.MaxRoutes == 0 {
+		c.Options.Routes.MaxRoutes = 4
+	}
+	if c.Options.Routes.MaxHops == 0 {
+		c.Options.Routes.MaxHops = 12
+	}
+	return c
+}
+
+// ErrBadCampus reports an ungeneratable campus configuration.
+var ErrBadCampus = errors.New("netgen: campus needs at least one host per department")
+
+// Campus generates a multi-region campus synthesis problem: a backbone
+// ring of transit routers with chords, Departments clusters of edge
+// routers hanging off it, hosts spread over the edge routers, all-pairs
+// flows within each department, and sparse cross-department flows.
+func Campus(cfg CampusConfig) (*core.Problem, error) {
+	if cfg.Hosts <= 0 {
+		return nil, ErrBadConfig
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Hosts < cfg.Departments {
+		return nil, ErrBadCampus
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	net := topology.New()
+	backbone := make([]topology.NodeID, cfg.CoreRouters)
+	for i := range backbone {
+		backbone[i] = net.AddRouter(fmt.Sprintf("core%d", i+1))
+	}
+	mustLink := func(a, b topology.NodeID) error {
+		_, err := net.Connect(a, b)
+		if err != nil && errors.Is(err, topology.ErrDuplicateLink) {
+			return nil
+		}
+		return err
+	}
+	// Backbone ring plus a few chords for route diversity.
+	for i := 0; i < len(backbone); i++ {
+		if len(backbone) > 1 {
+			if err := mustLink(backbone[i], backbone[(i+1)%len(backbone)]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for c := 0; c < len(backbone)/2; c++ {
+		a, b := rng.Intn(len(backbone)), rng.Intn(len(backbone))
+		if a == b {
+			continue
+		}
+		if err := mustLink(backbone[a], backbone[b]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Departments: per-department host counts as even as possible, each
+	// department a chain of edge routers uplinked to two core routers.
+	deptHosts := make([]int, cfg.Departments)
+	for i := range deptHosts {
+		deptHosts[i] = cfg.Hosts / cfg.Departments
+		if i < cfg.Hosts%cfg.Departments {
+			deptHosts[i]++
+		}
+	}
+	hostsByDept := make([][]topology.NodeID, cfg.Departments)
+	hostNum := 0
+	for d := 0; d < cfg.Departments; d++ {
+		nEdge := (deptHosts[d] + cfg.HostsPerEdge - 1) / cfg.HostsPerEdge
+		if nEdge < 1 {
+			nEdge = 1
+		}
+		edges := make([]topology.NodeID, nEdge)
+		for e := range edges {
+			edges[e] = net.AddRouter(fmt.Sprintf("d%d-e%d", d+1, e+1))
+			if e > 0 {
+				// Chain within the department keeps the cluster connected
+				// even without the core.
+				if err := mustLink(edges[e], edges[e-1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Two uplinks from the first edge router into the transit core:
+		// redundancy without ever linking departments directly.
+		up := d % len(backbone)
+		if err := mustLink(edges[0], backbone[up]); err != nil {
+			return nil, err
+		}
+		if len(backbone) > 1 {
+			if err := mustLink(edges[0], backbone[(up+1)%len(backbone)]); err != nil {
+				return nil, err
+			}
+		}
+		for h := 0; h < deptHosts[d]; h++ {
+			hostNum++
+			id := net.AddHost(fmt.Sprintf("h%d", hostNum))
+			if err := mustLink(id, edges[h%nEdge]); err != nil {
+				return nil, err
+			}
+			hostsByDept[d] = append(hostsByDept[d], id)
+		}
+	}
+
+	// Intra-department all-pairs flows (the paper's workload shape, per
+	// department), plus sparse cross-department flows.
+	reqs := usability.NewRequirements()
+	var flows []usability.Flow
+	addFlow := func(src, dst topology.NodeID, svc usability.Service) {
+		f := usability.Flow{Src: src, Dst: dst, Svc: svc}
+		flows = append(flows, f)
+		if rng.Float64() < cfg.CRFraction {
+			reqs.Require(f)
+		}
+	}
+	for d := 0; d < cfg.Departments; d++ {
+		for _, src := range hostsByDept[d] {
+			for _, dst := range hostsByDept[d] {
+				if src == dst {
+					continue
+				}
+				n := 1 + rng.Intn(cfg.MaxServices)
+				for svc := 1; svc <= n; svc++ {
+					addFlow(src, dst, usability.Service(svc))
+				}
+			}
+		}
+	}
+	if cfg.Departments > 1 {
+		seen := make(map[usability.Flow]bool)
+		for d := 0; d < cfg.Departments; d++ {
+			for _, src := range hostsByDept[d] {
+				n := int(cfg.CrossFlowsPerHost)
+				if rng.Float64() < cfg.CrossFlowsPerHost-float64(n) {
+					n++
+				}
+				for k := 0; k < n; k++ {
+					od := rng.Intn(cfg.Departments - 1)
+					if od >= d {
+						od++
+					}
+					dst := hostsByDept[od][rng.Intn(len(hostsByDept[od]))]
+					f := usability.Flow{Src: src, Dst: dst, Svc: 1}
+					if seen[f] {
+						continue
+					}
+					seen[f] = true
+					addFlow(src, dst, 1)
+				}
+			}
+		}
+	}
+
+	return &core.Problem{
+		Network:      net,
+		Catalog:      isolation.DefaultCatalog(),
+		Flows:        flows,
+		Requirements: reqs,
+		Thresholds:   cfg.Thresholds,
+		Options:      cfg.Options,
+	}, nil
+}

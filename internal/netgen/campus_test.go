@@ -1,0 +1,109 @@
+package netgen
+
+import (
+	"errors"
+	"testing"
+
+	"configsynth/internal/topology"
+)
+
+func TestCampusBadConfig(t *testing.T) {
+	if _, err := Campus(CampusConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+	if _, err := Campus(CampusConfig{Hosts: 3, Departments: 5}); !errors.Is(err, ErrBadCampus) {
+		t.Fatalf("got %v, want ErrBadCampus", err)
+	}
+}
+
+func TestCampusShape(t *testing.T) {
+	p, err := Campus(CampusConfig{Hosts: 40, Departments: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Network.Hosts()); got != 40 {
+		t.Errorf("hosts = %d, want 40", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated problem invalid: %v", err)
+	}
+	if err := p.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every host reachable from every other (through the backbone).
+	hosts := p.Network.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if !p.Network.Connected(hosts[0], hosts[i]) {
+			t.Fatalf("host %d unreachable from host 0", i)
+		}
+	}
+	// Intra-department all-pairs plus some cross-department flows.
+	minIntra := 4 * 10 * 9
+	if len(p.Flows) <= minIntra {
+		t.Errorf("flows = %d, want > %d (cross-department traffic missing)", len(p.Flows), minIntra)
+	}
+	if p.Requirements.Len() == 0 {
+		t.Error("default CR fraction should produce some requirements")
+	}
+}
+
+func TestCampusDeterministic(t *testing.T) {
+	cfg := CampusConfig{Hosts: 60, Departments: 3, MaxServices: 2, Seed: 42}
+	a, err := Campus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a.Flows), len(b.Flows))
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+	if a.Network.NumLinks() != b.Network.NumLinks() {
+		t.Fatal("link counts differ")
+	}
+}
+
+// TestCampusDepartmentsAreCut asserts the structural property decomp
+// relies on: edge routers of different departments never link directly,
+// so host-bearing routers fall apart into per-department components
+// once the (host-free) backbone is cut away.
+func TestCampusDepartmentsAreCut(t *testing.T) {
+	p, err := Campus(CampusConfig{Hosts: 100, Departments: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostBearing := make(map[topology.NodeID]bool)
+	for _, h := range p.Network.Hosts() {
+		for _, l := range p.Network.Links() {
+			var peer topology.NodeID = -1
+			if l.A == h {
+				peer = l.B
+			} else if l.B == h {
+				peer = l.A
+			}
+			if peer >= 0 {
+				hostBearing[peer] = true
+			}
+		}
+	}
+	if len(hostBearing) == 0 {
+		t.Fatal("no host-bearing routers")
+	}
+	// There must exist routers with no hosts: the transit backbone.
+	transit := 0
+	for _, r := range p.Network.Routers() {
+		if !hostBearing[r] {
+			transit++
+		}
+	}
+	if transit == 0 {
+		t.Fatal("campus has no transit backbone routers")
+	}
+}

@@ -1,0 +1,390 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"configsynth/internal/core"
+)
+
+// twinSpec is the smallest decomposable problem the grammar can
+// express: two host-bearing edge routers joined only through a
+// host-free transit router, so the partitioner cuts two regions (plus
+// their boundary) instead of falling back to a monolithic solve.
+const twinSpec = `
+nodes 6 3
+link 1 7
+link 2 7
+link 3 7
+link 4 8
+link 5 8
+link 6 8
+link 7 9
+link 8 9
+services 1
+require 1 2
+require 4 5
+sliders 2.5 5 100
+`
+
+// twinVariant is twinSpec with a different cost budget. Subproblem
+// thresholds never include the budget, so every variant of the sweep
+// shares all region-cache fingerprints with the first.
+func twinVariant(budget int) string {
+	return strings.Replace(twinSpec, "sliders 2.5 5 100", fmt.Sprintf("sliders 2.5 5 %d", budget), 1)
+}
+
+func TestDecompModeEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	p, err := specParse(twinSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(p, SubmitOptions{Mode: ModeDecomp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wait(t, j)
+	if res.Status != "sat" {
+		t.Fatalf("status = %q (conflict %v), want sat", res.Status, res.Conflict)
+	}
+	if res.Decomp == nil {
+		t.Fatal("decomp job carries no region breakdown")
+	}
+	if res.Decomp.Fallback {
+		t.Fatalf("twinSpec should decompose, got fallback: %s", res.Decomp.FallbackReason)
+	}
+	if len(res.Decomp.Regions) < 3 {
+		t.Fatalf("regions = %d, want >= 3 (two interiors + boundary)", len(res.Decomp.Regions))
+	}
+	if res.Decomp.Misses == 0 {
+		t.Error("cold decomp solve reported no region-cache misses")
+	}
+
+	// The stitched design must stand up to the independent checker.
+	d, err := designFromJSON(p, res.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := core.Verify(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.OK() {
+		t.Fatalf("stitched design failed verification: %v", vr.Violations)
+	}
+
+	// Undecomposable problems still answer, via the monolithic fallback.
+	jf, err := s.Submit(smallProblem(t), SubmitOptions{Mode: ModeDecomp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres := wait(t, jf)
+	if fres.Status != "sat" || fres.Decomp == nil || !fres.Decomp.Fallback {
+		t.Fatalf("fallback solve: status=%q decomp=%+v", fres.Status, fres.Decomp)
+	}
+}
+
+func TestBatchSharesRegionCacheAcrossVariants(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	variants := []BatchVariant{
+		{Name: "b100", Spec: twinVariant(100)},
+		{Name: "b150", Spec: twinVariant(150)},
+		{Name: "b200", Spec: twinVariant(200)},
+	}
+	items, err := s.SubmitBatch(context.Background(), variants, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(variants) {
+		t.Fatalf("admitted %d of %d variants", len(items), len(variants))
+	}
+	byName := make(map[string]*Result, len(items))
+	for _, it := range items {
+		byName[it.Name] = wait(t, it.Job)
+	}
+	for name, res := range byName {
+		if res.Status != "sat" {
+			t.Fatalf("variant %s: status %q", name, res.Status)
+		}
+		if res.Mode != ModeDecomp {
+			t.Fatalf("variant %s: mode %q, want decomp default", name, res.Mode)
+		}
+	}
+	// Budget-only variants share every region fingerprint: across the
+	// whole batch at most one variant's region set is solved fresh.
+	totalHits, totalMisses := 0, 0
+	for _, res := range byName {
+		if res.Decomp != nil {
+			totalHits += res.Decomp.Hits
+			totalMisses += res.Decomp.Misses
+		}
+	}
+	if perVariant := len(byName["b100"].Decomp.Regions); totalMisses > perVariant {
+		t.Errorf("region misses = %d across batch, want <= %d (one cold variant)", totalMisses, perVariant)
+	}
+	if totalHits == 0 {
+		t.Error("batch sweep produced no region-cache hits")
+	}
+	if rc := s.Stats().RegionCache; rc.Hits == 0 || rc.Entries == 0 {
+		t.Errorf("stats region_cache = %+v, want hits and entries > 0", rc)
+	}
+}
+
+func TestBatchRejectsBadVariants(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	cases := []struct {
+		name     string
+		variants []BatchVariant
+		wantMsg  string
+	}{
+		{"empty", nil, "empty batch"},
+		{"dup", []BatchVariant{{Name: "a", Spec: twinSpec}, {Name: "a", Spec: twinSpec}}, "duplicate variant"},
+		{"blank", []BatchVariant{{Name: "a", Spec: "  "}}, "empty spec"},
+		{"syntax", []BatchVariant{{Name: "a", Spec: "nonsense"}}, `variant "a"`},
+	}
+	for _, tc := range cases {
+		_, err := s.SubmitBatch(context.Background(), tc.variants, SubmitOptions{})
+		var bad *BadRequestError
+		if !errors.As(err, &bad) || !strings.Contains(bad.Msg, tc.wantMsg) {
+			t.Errorf("%s: err = %v, want BadRequestError containing %q", tc.name, err, tc.wantMsg)
+		}
+	}
+	if _, err := s.SubmitBatch(context.Background(), []BatchVariant{{Spec: twinSpec}}, SubmitOptions{Mode: "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestBatchWaitsOutFullQueue(t *testing.T) {
+	// QueueDepth 1 forces the batch loop onto its retry path: more
+	// variants than queue slots must still all be admitted.
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	variants := make([]BatchVariant, 6)
+	for i := range variants {
+		variants[i] = BatchVariant{Name: fmt.Sprintf("v%d", i), Spec: twinVariant(100 + i)}
+	}
+	items, err := s.SubmitBatch(context.Background(), variants, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(variants) {
+		t.Fatalf("admitted %d of %d variants", len(items), len(variants))
+	}
+	for _, it := range items {
+		if res := wait(t, it.Job); res.Status != "sat" {
+			t.Fatalf("variant %s: status %q", it.Name, res.Status)
+		}
+	}
+}
+
+func TestHTTPBatchStreamsResultsAndSummary(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(batchRequest{Variants: []BatchVariant{
+		{Name: "a", Spec: twinVariant(100)},
+		{Name: "b", Spec: twinVariant(150)},
+	}})
+	postBatch := func() ([]batchLine, *batchLine) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var results []batchLine
+		var summary *batchLine
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var line batchLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			switch line.Event {
+			case "result":
+				results = append(results, line)
+			case "batch_done":
+				cp := line
+				summary = &cp
+			default:
+				t.Fatalf("unknown event %q", line.Event)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return results, summary
+	}
+
+	results, summary := postBatch()
+	if len(results) != 2 {
+		t.Fatalf("result lines = %d, want 2", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.Error != "" || r.Result == nil || r.Result.Status != "sat" {
+			t.Fatalf("variant %s: %+v", r.Variant, r)
+		}
+		if seen[r.Variant] {
+			t.Fatalf("variant %s reported twice", r.Variant)
+		}
+		seen[r.Variant] = true
+	}
+	if summary == nil {
+		t.Fatal("stream did not end with batch_done")
+	}
+	if summary.Variants != 2 || summary.Sat != 2 || summary.Failed != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	// The two budgets share all region fingerprints, so the second
+	// variant's regions come from the cache (or join the first's
+	// in-flight solves, which also counts).
+	if summary.RegionHits == 0 {
+		t.Error("summary reports no region-cache hits across the sweep")
+	}
+
+	// Resubmitting the identical batch answers both variants from the
+	// whole-problem cache.
+	_, summary2 := postBatch()
+	if summary2 == nil || summary2.CacheHits != 2 {
+		t.Fatalf("repeat batch summary = %+v, want 2 whole-problem cache hits", summary2)
+	}
+}
+
+func TestHTTPBatchAsyncReturnsJobIDs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(batchRequest{Variants: []BatchVariant{
+		{Name: "a", Spec: twinVariant(100)},
+		{Name: "b", Spec: twinVariant(150)},
+	}})
+	resp, err := http.Post(srv.URL+"/v1/batch?async=1", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []struct {
+			Variant string `json:"variant"`
+			JobID   string `json:"job_id"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(out.Jobs))
+	}
+	for _, jb := range out.Jobs {
+		j, ok := s.Job(jb.JobID)
+		if !ok {
+			t.Fatalf("job %s not registered", jb.JobID)
+		}
+		if res := wait(t, j); res.Status != "sat" {
+			t.Fatalf("variant %s: status %q", jb.Variant, res.Status)
+		}
+	}
+}
+
+// TestBatchCrashReplayLosesNothing is the batch durability property: a
+// SIGKILL mid-batch neither loses nor duplicates variants — every
+// accepted job replays under its original ID to a terminal state.
+func TestBatchCrashReplayLosesNothing(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal.ndjson")
+	cfg := Config{Workers: 2, QueueDepth: 32, JournalPath: journal}
+
+	// Workers never start, so the whole batch is accepted-but-unfinished
+	// when the process "dies".
+	s1, err := open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := make([]BatchVariant, 5)
+	for i := range variants {
+		variants[i] = BatchVariant{Name: fmt.Sprintf("v%d", i), Spec: twinVariant(100 + 10*i)}
+	}
+	items, err := s1.SubmitBatch(context.Background(), variants, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]string, len(items)) // variant -> job id
+	for _, it := range items {
+		ids[it.Name] = it.Job.ID
+	}
+	s1.crash()
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().JobsReplayed; got != int64(len(items)) {
+		t.Errorf("JobsReplayed = %d, want %d", got, len(items))
+	}
+	for name, id := range ids {
+		j, ok := s2.Job(id)
+		if !ok {
+			t.Fatalf("variant %s (job %s) lost across restart", name, id)
+		}
+		res := wait(t, j)
+		if res.Status != "sat" {
+			t.Errorf("variant %s: status %q", name, res.Status)
+		}
+		if res.Mode != ModeDecomp {
+			t.Errorf("variant %s replayed with mode %q, want decomp", name, res.Mode)
+		}
+	}
+}
+
+func TestWhatIfRejectsDecompMode(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	p, err := specParse(twinSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(p, SubmitOptions{Mode: ModeDecomp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+
+	budget := int64(200)
+	_, err = s.WhatIf(j.ID, WhatIfDelta{CostBudget: &budget}, SubmitOptions{})
+	var bad *BadRequestError
+	if !errors.As(err, &bad) || !strings.Contains(bad.Msg, "decomp") {
+		t.Fatalf("what-if on a decomp parent: err = %v, want BadRequestError naming decomp", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"configsynth/internal/core"
+	"configsynth/internal/decomp"
 	"configsynth/internal/isolation"
 	"configsynth/internal/topology"
 	"configsynth/internal/usability"
@@ -22,12 +23,18 @@ const (
 	ModeMaxIsolation Mode = "max-isolation"
 	ModeMaxUsability Mode = "max-usability"
 	ModeMinCost      Mode = "min-cost"
+	// ModeDecomp partitions the topology at its backbone routers and
+	// solves the regions independently (internal/decomp), stitching the
+	// per-region min-cost designs into one global design checked against
+	// the cost budget. Falls back to a monolithic solve when the problem
+	// does not decompose.
+	ModeDecomp Mode = "decomp"
 )
 
 // valid reports whether m names a known query.
 func (m Mode) valid() bool {
 	switch m {
-	case ModeSolve, ModeMaxIsolation, ModeMaxUsability, ModeMinCost:
+	case ModeSolve, ModeMaxIsolation, ModeMaxUsability, ModeMinCost, ModeDecomp:
 		return true
 	}
 	return false
@@ -113,6 +120,29 @@ type Result struct {
 	// ElapsedMS is the solve wall-clock of the run that produced the
 	// result (cache hits keep the original solve time).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Decomp carries the region breakdown of a ModeDecomp run.
+	Decomp *DecompJSON `json:"decomp,omitempty"`
+}
+
+// DecompJSON is the wire form of a decomposed solve's region breakdown.
+type DecompJSON struct {
+	// Fallback is true when the problem did not decompose and was solved
+	// monolithically; FallbackReason says why.
+	Fallback       bool   `json:"fallback,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Conservative marks a decomposed UNSAT that the monolithic encoding
+	// might still satisfy (region optima need not compose within budget).
+	Conservative bool `json:"conservative,omitempty"`
+	// ConflictRegion names the first unsat subproblem, or "stitch" when
+	// the regions were satisfiable but their union broke the budget.
+	ConflictRegion string `json:"conflict_region,omitempty"`
+	// Repaired counts devices added post-stitch to restore route coverage
+	// where subnet route rankings diverged from the global graph's.
+	Repaired int `json:"repaired,omitempty"`
+	// Hits and Misses count region-cache outcomes for this run.
+	Hits    int                   `json:"region_hits"`
+	Misses  int                   `json:"region_misses"`
+	Regions []decomp.RegionReport `json:"regions,omitempty"`
 }
 
 // Event is one NDJSON line of a job's streamed progress.

@@ -11,6 +11,10 @@
 //
 //	POST /v1/synthesize   spec-format problem in, design out (sync,
 //	                      async, or NDJSON-streamed)
+//	POST /v1/batch        N named problem variants in one request, each
+//	                      its own journaled job (default mode decomp, so
+//	                      variants share region-cache entries); results
+//	                      stream back as NDJSON in completion order
 //	POST /v1/whatif       re-solve a finished job's problem under a
 //	                      threshold/link delta, reusing the problem
 //	                      family's warm solver session
@@ -39,6 +43,7 @@ import (
 	"time"
 
 	"configsynth/internal/core"
+	"configsynth/internal/decomp"
 	"configsynth/internal/portfolio"
 	"configsynth/internal/spec"
 	"configsynth/internal/wal"
@@ -76,6 +81,14 @@ type Config struct {
 	// SessionTTL evicts what-if sessions idle longer than this (default
 	// 10m); 0 uses the default, negative disables expiry.
 	SessionTTL time.Duration
+	// RegionWorkers bounds concurrently solved regions inside one
+	// ModeDecomp job (default 4).
+	RegionWorkers int
+	// RegionCacheEntries sizes the decomposed solver's region result
+	// cache (default 512). The cache is shared by every ModeDecomp job,
+	// which is what makes batch variant sweeps pay only for the regions
+	// their edits dirty.
+	RegionCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +115,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionTTL == 0 {
 		c.SessionTTL = 10 * time.Minute
+	}
+	if c.RegionWorkers <= 0 {
+		c.RegionWorkers = 4
+	}
+	if c.RegionCacheEntries <= 0 {
+		c.RegionCacheEntries = 512
 	}
 	return c
 }
@@ -173,6 +192,11 @@ type Stats struct {
 	Ready bool `json:"ready"`
 
 	Cache CacheStats `json:"cache"`
+	// RegionCache reports the decomposed solver's region-level result
+	// cache — hits here are sub-problem reuses inside and across
+	// ModeDecomp jobs, counted separately from the whole-problem Cache
+	// above.
+	RegionCache decomp.CacheStats `json:"region_cache"`
 	// Sessions reports the what-if session registry: warm solver state
 	// reused across /v1/whatif deltas.
 	Sessions SessionStats `json:"sessions"`
@@ -190,7 +214,8 @@ type Service struct {
 	queue    chan *Job
 	cache    *cache
 	sessions *sessionRegistry
-	wal      *wal.Log // nil when no journal is configured
+	decomp   *decomp.Solver // shared region cache across ModeDecomp jobs
+	wal      *wal.Log       // nil when no journal is configured
 	start    time.Time
 
 	mu       sync.Mutex
@@ -249,8 +274,12 @@ func open(cfg Config, startWorkers bool) (*Service, error) {
 		cfg:      cfg,
 		cache:    newCache(cfg.CacheEntries),
 		sessions: newSessionRegistry(cfg.SessionEntries, cfg.SessionTTL),
-		jobs:     make(map[string]*Job),
-		start:    time.Now(),
+		decomp: decomp.New(decomp.Options{
+			Workers:      cfg.RegionWorkers,
+			CacheEntries: cfg.RegionCacheEntries,
+		}),
+		jobs:  make(map[string]*Job),
+		start: time.Now(),
 	}
 
 	var pending []submitRecord
@@ -765,6 +794,11 @@ func (s *Service) runJob(j *Job) {
 	j.setRunning()
 	start := time.Now()
 
+	if j.Mode == ModeDecomp {
+		s.runDecompJob(j, start)
+		return
+	}
+
 	syn, reused, err := s.solverFor(j)
 	if err != nil {
 		j.finish(nil, &BadRequestError{Msg: err.Error()})
@@ -928,6 +962,7 @@ func (s *Service) Stats() Stats {
 		JournalErrors:   s.journalErrors.Load(),
 		Ready:           ready,
 		Cache:           s.cache.stats(),
+		RegionCache:     s.decomp.CacheStats(),
 		Sessions:        s.sessions.stats(),
 		Solver:          totals,
 	}

@@ -69,6 +69,13 @@ func (s *Service) WhatIf(parentID string, delta WhatIfDelta, opts SubmitOptions)
 	if opts.Mode == "" {
 		opts.Mode = parent.Mode
 	}
+	if opts.Mode == ModeDecomp {
+		// Decomposed solves keep their warm state in the region cache, not
+		// in a solver session; a what-if delta against a decomp parent
+		// should be re-submitted as a fresh decomp job (whose unchanged
+		// regions hit the cache) rather than routed onto a session.
+		return nil, &BadRequestError{Msg: "mode decomp does not support what-if sessions; resubmit the modified problem with mode=decomp"}
+	}
 	opts.whatif = true
 	return s.Submit(prob, opts)
 }

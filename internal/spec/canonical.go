@@ -70,6 +70,32 @@ func Canonical(p *core.Problem) []byte {
 		}
 	}
 
+	if len(p.Preplaced) > 0 {
+		// Preplacements change both feasibility (free pinned devices) and
+		// the marginal-cost objective, so they are part of the fingerprint;
+		// endpoint order within a preplacement is not semantic.
+		pres := make([][3]int32, 0, len(p.Preplaced))
+		for _, pp := range p.Preplaced {
+			a, c := pp.A, pp.B
+			if a > c {
+				a, c = c, a
+			}
+			pres = append(pres, [3]int32{int32(a), int32(c), int32(pp.Dev)})
+		}
+		sort.Slice(pres, func(i, j int) bool {
+			if pres[i][0] != pres[j][0] {
+				return pres[i][0] < pres[j][0]
+			}
+			if pres[i][1] != pres[j][1] {
+				return pres[i][1] < pres[j][1]
+			}
+			return pres[i][2] < pres[j][2]
+		})
+		for _, pr := range pres {
+			fmt.Fprintf(&b, "preplace %d %d dev=%d\n", pr[0], pr[1], pr[2])
+		}
+	}
+
 	if p.Catalog != nil {
 		for _, pat := range p.Catalog.Patterns() {
 			devs := make([]int, 0, len(pat.Devices))

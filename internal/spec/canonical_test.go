@@ -104,3 +104,29 @@ func TestFingerprintPaperExample(t *testing.T) {
 		t.Error("two builds of the paper example disagree")
 	}
 }
+
+func TestFingerprintPreplacements(t *testing.T) {
+	a := parseExample(t)
+	b := parseExample(t)
+	link := b.Network.Links()[0]
+	b.Preplaced = []core.Preplacement{{A: link.A, B: link.B, Dev: 1}}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("adding a preplacement did not change the fingerprint")
+	}
+	// Declaration order and endpoint order within a preplacement are not
+	// semantic.
+	links := b.Network.Links()
+	c := parseExample(t)
+	c.Preplaced = []core.Preplacement{
+		{A: links[1].A, B: links[1].B, Dev: 2},
+		{A: link.B, B: link.A, Dev: 1},
+	}
+	d := parseExample(t)
+	d.Preplaced = []core.Preplacement{
+		{A: link.A, B: link.B, Dev: 1},
+		{A: links[1].B, B: links[1].A, Dev: 2},
+	}
+	if Fingerprint(c) != Fingerprint(d) {
+		t.Error("preplacement declaration order changed the fingerprint")
+	}
+}

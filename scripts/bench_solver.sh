@@ -8,7 +8,9 @@
 # Environment:
 #   BENCHTIME   -benchtime value (default 3x; every iteration asserts the
 #               expected probe status, so even 1x is a correctness smoke)
-#   BENCHFILTER -bench regexp (default 'Solver|PB|SliderSweep')
+#   BENCHFILTER -bench regexp (default 'Solver|PB|SliderSweep|Decomp|BatchSweep';
+#               the Decomp pair also runs 500/1000-host sizes when
+#               CONFSYNTH_BENCH_LARGE=1)
 #   COUNT       -count value (default 1; use >=6 for benchstat significance)
 #
 # Comparison uses benchstat when it is on PATH and falls back to a plain
@@ -32,7 +34,7 @@ if [ "$#" -eq 2 ]; then
 fi
 
 benchtime=${BENCHTIME:-3x}
-filter=${BENCHFILTER:-'Solver|PB|SliderSweep'}
+filter=${BENCHFILTER:-'Solver|PB|SliderSweep|Decomp|BatchSweep'}
 count=${COUNT:-1}
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo worktree)
 out="bench-${rev}.txt"
