@@ -7,9 +7,15 @@
 //	confload [-addr http://host:8732] [-clients 8] [-requests 200]
 //	         [-problems 10] [-mode solve] [-json BENCH_serve.json]
 //	         [-whatif 0] [-allow-errors]
+//	         [-targets http://h1:8732,http://h2:8732,http://h3:8732]
 //
 // With -addr empty an in-process confserved is started on a loopback
 // port, so the benchmark is self-contained.
+//
+// With -targets, the sweep is spread over a cluster: each client pins
+// one of the listed endpoints (like clients behind a load balancer)
+// and the report's cache/completion deltas are summed across every
+// node's /statsz.
 //
 // With -whatif N, after the load phase one parent problem is solved
 // asynchronously and N threshold deltas are posted to /v1/whatif
@@ -81,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("confload", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "", "confserved base URL (empty: start one in-process)")
+		targets  = fs.String("targets", "", "comma-separated confserved base URLs; each client sticks to one (cluster benchmarking; overrides -addr)")
 		clients  = fs.Int("clients", 8, "concurrent clients")
 		requests = fs.Int("requests", 200, "total requests across all clients")
 		problems = fs.Int("problems", 10, "distinct problems in the fixed-seed pool")
@@ -89,6 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut  = fs.String("json", "", "write the report as JSON to this file")
 		workers  = fs.Int("workers", 2, "in-process server: synthesis workers")
 		whatif   = fs.Int("whatif", 0, "after the load phase, post this many threshold deltas to /v1/whatif against one parent job (0 disables)")
+		poolHost = fs.Int("pool-hosts", 0, "base host count for pool problems (0: historical 4..6-host shapes); larger networks make each cold solve dominate the request cost")
 		allowErr = fs.Bool("allow-errors", false, "count request failures instead of failing the run (chaos testing)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	base := *addr
-	if base == "" {
+	if base == "" && *targets == "" {
 		svc := service.New(service.Config{Workers: *workers, QueueDepth: *requests + *clients})
 		defer svc.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -112,20 +120,36 @@ func run(args []string, stdout io.Writer) error {
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(stdout, "in-process confserved on %s\n", base)
 	}
+	// The target list models a load balancer's client view of a
+	// cluster: each client pins one endpoint (real clients do not
+	// rotate per request), and the cluster's fingerprint routing —
+	// not client luck — is what concentrates repeat problems on the
+	// node that has them cached.
+	bases := []string{base}
+	if *targets != "" {
+		bases = bases[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				bases = append(bases, t)
+			}
+		}
+		if len(bases) == 0 {
+			return fmt.Errorf("-targets has no usable URLs")
+		}
+		base = bases[0]
+	}
 
 	// The problem pool is deterministic: problem i is the same spec text
 	// on every run, so repeated picks hit the server's canonical cache.
 	pool := make([]string, *problems)
 	for i := range pool {
-		pool[i] = problemSpec(i)
+		pool[i] = problemSpecSized(i, *poolHost)
 	}
 
-	statsBefore, err := fetchStats(base)
+	statsBefore, err := fetchStatsAll(bases)
 	if err != nil {
-		return fmt.Errorf("statsz: %w (is confserved running at %s?)", err, base)
+		return fmt.Errorf("statsz: %w (is confserved running?)", err)
 	}
-
-	url := fmt.Sprintf("%s/v1/synthesize?mode=%s&timeout=%s", base, *mode, timeout.String())
 	lat := make([]float64, *requests)
 	errs := make([]error, *requests)
 	var next, failures int64
@@ -152,6 +176,8 @@ func run(args []string, stdout io.Writer) error {
 			// they do not retry in lockstep) but replays identically run
 			// to run.
 			rng := rand.New(rand.NewSource(int64(clientIdx) + 1))
+			url := fmt.Sprintf("%s/v1/synthesize?mode=%s&timeout=%s",
+				bases[clientIdx%len(bases)], *mode, timeout.String())
 			for {
 				i := take()
 				if i < 0 {
@@ -174,7 +200,7 @@ func run(args []string, stdout io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	statsAfter, err := fetchStats(base)
+	statsAfter, err := fetchStatsAll(bases)
 	if err != nil {
 		return err
 	}
@@ -426,6 +452,26 @@ func fetchStats(base string) (*service.Stats, error) {
 	return &st, nil
 }
 
+// fetchStatsAll sums the counters the report derives deltas from across
+// every target, so cache-hit and completion accounting stays correct
+// when the sweep is spread over a cluster.
+func fetchStatsAll(bases []string) (*service.Stats, error) {
+	var agg service.Stats
+	for _, b := range bases {
+		st, err := fetchStats(b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b, err)
+		}
+		agg.JobsCompleted += st.JobsCompleted
+		agg.JobsFailed += st.JobsFailed
+		agg.Cache.Hits += st.Cache.Hits
+		agg.Cache.Misses += st.Cache.Misses
+		agg.PeerFillHits += st.PeerFillHits
+		agg.JobsStolenCompleted += st.JobsStolenCompleted
+	}
+	return &agg, nil
+}
+
 // percentile reads the p-th percentile from sorted latencies.
 func percentile(sorted []float64, p int) float64 {
 	if len(sorted) == 0 {
@@ -440,9 +486,22 @@ func percentile(sorted []float64, p int) float64 {
 
 // problemSpec renders the i-th pool problem: a small two-tier network
 // whose shape (host count, demands, sliders) varies deterministically
-// with i, so run N always replays the same workload.
-func problemSpec(i int) string {
+// with i, so run N always replays the same workload. The shape cycle
+// has period 12; the cost budget shifts every cycle so larger pools
+// (cache-miss-heavy cluster benchmarks) keep producing distinct
+// fingerprints while the first twelve problems stay bit-identical to
+// historical runs.
+func problemSpec(i int) string { return problemSpecSized(i, 0) }
+
+// problemSpecSized is problemSpec with an overridable base host count:
+// baseHosts 0 keeps the historical 4..6-host shapes, anything larger
+// grows the network so a cold solve costs real CPU relative to the
+// HTTP round trip (what a cluster cache benchmark needs).
+func problemSpecSized(i, baseHosts int) string {
 	hosts := 4 + i%3 // 4..6 hosts
+	if baseHosts > 0 {
+		hosts = baseHosts + i%3
+	}
 	routers := 2
 	var b strings.Builder
 	b.WriteString("devices 3\norder 1 2 2\norder 2 3 2\ncosts 5 8 6\n")
@@ -456,6 +515,6 @@ func problemSpec(i int) string {
 	if hosts > 4 {
 		fmt.Fprintf(&b, "require 2 %d\n", hosts)
 	}
-	fmt.Fprintf(&b, "sliders %d.5 %d 40\n", 1+i%3, 3+i%4)
+	fmt.Fprintf(&b, "sliders %d.5 %d %d\n", 1+i%3, 3+i%4, 40+i/12)
 	return b.String()
 }

@@ -11,7 +11,17 @@
 //	           [-region-workers 4] [-region-cache 512]
 //	           [-timeout 120s] [-max-timeout 10m]
 //	           [-journal path] [-journal-sync] [-drain-timeout 10s]
+//	           [-node-id n1 -peers n1=http://h1:8732,n2=http://h2:8732]
+//	           [-advertise http://h1:8732] [-heartbeat 1s]
+//	           [-suspect-after 3] [-dead-after 6]
 //	           [-pprof-addr localhost:6060]
+//
+// With -node-id and -peers, the daemon joins a static cluster (see
+// internal/cluster): requests are forwarded to the consistent-hash
+// owner of their problem fingerprint, cold misses consult the owner's
+// cache, idle nodes steal queued jobs from loaded peers, and each
+// node's journal is streamed to its ring successor so a killed node's
+// unfinished jobs are re-run by the follower, exactly once.
 //
 // With -journal, every accepted job is recorded in an append-only,
 // checksummed write-ahead log before it is enqueued, and every terminal
@@ -48,11 +58,29 @@ import (
 	_ "net/http/pprof" // handlers on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"configsynth/internal/cluster"
 	"configsynth/internal/service"
 )
+
+// parsePeers decodes "-peers n1=http://h1:8732,n2=http://h2:8732".
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		out[id] = url
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
@@ -79,11 +107,28 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 		journal       = fs.String("journal", "", "durable job journal path (empty disables durability)")
 		journalSync   = fs.Bool("journal-sync", false, "fsync the journal after every record")
+		nodeID        = fs.String("node-id", "", "cluster identity of this node (enables cluster mode with -peers)")
+		peers         = fs.String("peers", "", "static cluster member list, id=url pairs: n1=http://h1:8732,n2=http://h2:8732 (must include this node)")
+		advertise     = fs.String("advertise", "", "URL peers reach this node at (overrides this node's entry in -peers)")
+		heartbeat     = fs.Duration("heartbeat", time.Second, "cluster heartbeat interval (liveness, stealing, and WAL-ship pacing)")
+		suspectAfter  = fs.Int("suspect-after", 3, "missed heartbeats before a peer is drained")
+		deadAfter     = fs.Int("dead-after", 6, "missed heartbeats before takeover of a peer's journal")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight jobs before they are canceled")
 		pprofAddr     = fs.String("pprof-addr", "", "debug listener for net/http/pprof profiles (empty disables; bind loopback, e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if (*nodeID == "") != (*peers == "") {
+		return errors.New("-node-id and -peers must be set together")
+	}
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	if *advertise != "" && *nodeID != "" {
+		peerMap[*nodeID] = *advertise
 	}
 
 	svc, err := service.Open(service.Config{
@@ -99,11 +144,29 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		MaxTimeout:         *maxTimeout,
 		JournalPath:        *journal,
 		JournalSync:        *journalSync,
+		NodeID:             *nodeID,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+
+	handler := svc.Handler()
+	if *nodeID != "" {
+		node, err := cluster.New(svc, cluster.Config{
+			NodeID:            *nodeID,
+			Peers:             peerMap,
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			DeadAfter:         *deadAfter,
+		})
+		if err != nil {
+			return err
+		}
+		handler = node.Handler(handler)
+		node.Start()
+		defer node.Stop()
+	}
 
 	if *pprofAddr != "" {
 		// Separate listener so profiling is never exposed on the service
@@ -130,7 +193,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(stdout, "confserved listening on %s (workers=%d queue=%d cache=%d)\n",
 		ln.Addr(), *workers, *queue, *cacheEntries)
 

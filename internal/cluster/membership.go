@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// PeerState is a peer's liveness verdict.
+type PeerState string
+
+// Liveness states. A peer is born alive (optimistic: routing to a
+// briefly unreachable peer degrades to a local solve, which is cheaper
+// than refusing work while the first heartbeat is in flight).
+const (
+	StateAlive PeerState = "alive"
+	// StateSuspect: SuspectAfter consecutive heartbeats missed. The
+	// node is drained — the ring stops routing new work to it and the
+	// stealer ignores it — but no takeover runs yet: a GC pause or a
+	// slow solve must not trigger journal adoption.
+	StateSuspect PeerState = "suspect"
+	// StateDead: DeadAfter consecutive heartbeats missed. Takeover
+	// fires exactly once per death: delegated jobs are reclaimed and,
+	// on the dead node's designated follower, its shipped journal is
+	// adopted.
+	StateDead PeerState = "dead"
+)
+
+// peer is one remote member's tracked state.
+type peer struct {
+	id  string
+	url string
+
+	mu         sync.Mutex
+	state      PeerState
+	missed     int
+	lastSeen   time.Time
+	queueDepth int
+	deadFired  bool
+}
+
+// membership tracks liveness for the static peer list by heartbeating
+// every peer on a fixed interval.
+type membership struct {
+	peers map[string]*peer // excludes self
+
+	suspectAfter int
+	deadAfter    int
+
+	// onDeath fires (from the heartbeat goroutine) the first time a
+	// peer transitions to dead; onRejoin fires when a suspect or dead
+	// peer answers again.
+	onDeath  func(id string)
+	onRejoin func(id string)
+}
+
+func newMembership(peers map[string]string, suspectAfter, deadAfter int) *membership {
+	m := &membership{
+		peers:        make(map[string]*peer, len(peers)),
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+	}
+	for id, url := range peers {
+		m.peers[id] = &peer{id: id, url: url, state: StateAlive, lastSeen: time.Now()}
+	}
+	return m
+}
+
+// alive reports whether id may receive routed work. Self is always
+// alive (the membership tracks remote peers only).
+func (m *membership) alive(id string) bool {
+	p, ok := m.peers[id]
+	if !ok {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state == StateAlive
+}
+
+func (m *membership) state(id string) PeerState {
+	p, ok := m.peers[id]
+	if !ok {
+		return StateAlive
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+func (m *membership) url(id string) string {
+	if p, ok := m.peers[id]; ok {
+		return p.url
+	}
+	return ""
+}
+
+// beatOK records a successful heartbeat (or any successful RPC — proof
+// of life is proof of life) carrying the peer's reported queue depth.
+func (m *membership) beatOK(id string, queueDepth int) {
+	p, ok := m.peers[id]
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	rejoined := p.state != StateAlive
+	p.state = StateAlive
+	p.missed = 0
+	p.lastSeen = time.Now()
+	p.queueDepth = queueDepth
+	p.deadFired = false
+	p.mu.Unlock()
+	if rejoined && m.onRejoin != nil {
+		m.onRejoin(id)
+	}
+}
+
+// beatMissed records a failed heartbeat and advances the state machine;
+// the dead transition fires onDeath exactly once per death.
+func (m *membership) beatMissed(id string) {
+	p, ok := m.peers[id]
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	p.missed++
+	fireDeath := false
+	switch {
+	case p.missed >= m.deadAfter:
+		p.state = StateDead
+		if !p.deadFired {
+			p.deadFired = true
+			fireDeath = true
+		}
+	case p.missed >= m.suspectAfter:
+		if p.state == StateAlive {
+			p.state = StateSuspect
+		}
+	}
+	p.mu.Unlock()
+	if fireDeath && m.onDeath != nil {
+		m.onDeath(id)
+	}
+}
+
+// snapshot returns per-peer liveness for /statsz.
+func (m *membership) snapshot() map[string]PeerInfo {
+	out := make(map[string]PeerInfo, len(m.peers))
+	for id, p := range m.peers {
+		p.mu.Lock()
+		out[id] = PeerInfo{
+			URL:           p.url,
+			State:         p.state,
+			MissedBeats:   p.missed,
+			LastSeenMSAgo: time.Since(p.lastSeen).Milliseconds(),
+			QueueDepth:    p.queueDepth,
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// queueDepthOf returns the peer's last reported queue depth (stealing
+// signal); -1 when unknown or not alive.
+func (m *membership) queueDepthOf(id string) int {
+	p, ok := m.peers[id]
+	if !ok {
+		return -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state != StateAlive {
+		return -1
+	}
+	return p.queueDepth
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import "testing"
+
+func TestMembershipStateMachine(t *testing.T) {
+	m := newMembership(map[string]string{"n2": "http://x"}, 2, 4)
+	deaths, rejoins := 0, 0
+	m.onDeath = func(string) { deaths++ }
+	m.onRejoin = func(string) { rejoins++ }
+
+	if !m.alive("n2") {
+		t.Fatal("peers are born alive")
+	}
+	if !m.alive("n1") {
+		t.Fatal("self (untracked) must always read alive")
+	}
+
+	m.beatMissed("n2")
+	if !m.alive("n2") {
+		t.Fatal("one miss must not drain a peer")
+	}
+	m.beatMissed("n2")
+	if m.alive("n2") || m.state("n2") != StateSuspect {
+		t.Fatalf("after suspectAfter misses: state=%s", m.state("n2"))
+	}
+	if deaths != 0 {
+		t.Fatal("suspect fired death")
+	}
+	m.beatMissed("n2")
+	m.beatMissed("n2")
+	if m.state("n2") != StateDead || deaths != 1 {
+		t.Fatalf("after deadAfter misses: state=%s deaths=%d", m.state("n2"), deaths)
+	}
+	// Continued misses must not re-fire takeover.
+	m.beatMissed("n2")
+	m.beatMissed("n2")
+	if deaths != 1 {
+		t.Fatalf("death fired %d times for one death", deaths)
+	}
+
+	m.beatOK("n2", 7)
+	if !m.alive("n2") || rejoins != 1 {
+		t.Fatalf("rejoin: alive=%v rejoins=%d", m.alive("n2"), rejoins)
+	}
+	if d := m.queueDepthOf("n2"); d != 7 {
+		t.Fatalf("queue depth %d, want 7", d)
+	}
+
+	// A second full death cycle fires takeover again: deadFired is per
+	// death, not per peer lifetime.
+	for i := 0; i < 4; i++ {
+		m.beatMissed("n2")
+	}
+	if deaths != 2 {
+		t.Fatalf("second death fired %d total, want 2", deaths)
+	}
+	if d := m.queueDepthOf("n2"); d != -1 {
+		t.Fatalf("dead peer advertises queue depth %d", d)
+	}
+}

@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"configsynth/internal/core"
+	"configsynth/internal/netgen"
+	"configsynth/internal/service"
+	"configsynth/internal/spec"
+)
+
+// Config tunes a cluster node. Zero values select the documented
+// defaults.
+type Config struct {
+	// NodeID is this node's identity; it must appear in Peers.
+	NodeID string
+	// Peers maps every member's node ID (including this node's) to the
+	// base URL peers reach it at, e.g. "n1" → "http://127.0.0.1:8081".
+	Peers map[string]string
+	// HeartbeatInterval paces liveness probes and the steal loop
+	// (default 1s).
+	HeartbeatInterval time.Duration
+	// RPCTimeout bounds one control-plane call (heartbeat, cache fill,
+	// steal, ship). It is deliberately decoupled from the heartbeat
+	// interval: under full solver load a peer legitimately takes tens of
+	// milliseconds to answer, so a timeout equal to a short interval
+	// would misread CPU saturation as death. Default
+	// 2×HeartbeatInterval, floored at 500ms.
+	RPCTimeout time.Duration
+	// SuspectAfter consecutive missed heartbeats drain a peer (default
+	// 3); DeadAfter trigger takeover (default 6).
+	SuspectAfter int
+	DeadAfter    int
+	// StealBatch caps jobs taken from one peer per steal (default 2).
+	StealBatch int
+	// StealMinPeerQueue is the queue depth a peer must report before an
+	// idle node steals from it (default 1).
+	StealMinPeerQueue int
+	// ShipChunkBytes bounds one WAL shipping RPC's payload (default
+	// 256 KiB).
+	ShipChunkBytes int
+	// ShadowDir is where shipped peer journals are shadowed (default
+	// "<journal dir>/shadows"; shipping and takeover are disabled when
+	// the service has no journal).
+	ShadowDir string
+	// Logf receives cluster events (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 2 * c.HeartbeatInterval
+		if c.RPCTimeout < 500*time.Millisecond {
+			c.RPCTimeout = 500 * time.Millisecond
+		}
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter * 2
+	}
+	if c.StealBatch <= 0 {
+		c.StealBatch = 2
+	}
+	if c.StealMinPeerQueue <= 0 {
+		c.StealMinPeerQueue = 1
+	}
+	if c.ShipChunkBytes <= 0 {
+		c.ShipChunkBytes = 256 << 10
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Node glues one service instance into the cluster: ring routing,
+// membership, stealing, WAL shipping, and the /cluster/v1 RPC surface.
+type Node struct {
+	cfg  Config
+	svc  *service.Service
+	ring *ring
+	mem  *membership
+
+	// rpcClient bounds control-plane calls (heartbeat, cache fill,
+	// steal, ship) tightly; fwdClient carries forwarded synthesis
+	// requests, which legitimately run as long as a solve.
+	rpcClient *http.Client
+	fwdClient *http.Client
+
+	ship    *shipper     // nil without a journal or a follower
+	shadows *shadowStore // nil without a journal
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	forwarded    atomic.Int64
+	forwardFails atomic.Int64
+	fillAsked    atomic.Int64
+	fillHits     atomic.Int64
+	fillServed   atomic.Int64
+	jobsStolen   atomic.Int64
+	postsApplied atomic.Int64
+	postsFailed  atomic.Int64
+	takeovers    atomic.Int64
+	versionSkew  atomic.Int64
+}
+
+// New wires a node around svc. The service must have been opened with
+// Config.NodeID equal to cfg.NodeID so job IDs carry the node prefix.
+func New(svc *service.Service, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NodeID == "" {
+		return nil, errors.New("cluster: NodeID is required")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("cluster: NodeID %q not present in peer list", cfg.NodeID)
+	}
+	if svc.NodeID() != cfg.NodeID {
+		return nil, fmt.Errorf("cluster: service NodeID %q != cluster NodeID %q", svc.NodeID(), cfg.NodeID)
+	}
+	members := make([]string, 0, len(cfg.Peers))
+	remotes := make(map[string]string, len(cfg.Peers)-1)
+	for id, url := range cfg.Peers {
+		members = append(members, id)
+		if id != cfg.NodeID {
+			remotes[id] = strings.TrimRight(url, "/")
+		}
+	}
+	n := &Node{
+		cfg:       cfg,
+		svc:       svc,
+		ring:      newRing(members),
+		mem:       newMembership(remotes, cfg.SuspectAfter, cfg.DeadAfter),
+		rpcClient: &http.Client{Timeout: cfg.RPCTimeout},
+		fwdClient: &http.Client{},
+		stop:      make(chan struct{}),
+	}
+	n.mem.onDeath = n.handleDeath
+	n.mem.onRejoin = func(id string) { n.cfg.Logf("cluster: peer %s rejoined", id) }
+
+	if jl := svc.Journal(); jl != nil {
+		dir := cfg.ShadowDir
+		if dir == "" {
+			dir = shadowDirFor(jl.Path())
+		}
+		st, err := newShadowStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		n.shadows = st
+		if follower := n.ring.successor(cfg.NodeID); follower != "" {
+			n.ship = newShipper(n, jl, follower)
+			svc.SetJournalNotify(n.ship.wake)
+		}
+	}
+	svc.SetPeerFill(n.peerFill)
+	return n, nil
+}
+
+// Start launches the heartbeat, steal, and WAL-shipping loops.
+func (n *Node) Start() {
+	n.loop(n.cfg.HeartbeatInterval, n.heartbeatAll)
+	n.loop(n.cfg.HeartbeatInterval, n.stealOnce)
+	if n.ship != nil {
+		n.wg.Add(1)
+		go n.ship.run()
+	}
+	n.cfg.Logf("cluster: node %s up, %d peers, follower=%s",
+		n.cfg.NodeID, len(n.mem.peers), n.followerID())
+}
+
+// Stop halts the background loops and unhooks the service callbacks.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	n.svc.SetPeerFill(nil)
+	n.svc.SetJournalNotify(nil)
+	if n.shadows != nil {
+		n.shadows.close()
+	}
+}
+
+// loop runs fn on a ticker until Stop.
+func (n *Node) loop(every time.Duration, fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+func (n *Node) followerID() string {
+	if n.ship == nil {
+		return ""
+	}
+	return n.ship.follower
+}
+
+// heartbeatAll probes every remote peer once. A peer answering with a
+// different fingerprint format version is treated as unreachable:
+// exchanging cache fills or stolen jobs across fingerprint formats
+// would silently mis-route every key.
+func (n *Node) heartbeatAll() {
+	for id := range n.mem.peers {
+		var hb heartbeatResponse
+		err := n.getJSON(n.mem.url(id)+"/cluster/v1/heartbeat?from="+n.cfg.NodeID, &hb)
+		if err == nil && hb.FPVersion != int(spec.FingerprintVersion) {
+			n.versionSkew.Add(1)
+			n.cfg.Logf("cluster: peer %s runs fingerprint format v%d, want v%d; draining it",
+				id, hb.FPVersion, spec.FingerprintVersion)
+			err = fmt.Errorf("fingerprint version skew")
+		}
+		if err != nil {
+			n.mem.beatMissed(id)
+			continue
+		}
+		n.mem.beatOK(id, hb.QueueDepth)
+	}
+}
+
+// handleDeath runs once per peer death: jobs the dead peer had stolen
+// from us return to the local pool, and — when this node is the dead
+// peer's designated WAL follower — its shipped journal is adopted, so
+// work the dead node had accepted but not finished runs here, exactly
+// once, under its original IDs.
+func (n *Node) handleDeath(id string) {
+	n.cfg.Logf("cluster: peer %s dead after %d missed heartbeats", id, n.cfg.DeadAfter)
+	if r := n.svc.ReenqueueStolen(id); r > 0 {
+		n.cfg.Logf("cluster: reclaimed %d jobs delegated to dead peer %s", r, id)
+	}
+	if n.ring.successor(id) != n.cfg.NodeID || n.shadows == nil {
+		return
+	}
+	recs, err := n.shadows.records(id)
+	if err != nil {
+		n.cfg.Logf("cluster: no journal shadow for dead peer %s: %v", id, err)
+		return
+	}
+	rep := n.svc.Adopt(recs)
+	n.takeovers.Add(1)
+	n.cfg.Logf("cluster: took over %s: %d proven cached, %d jobs requeued, %d duplicates, %d failed",
+		id, rep.Proven, rep.Requeued, rep.Duplicates, rep.Failed)
+}
+
+// peerFill is the service's cold-miss hook: ask the ring owner of the
+// fingerprint for an already-proven result before solving locally.
+func (n *Node) peerFill(ctx context.Context, fp string, mode service.Mode) (*service.Result, bool) {
+	owner := n.ring.owner(fp, n.mem.alive)
+	if owner == "" || owner == n.cfg.NodeID {
+		return nil, false
+	}
+	n.fillAsked.Add(1)
+	url := fmt.Sprintf("%s/cluster/v1/cache?fp=%s&mode=%s&v=%d",
+		n.mem.url(owner), fp, mode, spec.FingerprintVersion)
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
+	defer cancel()
+	var res service.Result
+	if err := n.getJSONCtx(cctx, url, &res); err != nil {
+		return nil, false
+	}
+	n.fillHits.Add(1)
+	return &res, true
+}
+
+// stealOnce steals a batch of queued jobs from the most loaded alive
+// peer when this node is idle, solves them locally, and posts the
+// results back to the origin.
+func (n *Node) stealOnce() {
+	if n.svc.QueueLen() > 0 {
+		return
+	}
+	victim, depth := "", n.cfg.StealMinPeerQueue-1
+	for id := range n.mem.peers {
+		if d := n.mem.queueDepthOf(id); d > depth {
+			victim, depth = id, d
+		}
+	}
+	if victim == "" {
+		return
+	}
+	var sr stealResponse
+	err := n.postJSON(n.mem.url(victim)+"/cluster/v1/steal",
+		stealRequest{From: n.cfg.NodeID, Max: n.cfg.StealBatch}, &sr)
+	if err != nil {
+		return
+	}
+	for _, job := range sr.Jobs {
+		n.jobsStolen.Add(1)
+		job := job
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runStolen(victim, job)
+		}()
+	}
+}
+
+// runStolen solves one stolen job as an ordinary local submission (so
+// it is cached, journaled, and counted here like any other job) and
+// posts the outcome back to the origin, which still owns the job.
+func (n *Node) runStolen(origin string, job service.StolenJob) {
+	prob, src, err := problemOf(job)
+	if err != nil {
+		n.postComplete(origin, completeRequest{ID: job.ID, Error: "stolen job: " + err.Error()})
+		return
+	}
+	timeout := time.Duration(job.RemainingMS) * time.Millisecond
+	if timeout <= 0 {
+		// Already expired at hand-off: the origin's deadline watcher
+		// cancels it there; nothing to do here.
+		return
+	}
+	j, err := n.svc.Submit(prob, service.SubmitOptions{
+		Mode:    job.Mode,
+		Timeout: timeout,
+		Source:  src,
+	})
+	if err != nil {
+		n.postComplete(origin, completeRequest{ID: job.ID, Error: err.Error()})
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-n.stop:
+		j.Cancel()
+		<-j.Done()
+	}
+	res, jerr := j.Result()
+	if jerr != nil {
+		if errors.Is(jerr, context.Canceled) || errors.Is(jerr, context.DeadlineExceeded) {
+			// The origin's own deadline watcher produces the identical
+			// verdict; posting it would just race the watcher.
+			return
+		}
+		n.postComplete(origin, completeRequest{ID: job.ID, Error: jerr.Error()})
+		return
+	}
+	n.postComplete(origin, completeRequest{ID: job.ID, Result: res})
+}
+
+// postComplete delivers a stolen job's outcome to its origin, retrying
+// briefly: the origin holding the job registered means a lost post
+// costs a re-solve after its deadline, so delivery is worth a few
+// attempts.
+func (n *Node) postComplete(origin string, req completeRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var cr completeResponse
+		err := n.postJSON(n.mem.url(origin)+"/cluster/v1/complete", req, &cr)
+		if err == nil {
+			if cr.Applied {
+				n.postsApplied.Add(1)
+			}
+			return
+		}
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(n.cfg.HeartbeatInterval / 2):
+		}
+	}
+	n.postsFailed.Add(1)
+	n.cfg.Logf("cluster: failed to post completion of %s back to %s", req.ID, origin)
+}
+
+// problemOf rebuilds a stolen job's problem from its shipped source
+// and checks it still hashes to the fingerprint it was stolen under —
+// a mismatch means the two nodes disagree about canonicalization and
+// the steal must be refused rather than mis-cached.
+func problemOf(job service.StolenJob) (*core.Problem, *service.JobSource, error) {
+	var (
+		prob *core.Problem
+		src  *service.JobSource
+	)
+	switch {
+	case job.Example:
+		prob = netgen.PaperExample()
+		src = &service.JobSource{Example: true}
+	case job.Spec != "":
+		p, err := spec.Parse(strings.NewReader(job.Spec))
+		if err != nil {
+			return nil, nil, fmt.Errorf("re-parsing stolen spec: %w", err)
+		}
+		prob = p
+		src = &service.JobSource{Spec: job.Spec}
+	default:
+		return nil, nil, errors.New("stolen job carries no source")
+	}
+	if fp := spec.Fingerprint(prob); fp != job.Fingerprint {
+		return nil, nil, fmt.Errorf("stolen job fingerprint mismatch: %s != %s", fp[:12], job.Fingerprint[:12])
+	}
+	return prob, src, nil
+}

@@ -1,0 +1,116 @@
+// Package cluster turns a set of confserved processes into one
+// fingerprint-routed synthesis cluster:
+//
+//   - a consistent-hash ring maps every canonical problem fingerprint to
+//     an owner node, so repeat submissions of the same problem land on
+//     the node that already has the answer cached;
+//   - requests arriving at a non-owner are forwarded to the owner (one
+//     hop, loop-guarded), and a cold miss asks the owner's cache over
+//     RPC before solving locally;
+//   - idle nodes steal queued jobs from overloaded peers and post the
+//     results back (delegation, not migration: the origin keeps the job
+//     registered and its deadline still bounds it);
+//   - every node streams its job journal to its ring successor, so when
+//     a node dies by SIGKILL the follower adopts the shipped journal and
+//     re-runs exactly the jobs that had been accepted but not finished;
+//   - membership is a static peer list plus heartbeat liveness
+//     (alive → suspect → dead): suspects stop receiving routed work,
+//     and a death triggers reclaim of delegated jobs and journal
+//     takeover.
+//
+// The layer is strictly additive: a node with no peers behaves exactly
+// like a single confserved.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// vnodesPerNode is how many virtual points each node contributes to the
+// ring. 64 keeps the expected ownership imbalance under a few percent
+// for small clusters without making ring walks expensive.
+const vnodesPerNode = 64
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// ring is an immutable consistent-hash ring over the static member
+// list. Liveness is supplied per lookup, so the ring itself never needs
+// rebuilding when nodes fail or recover.
+type ring struct {
+	points []vnode  // sorted by hash
+	nodes  []string // distinct members, sorted
+}
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func newRing(nodes []string) *ring {
+	uniq := map[string]bool{}
+	for _, n := range nodes {
+		uniq[n] = true
+	}
+	r := &ring{}
+	for n := range uniq {
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodesPerNode; i++ {
+			r.points = append(r.points, vnode{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, k int) bool { return r.points[i].hash < r.points[k].hash })
+	return r
+}
+
+// owner maps a key (a problem fingerprint) to the first alive node at
+// or after the key's point on the ring. Dead and suspect nodes are
+// skipped — their keys drain to the next member — and "" is returned
+// only when no node is alive.
+func (r *ring) owner(key string, alive func(string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if alive == nil || alive(p.node) {
+			return p.node
+		}
+		if len(seen) == len(r.nodes) {
+			break
+		}
+	}
+	return ""
+}
+
+// successor is the next distinct member clockwise from node's first
+// vnode — the node's designated WAL follower. It is static (liveness
+// is deliberately ignored): shipping always targets one deterministic
+// peer, so at most one node ever holds a dead member's journal shadow
+// and takeover cannot run twice on different nodes.
+func (r *ring) successor(node string) string {
+	if len(r.nodes) < 2 {
+		return ""
+	}
+	i := sort.SearchStrings(r.nodes, node)
+	if i >= len(r.nodes) || r.nodes[i] != node {
+		return ""
+	}
+	// The ring-order successor of the node's lowest vnode would also
+	// work; sorted member order is just as deterministic and easier to
+	// reason about when reading logs.
+	return r.nodes[(i+1)%len(r.nodes)]
+}

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"configsynth/internal/netgen"
+	"configsynth/internal/service"
+	"configsynth/internal/spec"
+)
+
+// forwardedHeader loop-guards request forwarding: a request that
+// already hopped once is served where it lands, even if ring views
+// momentarily disagree, so no request can orbit the cluster.
+const forwardedHeader = "X-Confsynth-Forwarded"
+
+// Wire types of the /cluster/v1 RPC surface.
+
+type heartbeatResponse struct {
+	Node       string `json:"node"`
+	FPVersion  int    `json:"fp_version"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+type stealRequest struct {
+	From string `json:"from"`
+	Max  int    `json:"max"`
+}
+
+type stealResponse struct {
+	Jobs []service.StolenJob `json:"jobs"`
+}
+
+type completeRequest struct {
+	ID     string          `json:"id"`
+	Result *service.Result `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+type completeResponse struct {
+	Applied bool `json:"applied"`
+}
+
+type shipRequest struct {
+	Node   string `json:"node"`
+	Epoch  uint64 `json:"epoch"`
+	Offset int64  `json:"offset"`
+	Data   []byte `json:"data"`
+}
+
+type shipResponse struct {
+	OK         bool   `json:"ok"`
+	WantEpoch  uint64 `json:"want_epoch"`
+	WantOffset int64  `json:"want_offset"`
+}
+
+// PeerInfo is one peer's liveness row in /statsz.
+type PeerInfo struct {
+	URL           string    `json:"url"`
+	State         PeerState `json:"state"`
+	MissedBeats   int       `json:"missed_beats"`
+	LastSeenMSAgo int64     `json:"last_seen_ms_ago"`
+	QueueDepth    int       `json:"queue_depth"`
+}
+
+// Stats is the cluster section of /statsz.
+type Stats struct {
+	NodeID    string              `json:"node_id"`
+	FPVersion int                 `json:"fp_version"`
+	Follower  string              `json:"follower,omitempty"`
+	Peers     map[string]PeerInfo `json:"peers"`
+
+	RequestsForwarded int64 `json:"requests_forwarded"`
+	ForwardFailures   int64 `json:"forward_failures"`
+	// FillAsked/FillHits are client-side peer cache-fill counters;
+	// FillServed counts hits this node answered for others.
+	FillAsked  int64 `json:"fill_asked"`
+	FillHits   int64 `json:"fill_hits"`
+	FillServed int64 `json:"fill_served"`
+	// JobsStolen counts jobs this node took from peers; posts are the
+	// completions delivered back.
+	JobsStolen      int64 `json:"jobs_stolen"`
+	PostsApplied    int64 `json:"posts_applied"`
+	PostsFailed     int64 `json:"posts_failed"`
+	Takeovers       int64 `json:"takeovers"`
+	VersionSkew     int64 `json:"version_skew"`
+	ShippedBytes    int64 `json:"shipped_bytes,omitempty"`
+	ShipResyncs     int64 `json:"ship_resyncs,omitempty"`
+	ShadowedOrigins int   `json:"shadowed_origins,omitempty"`
+}
+
+func (n *Node) stats() Stats {
+	st := Stats{
+		NodeID:            n.cfg.NodeID,
+		FPVersion:         int(spec.FingerprintVersion),
+		Follower:          n.followerID(),
+		Peers:             n.mem.snapshot(),
+		RequestsForwarded: n.forwarded.Load(),
+		ForwardFailures:   n.forwardFails.Load(),
+		FillAsked:         n.fillAsked.Load(),
+		FillHits:          n.fillHits.Load(),
+		FillServed:        n.fillServed.Load(),
+		JobsStolen:        n.jobsStolen.Load(),
+		PostsApplied:      n.postsApplied.Load(),
+		PostsFailed:       n.postsFailed.Load(),
+		Takeovers:         n.takeovers.Load(),
+		VersionSkew:       n.versionSkew.Load(),
+	}
+	if n.ship != nil {
+		st.ShippedBytes = n.ship.shipped.Load()
+		st.ShipResyncs = n.ship.resyncs.Load()
+	}
+	if n.shadows != nil {
+		st.ShadowedOrigins = n.shadows.count()
+	}
+	return st
+}
+
+// Handler wraps the service's HTTP API with the cluster surface: the
+// /cluster/v1 RPC endpoints, fingerprint routing for /v1/synthesize,
+// and a /statsz enriched with the cluster section. Everything else
+// passes through to inner untouched.
+func (n *Node) Handler(inner http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster/v1/heartbeat", n.handleHeartbeat)
+	mux.HandleFunc("GET /cluster/v1/cache", n.handleCacheFill)
+	mux.HandleFunc("POST /cluster/v1/steal", n.handleSteal)
+	mux.HandleFunc("POST /cluster/v1/complete", n.handleComplete)
+	mux.HandleFunc("POST /cluster/v1/walship", n.handleWALShip)
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			service.Stats
+			Cluster Stats `json:"cluster"`
+		}{n.svc.Stats(), n.stats()})
+	})
+	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		n.routeSynthesize(inner, w, r)
+	})
+	mux.Handle("/", inner)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, heartbeatResponse{
+		Node:       n.cfg.NodeID,
+		FPVersion:  int(spec.FingerprintVersion),
+		QueueDepth: n.svc.QueueLen(),
+	})
+}
+
+// handleCacheFill serves this node's proven cache to peers. The caller
+// states its fingerprint format version explicitly: a hit under a
+// different format would be a wrong answer with a matching key, the
+// worst possible failure, so skew is refused outright.
+func (n *Node) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("v") != fmt.Sprint(int(spec.FingerprintVersion)) {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("fingerprint version %q, want %d", q.Get("v"), spec.FingerprintVersion),
+		})
+		return
+	}
+	fp, mode := q.Get("fp"), service.Mode(q.Get("mode"))
+	res, ok := n.svc.CacheLookup(fp, mode)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "miss"})
+		return
+	}
+	n.fillServed.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, stealResponse{Jobs: n.svc.StealJobs(req.From, req.Max)})
+}
+
+func (n *Node) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, completeResponse{
+		Applied: n.svc.CompleteRemote(req.ID, req.Result, req.Error),
+	})
+}
+
+func (n *Node) handleWALShip(w http.ResponseWriter, r *http.Request) {
+	if n.shadows == nil {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "no journal configured"})
+		return
+	}
+	var req shipRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, n.shadows.receive(req))
+}
+
+// routeSynthesize forwards a synthesis request to the ring owner of
+// its problem fingerprint, so repeat problems always land where their
+// result is cached. Requests that already hopped, parse failures, and
+// owner errors all fall through to the local service — forwarding is
+// an optimization, never a point of failure.
+func (n *Node) routeSynthesize(inner http.Handler, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if r.Header.Get(forwardedHeader) != "" {
+		inner.ServeHTTP(w, r)
+		return
+	}
+	fp, ok := fingerprintOf(r, body)
+	if !ok {
+		inner.ServeHTTP(w, r)
+		return
+	}
+	owner := n.ring.owner(fp, n.mem.alive)
+	if owner == "" || owner == n.cfg.NodeID {
+		inner.ServeHTTP(w, r)
+		return
+	}
+	if n.forward(w, r, body, n.mem.url(owner)) {
+		n.forwarded.Add(1)
+		return
+	}
+	n.forwardFails.Add(1)
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	inner.ServeHTTP(w, r)
+}
+
+// fingerprintOf computes the canonical fingerprint of the request's
+// problem without consuming the request (the body was already read).
+func fingerprintOf(r *http.Request, body []byte) (string, bool) {
+	if r.URL.Query().Get("example") != "" {
+		return spec.Fingerprint(netgen.PaperExample()), true
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return "", false
+	}
+	p, err := spec.Parse(bytes.NewReader(body))
+	if err != nil {
+		return "", false
+	}
+	return spec.Fingerprint(p), true
+}
+
+// forward proxies the request to the owner node, streaming the
+// response (NDJSON event streams flush per write). Reports false when
+// the owner could not be reached or returned a 5xx — the caller then
+// serves locally.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, body []byte, baseURL string) bool {
+	url := baseURL + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.Header.Set(forwardedHeader, n.cfg.NodeID)
+	resp, err := n.fwdClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	for _, h := range []string{"Content-Type", "Retry-After", "Location", "X-Cache"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return true
+}
+
+// flushCopy streams src to w, flushing after every chunk so forwarded
+// NDJSON event streams stay live.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		m, err := src.Read(buf)
+		if m > 0 {
+			if _, werr := w.Write(buf[:m]); werr != nil {
+				return
+			}
+			rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// getJSON / postJSON are the control-plane RPC helpers; they ride
+// rpcClient's tight timeout.
+func (n *Node) getJSON(url string, out any) error {
+	return n.getJSONCtx(context.Background(), url, out)
+}
+
+func (n *Node) getJSONCtx(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.rpcClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("cluster rpc: %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}
+
+func (n *Node) postJSON(url string, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := n.rpcClient.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("cluster rpc: %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"configsynth/internal/wal"
+)
+
+// WAL shipping is the cluster's durability story for node death: every
+// node tails its own job journal and pushes the raw bytes to its ring
+// successor, which accumulates them in a per-origin shadow file. A
+// shipped chunk is addressed by (epoch, byte offset); the epoch changes
+// whenever the leader's journal is rewritten (compaction, restart), at
+// which point the follower truncates its shadow and resyncs from zero —
+// offsets are only comparable within one epoch. When the leader dies,
+// the follower parses the shadow exactly the way wal.Open parses a
+// crashed log (tolerating the torn tail a mid-chunk death leaves) and
+// adopts the records: proven results seed its cache, unfinished jobs
+// re-run there under their original IDs.
+
+// shipper tails the local journal to the designated follower.
+type shipper struct {
+	n        *Node
+	log      *wal.Log
+	follower string
+
+	notify  chan struct{}
+	offset  int64
+	epoch   uint64
+	shipped atomic.Int64
+	resyncs atomic.Int64
+}
+
+func newShipper(n *Node, log *wal.Log, follower string) *shipper {
+	return &shipper{n: n, log: log, follower: follower, notify: make(chan struct{}, 1)}
+}
+
+// wake nudges the shipper after a journal append (non-blocking; a full
+// buffer means a ship is already pending).
+func (s *shipper) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run ships on every journal append and on a fallback ticker (the
+// ticker re-drives delivery after follower outages). Owned by Node.wg;
+// Node.Start adds the count.
+func (s *shipper) run() {
+	defer s.n.wg.Done()
+	t := time.NewTicker(s.n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.n.stop:
+			return
+		case <-s.notify:
+		case <-t.C:
+		}
+		s.shipPending()
+	}
+}
+
+// shipPending pushes journal bytes until the follower is caught up or
+// unreachable. The iteration bound makes a pathological disagreement
+// loop (follower repeatedly asking for an offset we just sent) fail
+// safe into the next tick instead of spinning.
+func (s *shipper) shipPending() {
+	for i := 0; i < 64; i++ {
+		data, next, epoch, err := s.log.TailFrom(s.offset, s.n.cfg.ShipChunkBytes)
+		if errors.Is(err, wal.ErrOutOfRange) || (err == nil && epoch != s.epoch) {
+			// Compaction rewrote the journal out from under our cursor:
+			// start the new epoch from zero.
+			if s.epoch != 0 {
+				s.resyncs.Add(1)
+			}
+			s.epoch, s.offset = epoch, 0
+			continue
+		}
+		if err != nil || len(data) == 0 {
+			return
+		}
+		var resp shipResponse
+		rerr := s.n.postJSON(s.n.mem.url(s.follower)+"/cluster/v1/walship",
+			shipRequest{Node: s.n.cfg.NodeID, Epoch: epoch, Offset: s.offset, Data: data}, &resp)
+		if rerr != nil {
+			return // follower down; the ticker retries
+		}
+		if !resp.OK {
+			// The follower's shadow is elsewhere (it restarted, or we
+			// did): adopt its cursor and re-ship from there.
+			s.resyncs.Add(1)
+			if resp.WantEpoch == epoch {
+				s.offset = resp.WantOffset
+			} else {
+				s.offset = 0
+			}
+			continue
+		}
+		s.shipped.Add(int64(len(data)))
+		s.offset = next
+	}
+}
+
+// shadow is one origin's accumulated journal bytes on a follower.
+type shadow struct {
+	mu     sync.Mutex
+	f      *os.File
+	epoch  uint64
+	offset int64
+}
+
+// shadowStore holds the shadows this node follows, one file per
+// origin, under dir. Files persist across restarts: a restarted
+// follower serves takeover from the on-disk shadow even before the
+// leader re-ships anything.
+type shadowStore struct {
+	dir string
+	mu  sync.Mutex
+	m   map[string]*shadow
+}
+
+func shadowDirFor(journalPath string) string {
+	return filepath.Join(filepath.Dir(journalPath), "shadows")
+}
+
+func newShadowStore(dir string) (*shadowStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: shadow dir: %w", err)
+	}
+	return &shadowStore{dir: dir, m: make(map[string]*shadow)}, nil
+}
+
+func (st *shadowStore) pathFor(origin string) string {
+	return filepath.Join(st.dir, origin+".shadow.wal")
+}
+
+func (st *shadowStore) get(origin string) (*shadow, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sh, ok := st.m[origin]; ok {
+		return sh, nil
+	}
+	f, err := os.OpenFile(st.pathFor(origin), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Epoch zero never matches a live leader's (clock-seeded) epoch, so
+	// the first chunk after a follower restart always resyncs the
+	// shadow from scratch — stale bytes can never be appended to.
+	st.m[origin] = &shadow{f: f}
+	return st.m[origin], nil
+}
+
+// receive applies one shipped chunk: epoch changes truncate and
+// restart the shadow; offset gaps are answered with the offset the
+// shadow actually wants, making delivery self-healing under drops,
+// retries, and either side restarting.
+func (st *shadowStore) receive(req shipRequest) shipResponse {
+	sh, err := st.get(req.Node)
+	if err != nil {
+		return shipResponse{OK: false, WantEpoch: req.Epoch, WantOffset: 0}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if req.Epoch != sh.epoch {
+		if err := sh.f.Truncate(0); err != nil {
+			return shipResponse{OK: false, WantEpoch: sh.epoch, WantOffset: sh.offset}
+		}
+		sh.epoch, sh.offset = req.Epoch, 0
+	}
+	if req.Offset != sh.offset {
+		return shipResponse{OK: false, WantEpoch: sh.epoch, WantOffset: sh.offset}
+	}
+	if _, err := sh.f.WriteAt(req.Data, sh.offset); err != nil {
+		return shipResponse{OK: false, WantEpoch: sh.epoch, WantOffset: sh.offset}
+	}
+	sh.offset += int64(len(req.Data))
+	return shipResponse{OK: true, WantEpoch: sh.epoch, WantOffset: sh.offset}
+}
+
+// records parses an origin's shadow for takeover. The on-disk file is
+// read fresh (not the in-memory cursor) so a restarted follower can
+// still adopt what was shipped before the restart. A torn tail — the
+// leader died mid-chunk — is tolerated exactly like a crashed log's.
+func (st *shadowStore) records(origin string) ([]wal.Record, error) {
+	data, err := os.ReadFile(st.pathFor(origin))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("empty shadow")
+	}
+	return wal.ParseSegment(data), nil
+}
+
+func (st *shadowStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+func (st *shadowStore) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, sh := range st.m {
+		sh.mu.Lock()
+		sh.f.Close()
+		sh.mu.Unlock()
+	}
+	st.m = map[string]*shadow{}
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"path/filepath"
+	"testing"
+
+	"configsynth/internal/wal"
+)
+
+// These tests pin the shadow store's half of the shipping protocol:
+// chunks apply only at the exact expected (epoch, offset), every
+// refusal carries the cursor the shadow actually wants, epoch changes
+// wipe stale bytes, and a torn final chunk still parses to the intact
+// record prefix at takeover.
+
+func testSegment(t *testing.T, n int) []byte {
+	t.Helper()
+	l, _, err := wal.Open(filepath.Join(t.TempDir(), "src.wal"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < n; i++ {
+		if err := l.Append("submit", map[string]int{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _, _, err := l.TailFrom(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestShadowAppliesInOrderAndRefusesGaps(t *testing.T) {
+	st, err := newShadowStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	data := testSegment(t, 4)
+	half := len(data) / 2
+
+	resp := st.receive(shipRequest{Node: "n1", Epoch: 9, Offset: 0, Data: data[:half]})
+	if !resp.OK || resp.WantOffset != int64(half) {
+		t.Fatalf("first chunk: %+v", resp)
+	}
+	// A duplicate of the first chunk (leader retried after a lost ack)
+	// must be refused with the real cursor, not applied twice.
+	resp = st.receive(shipRequest{Node: "n1", Epoch: 9, Offset: 0, Data: data[:half]})
+	if resp.OK || resp.WantEpoch != 9 || resp.WantOffset != int64(half) {
+		t.Fatalf("duplicate chunk: %+v", resp)
+	}
+	// A gap (leader skipped ahead) likewise.
+	resp = st.receive(shipRequest{Node: "n1", Epoch: 9, Offset: int64(len(data)), Data: []byte("x")})
+	if resp.OK || resp.WantOffset != int64(half) {
+		t.Fatalf("gapped chunk: %+v", resp)
+	}
+	resp = st.receive(shipRequest{Node: "n1", Epoch: 9, Offset: int64(half), Data: data[half:]})
+	if !resp.OK {
+		t.Fatalf("second chunk: %+v", resp)
+	}
+	recs, err := st.records("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("shadow parsed %d records, want 4", len(recs))
+	}
+}
+
+func TestShadowEpochChangeDiscardsStaleBytes(t *testing.T) {
+	st, err := newShadowStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	old := testSegment(t, 5)
+	if resp := st.receive(shipRequest{Node: "n1", Epoch: 1, Offset: 0, Data: old}); !resp.OK {
+		t.Fatalf("seed: %+v", resp)
+	}
+	// The leader restarted: new epoch, shorter journal. The follower is
+	// "ahead" in raw bytes, but stale — the new epoch's first chunk must
+	// truncate the shadow rather than mix two incarnations.
+	fresh := testSegment(t, 2)
+	if resp := st.receive(shipRequest{Node: "n1", Epoch: 2, Offset: 0, Data: fresh}); !resp.OK {
+		t.Fatalf("post-restart chunk: %+v", resp)
+	}
+	recs, err := st.records("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("shadow holds %d records after epoch change, want 2", len(recs))
+	}
+	// An epoch-2 chunk at a nonzero offset arriving while the shadow
+	// still held epoch 1 must also resync: refusal carries offset 0 only
+	// after the truncation, so simulate the exact race the shipper sees.
+	if resp := st.receive(shipRequest{Node: "n1", Epoch: 3, Offset: 500, Data: []byte("x")}); resp.OK || resp.WantOffset != 0 {
+		t.Fatalf("mid-stream epoch bump: %+v", resp)
+	}
+}
+
+func TestShadowTornTailStillYieldsIntactPrefix(t *testing.T) {
+	st, err := newShadowStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	data := testSegment(t, 3)
+	// The leader died mid-chunk: the last record is cut in half.
+	cut := len(data) - len(data)/4
+	if resp := st.receive(shipRequest{Node: "n1", Epoch: 1, Offset: 0, Data: data[:cut]}); !resp.OK {
+		t.Fatalf("torn chunk: %+v", resp)
+	}
+	recs, err := st.records("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) >= 3 {
+		t.Fatalf("torn shadow parsed %d records, want an intact strict prefix of 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestShadowSurvivesStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newShadowStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testSegment(t, 3)
+	if resp := st.receive(shipRequest{Node: "n1", Epoch: 1, Offset: 0, Data: data}); !resp.OK {
+		t.Fatalf("seed: %+v", resp)
+	}
+	st.close()
+
+	// A restarted follower serves takeover from disk before the leader
+	// ships anything new.
+	st2, err := newShadowStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.close()
+	recs, err := st2.records("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("reopened shadow parsed %d records, want 3", len(recs))
+	}
+	// And the first post-restart chunk (epoch unknown to the fresh
+	// store) resyncs instead of appending to stale bytes.
+	resp := st2.receive(shipRequest{Node: "n1", Epoch: 1, Offset: int64(len(data)), Data: []byte("x")})
+	if resp.OK {
+		t.Fatalf("stale-offset append accepted after reopen: %+v", resp)
+	}
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 
 	"configsynth/internal/isolation"
 	"configsynth/internal/policy"
+	"configsynth/internal/sat"
 	"configsynth/internal/smt"
 	"configsynth/internal/topology"
 	"configsynth/internal/usability"
@@ -68,9 +70,29 @@ type Synthesizer struct {
 // appends into a reused buffer instead.
 func (s *Synthesizer) name() string { return string(s.nb) }
 
+// ErrModelTooLarge re-exports the SAT core's clause-arena overflow
+// sentinel: the encoded constraint system (or a learnt clause grown
+// during search) would exceed the arena's 31-bit cref space. Callers
+// classify it with errors.Is; the designed mitigation is topology
+// decomposition, whose per-region models stay far below the limit.
+var ErrModelTooLarge = sat.ErrModelTooLarge
+
 // NewSynthesizer validates the problem and encodes the full constraint
 // system Constr ≡ CR ∧ TC ∧ IIC ∧ UIC into the SMT solver.
-func NewSynthesizer(p *Problem) (*Synthesizer, error) {
+func NewSynthesizer(p *Problem) (retS *Synthesizer, retErr error) {
+	// Encode-time arena overflow (a monolithic encode too big for the
+	// 31-bit cref space) surfaces as a typed error, not a panic: the
+	// model is simply too large, and the caller should be told so
+	// before any search starts.
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, ErrModelTooLarge) {
+				retS, retErr = nil, err
+				return
+			}
+			panic(r)
+		}
+	}()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -61,6 +61,11 @@ func (s *Solver) clearAll() {
 // context was the cause of an early exit; a query that completed with a
 // definitive answer despite a late cancellation keeps its answer.
 func (s *Solver) guard(ctx context.Context, query func() error) error {
+	// A clause-arena overflow (ErrModelTooLarge) unwinds as a panic from
+	// the SAT core; it is not a solver bug but a stated capacity limit,
+	// so it is surfaced as an ordinary typed error instead of reaching
+	// the service's panic containment as a worker death.
+	query = tooLargeToError(query)
 	if ctx == nil {
 		return query()
 	}
@@ -122,6 +127,24 @@ func (s *Solver) guard(ctx context.Context, query func() error) error {
 // as cancellation, since an interrupt can only yield Unknown.
 func interrupted(err error) bool {
 	return errors.Is(err, core.ErrBudgetExceeded)
+}
+
+// tooLargeToError wraps a query so that a panic carrying
+// core.ErrModelTooLarge returns as that error; every other panic
+// continues to unwind into the caller's containment layer.
+func tooLargeToError(query func() error) func() error {
+	return func() (qerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, core.ErrModelTooLarge) {
+					qerr = err
+					return
+				}
+				panic(r)
+			}
+		}()
+		return query()
+	}
 }
 
 // SolveContext is Solve bounded by ctx: cancellation or deadline expiry

@@ -1,6 +1,41 @@
 package sat
 
-import "math"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrModelTooLarge reports that the clause arena outgrew its 31-bit
+// cref space (or a test-injected lower cap): every clause is addressed
+// by an int32 word index, so an encode or a learnt clause that would
+// push the arena past the cap cannot be represented. The solver panics
+// with an error wrapping this sentinel at the exact allocation that
+// would overflow — before any cref wraps negative — and the portfolio
+// and service layers unwrap it into a typed failure (HTTP 422) instead
+// of a worker death. Decomposition (mode=decomp) is the designed way
+// around the limit: its per-region models stay far below the cap.
+var ErrModelTooLarge = errors.New("sat: model too large for the 31-bit clause arena")
+
+// defaultArenaCap is the hard architectural limit: crefs are int32 word
+// indexes, so the arena may never reach 2^31 words.
+const defaultArenaCap = math.MaxInt32
+
+// ArenaOverflowError is the panic value raised by an allocation that
+// would exceed the clause arena's cref space. It wraps ErrModelTooLarge
+// so every layer can classify it with errors.Is.
+type ArenaOverflowError struct {
+	Words int // arena size at the failed allocation
+	Need  int // words the allocation required
+	Cap   int // effective cap (31-bit, or the test-injected one)
+}
+
+func (e *ArenaOverflowError) Error() string {
+	return fmt.Sprintf("%v: arena at %d words, allocation of %d would exceed cap %d",
+		ErrModelTooLarge, e.Words, e.Need, e.Cap)
+}
+
+func (e *ArenaOverflowError) Unwrap() error { return ErrModelTooLarge }
 
 // The clause arena.
 //
@@ -69,9 +104,34 @@ func (s *Solver) demoteToProblem(c int32) {
 	s.arena[c] = Lit(int32(uint32(s.arena[c]) &^ hdrLearnt))
 }
 
+// arenaLimit returns the effective arena cap in words: the 31-bit cref
+// ceiling, or the lower test-injected cap.
+func (s *Solver) arenaLimit() int {
+	if s.arenaCap > 0 {
+		return s.arenaCap
+	}
+	return defaultArenaCap
+}
+
+// SetArenaCap lowers the clause-arena capacity (in words) below the
+// 31-bit architectural limit. Tests use it to exercise the
+// ErrModelTooLarge path on small instances; values <= 0 restore the
+// default.
+func (s *Solver) SetArenaCap(words int) { s.arenaCap = words }
+
 // allocClause appends a clause to the arena and returns its cref. The
-// literal slice is copied, not retained.
+// literal slice is copied, not retained. An allocation that would push
+// the arena past the cref address space panics with ErrModelTooLarge
+// (wrapped), which the portfolio/service layers convert into a typed
+// error — the alternative is a wrapped-negative cref and a corrupt
+// index panic minutes later.
 func (s *Solver) allocClause(lits []Lit, learnt bool, lbd int) int32 {
+	// Compaction cannot rescue an overflow here: GC remaps crefs, and
+	// allocClause callers hold crefs across the call, so the only safe
+	// outcome is the typed panic.
+	if len(s.arena)+hdrWords+len(lits) > s.arenaLimit() {
+		panic(&ArenaOverflowError{Words: len(s.arena), Need: hdrWords + len(lits), Cap: s.arenaLimit()})
+	}
 	c := int32(len(s.arena))
 	h := uint32(len(lits))
 	if learnt {

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -380,4 +381,37 @@ func FuzzArenaSolve(f *testing.F) {
 			}
 		}
 	})
+}
+
+func TestArenaCapOverflowPanicsTyped(t *testing.T) {
+	s := NewWith(Config{ArenaCapWords: 64})
+	var lits []Lit
+	for i := 0; i < 16; i++ {
+		lits = append(lits, MkLit(s.NewVar(), false))
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic after filling a 64-word arena")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if !errors.Is(err, ErrModelTooLarge) {
+			t.Fatalf("panic error %v does not wrap ErrModelTooLarge", err)
+		}
+		var ov *ArenaOverflowError
+		if !errors.As(err, &ov) {
+			t.Fatalf("panic error %v is not an *ArenaOverflowError", err)
+		}
+		if ov.Cap != 64 {
+			t.Fatalf("overflow reports cap %d, want 64", ov.Cap)
+		}
+	}()
+	// Each 16-literal clause takes 18 words; the fourth one exceeds 64.
+	for i := 0; i < 8; i++ {
+		s.allocClause(lits, false, 2)
+	}
+	t.Fatal("unreachable: allocClause never hit the cap")
 }

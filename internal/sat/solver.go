@@ -180,6 +180,12 @@ type Config struct {
 	PhaseTrue bool
 	// Restart selects the restart schedule.
 	Restart RestartPolicy
+	// ArenaCapWords lowers the clause-arena capacity below the 31-bit
+	// architectural limit; an allocation past the cap panics with an
+	// error wrapping ErrModelTooLarge instead of wrapping a cref
+	// negative. 0 keeps the 31-bit limit. Regression tests use small
+	// caps to exercise the overflow path on small instances.
+	ArenaCapWords int
 }
 
 // Stats aggregates solver counters, used by the performance experiments.
@@ -225,6 +231,7 @@ type Stats struct {
 type Solver struct {
 	arena      []Lit   // flat clause store; see arena.go
 	wasted     int     // reclaimable arena words
+	arenaCap   int     // test-injected arena cap in words; 0 = 31-bit limit
 	clauseRefs []int32 // live problem clauses
 	learntRefs []int32 // live learnt clauses
 	watches    [][]watcher
@@ -300,6 +307,7 @@ func NewWith(cfg Config) *Solver {
 	if s.rng == 0 {
 		s.rng = 0x9E3779B97F4A7C15
 	}
+	s.arenaCap = cfg.ArenaCapWords
 	s.order.act = &s.activity
 	return s
 }

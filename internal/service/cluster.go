@@ -1,0 +1,360 @@
+package service
+
+// Cluster-facing hooks: everything internal/cluster needs from a
+// Service. A cluster node wires a peer-cache filler and a journal
+// notifier after Open, steals queued jobs from overloaded peers (and
+// applies the completions they post back), and adopts a dead peer's
+// shipped journal during takeover. None of this is reachable unless the
+// cluster layer calls it, so single-node deployments are unaffected.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"configsynth/internal/wal"
+)
+
+// PeerFiller asks the cluster for an already-proven result for
+// (fingerprint, mode) — typically from the ring owner's cache — before
+// a cold job is solved locally. ok=false means miss or RPC failure;
+// either way the job just solves locally.
+type PeerFiller func(ctx context.Context, fingerprint string, mode Mode) (*Result, bool)
+
+// SetPeerFill wires (or clears, with nil) the peer cache-fill hook.
+func (s *Service) SetPeerFill(f PeerFiller) {
+	s.peerMu.Lock()
+	s.peerFill = f
+	s.peerMu.Unlock()
+}
+
+// SetJournalNotify wires a callback fired after every successful
+// journal append; the cluster WAL shipper uses it to push new records
+// to the follower promptly. The callback must not block.
+func (s *Service) SetJournalNotify(f func()) {
+	s.peerMu.Lock()
+	s.journalNotify = f
+	s.peerMu.Unlock()
+}
+
+// Journal exposes the write-ahead log for cluster segment shipping;
+// nil when no journal is configured.
+func (s *Service) Journal() *wal.Log { return s.wal }
+
+// NodeID returns this instance's cluster identity ("" single-node).
+func (s *Service) NodeID() string { return s.cfg.NodeID }
+
+// CacheLookup exposes the proven-result cache to the cluster RPC
+// layer: peers ask the ring owner for (fingerprint, mode) before
+// solving a cold miss locally. The returned result is a copy.
+func (s *Service) CacheLookup(fingerprint string, mode Mode) (*Result, bool) {
+	res, ok := s.cache.get(cacheKey(fingerprint, mode))
+	if !ok {
+		return nil, false
+	}
+	cp := *res
+	return &cp, true
+}
+
+// QueueLen reports the current queue depth: the work-stealing signal
+// peers compare against their own idleness.
+func (s *Service) QueueLen() int { return len(s.queue) }
+
+// tryPeerFill consults the cluster peer-fill hook before solving a
+// cold job: the ring owner of the job's fingerprint may hold a proven
+// result. On a hit the job completes immediately and the result seeds
+// the local cache. Runs after startRun, so the runJob defers journal
+// and retire the job as usual.
+func (s *Service) tryPeerFill(j *Job) bool {
+	s.peerMu.Lock()
+	fill := s.peerFill
+	s.peerMu.Unlock()
+	if fill == nil {
+		return false
+	}
+	res, ok := fill(j.ctx, j.Fingerprint, j.Mode)
+	if !ok || res == nil {
+		s.peerMisses.Add(1)
+		return false
+	}
+	s.peerHits.Add(1)
+	s.cache.put(cacheKey(j.Fingerprint, j.Mode), res)
+	hit := *res
+	hit.Cached = true
+	hit.Session = ""
+	j.finish(&hit, nil)
+	s.completed.Add(1)
+	return true
+}
+
+// StolenJob is one queued job handed to a stealing peer: enough to
+// rebuild and solve the problem remotely and post the result back.
+type StolenJob struct {
+	ID          string `json:"id"`
+	Mode        Mode   `json:"mode"`
+	Fingerprint string `json:"fp"`
+	Spec        string `json:"spec,omitempty"`
+	Example     bool   `json:"example,omitempty"`
+	// RemainingMS is what is left of the job's deadline; the stealer
+	// bounds its run by it so origin and thief agree on expiry.
+	RemainingMS int64 `json:"remaining_ms"`
+}
+
+// StealJobs hands up to max queued jobs to a stealing peer. Each handed
+// job is marked delegated — the local workers skip it — and stays
+// registered here: the peer posts its result back via CompleteRemote,
+// the job's own deadline still bounds it (a watcher fires if the peer
+// never answers), and a peer death re-enqueues it locally via
+// ReenqueueStolen. Only jobs with a replayable source are eligible,
+// since a stolen job ships as spec text.
+func (s *Service) StealJobs(peer string, max int) []StolenJob {
+	if peer == "" || max <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	cands := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		cands = append(cands, j)
+	}
+	s.mu.Unlock()
+	// Oldest first: the longest-queued jobs gain the most from another
+	// node's workers.
+	sort.Slice(cands, func(i, k int) bool { return cands[i].created.Before(cands[k].created) })
+	var out []StolenJob
+	for _, j := range cands {
+		if len(out) >= max {
+			break
+		}
+		if !j.tryDelegate(peer) {
+			continue
+		}
+		s.stolenFromMe.Add(1)
+		s.watchDelegated(j)
+		sj := StolenJob{
+			ID:          j.ID,
+			Mode:        j.Mode,
+			Fingerprint: j.Fingerprint,
+			Spec:        j.src.Spec,
+			Example:     j.src.Example,
+		}
+		if d, ok := j.ctx.Deadline(); ok {
+			sj.RemainingMS = time.Until(d).Milliseconds()
+		}
+		out = append(out, sj)
+	}
+	return out
+}
+
+// watchDelegated bounds a stolen job by its own deadline: if the
+// stealing peer never posts a result (death, partition), the job still
+// terminates when its context expires, exactly as a local run would.
+func (s *Service) watchDelegated(j *Job) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-j.ctx.Done():
+			// finish cancels the context itself on any terminal
+			// transition, so this arm also fires after a remote
+			// completion — idempotence makes that a no-op.
+			if j.finish(nil, j.ctx.Err()) {
+				s.canceled.Add(1)
+				s.retire(j.ID)
+				s.journalResult(j)
+			}
+		case <-j.done:
+		}
+	}()
+}
+
+// CompleteRemote applies a stealing peer's outcome to a delegated job.
+// Unknown IDs and already-terminal jobs (the deadline watcher may have
+// won the race) report false; the first caller to land wins, exactly
+// once.
+func (s *Service) CompleteRemote(id string, res *Result, errMsg string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if res != nil {
+		cp := *res
+		cp.Cached = false
+		cp.Session = ""
+		if !j.finish(&cp, nil) {
+			return false
+		}
+		s.completed.Add(1)
+		// Proven remote answers seed the local cache exactly as a local
+		// solve's would; degraded/anytime ones stay transient.
+		if cp.Status == "unsat" ||
+			(cp.Status == "sat" && cp.Design != nil && cp.Design.Exact && !cp.Degraded) {
+			s.cache.put(cacheKey(j.Fingerprint, j.Mode), &cp)
+		}
+	} else {
+		msg := errMsg
+		if msg == "" {
+			msg = "remote completion without a result"
+		}
+		if !j.finish(nil, errors.New(msg)) {
+			return false
+		}
+		s.failed.Add(1)
+	}
+	s.stolenDone.Add(1)
+	s.retire(j.ID)
+	s.journalResult(j)
+	return true
+}
+
+// ReenqueueStolen returns every job delegated to a now-dead peer to the
+// local pool. Jobs that completed or expired in the meantime are left
+// alone. Returns how many were reclaimed.
+func (s *Service) ReenqueueStolen(peer string) int {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		if !j.undelegate(peer) {
+			continue
+		}
+		n++
+		s.runAsync(j)
+	}
+	return n
+}
+
+// runAsync runs a job on its own goroutine with worker-equivalent
+// panic containment, for paths that cannot use the queue channel (it
+// may be full — or closed — during takeover and reclaim).
+func (s *Service) runAsync(j *Job) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicsRecovered.Add(1)
+			}
+		}()
+		s.runJob(j)
+	}()
+}
+
+// AdoptReport summarizes a takeover: what a dead peer's shipped
+// journal contributed to this node.
+type AdoptReport struct {
+	// Proven results re-seeded into the local cache.
+	Proven int `json:"proven"`
+	// Requeued jobs re-admitted here under their original IDs (instant
+	// cache completions included).
+	Requeued int `json:"requeued"`
+	// Duplicates skipped because the ID is already registered — a prior
+	// adoption or steal of the same job. This is what makes takeover
+	// and double-replay idempotent.
+	Duplicates int `json:"duplicates"`
+	// Failed adoptions: the local journal rejected the record.
+	Failed int `json:"failed"`
+}
+
+// Adopt replays a dead peer's journal records into this service:
+// proven results seed the cache, and accepted-but-unfinished jobs are
+// re-admitted under their original (origin-prefixed) IDs — journaled
+// locally first, so a crash of THIS node replays them again. IDs
+// already registered are skipped, making adoption idempotent under
+// double replay and under racing takeovers.
+func (s *Service) Adopt(records []wal.Record) AdoptReport {
+	var rep AdoptReport
+	st := scanJournal(records, s.idPrefix())
+	for _, rr := range st.proven {
+		s.cache.put(cacheKey(rr.Fingerprint, rr.Mode), rr.Result)
+		rep.Proven++
+	}
+	for _, rec := range st.pending {
+		s.mu.Lock()
+		_, dup := s.jobs[rec.ID]
+		closed := s.closed
+		s.mu.Unlock()
+		if dup {
+			rep.Duplicates++
+			continue
+		}
+		if closed {
+			break
+		}
+		if err := s.journalAppend(recSubmit, rec); err != nil {
+			s.journalErrors.Add(1)
+			rep.Failed++
+			continue
+		}
+		s.adoptJob(rec)
+		s.adopted.Add(1)
+		rep.Requeued++
+	}
+	return rep
+}
+
+// adoptJob re-admits one adopted submit: instantly terminal on a local
+// cache hit or an undecodable source, otherwise queued (or run on a
+// dedicated goroutine when the queue is full — takeover must not block
+// on local backpressure).
+func (s *Service) adoptJob(rec submitRecord) {
+	prob, derr := problemFromSource(rec)
+	if derr != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		j := newJob(rec.ID, rec.Mode, nil, rec.Fingerprint, ctx, cancel)
+		s.register(j)
+		j.setRunning()
+		j.finish(nil, &BadRequestError{Msg: "adopt: " + derr.Error()})
+		s.retire(j.ID)
+		s.failed.Add(1)
+		s.journalResult(j)
+		return
+	}
+	if res, ok := s.cache.get(cacheKey(rec.Fingerprint, rec.Mode)); ok {
+		hit := *res
+		hit.Cached = true
+		hit.Session = ""
+		ctx, cancel := context.WithCancel(context.Background())
+		j := newJob(rec.ID, rec.Mode, prob, rec.Fingerprint, ctx, cancel)
+		s.register(j)
+		j.setRunning()
+		j.finish(&hit, nil)
+		s.retire(j.ID)
+		s.completed.Add(1)
+		s.journalResult(j)
+		return
+	}
+	timeout := time.Duration(rec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := newJob(rec.ID, rec.Mode, prob, rec.Fingerprint, ctx, cancel)
+	j.src = sourceOf(rec)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return
+	}
+	s.jobs[j.ID] = j
+	queued := false
+	select {
+	case s.queue <- j:
+		queued = true
+	default:
+	}
+	s.mu.Unlock()
+	if !queued {
+		s.runAsync(j)
+	}
+}

@@ -195,6 +195,13 @@ func writeJobResult(w http.ResponseWriter, job *Job) {
 		writeError(w, http.StatusGatewayTimeout, "job %s: deadline exceeded", job.ID)
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusRequestTimeout, "job %s: canceled", job.ID)
+	case errors.Is(err, core.ErrModelTooLarge):
+		// A stated capacity limit, not a server fault: the monolithic
+		// encode exceeds the clause arena's 31-bit cref space. 422 tells
+		// the client the request was understood but cannot be represented;
+		// mode=decomp is the designed way to solve instances this large.
+		writeError(w, http.StatusUnprocessableEntity,
+			"job %s: %v (try mode=decomp: decomposed regions stay below the arena limit)", job.ID, err)
 	default:
 		var bad *BadRequestError
 		if errors.As(err, &bad) {

@@ -176,6 +176,10 @@ type Job struct {
 	// Journal replay never sets it — a restarted service has no warm
 	// sessions, so replayed what-if jobs re-solve from scratch.
 	whatif bool
+	// src is the replayable origin retained for cluster work stealing:
+	// a stolen job ships as spec text to the stealing peer. nil for
+	// programmatic submissions that do not round-trip.
+	src *JobSource
 
 	created time.Time
 
@@ -186,6 +190,10 @@ type Job struct {
 	result *Result
 	err    error
 	done   chan struct{}
+	// delegated names the peer a queued job was stolen by; the local
+	// worker then skips it and the peer's remote completion (or the
+	// job's own deadline, or a peer-death re-enqueue) finishes it.
+	delegated string
 }
 
 func newJob(id string, mode Mode, prob *core.Problem, fp string, ctx context.Context, cancel context.CancelFunc) *Job {
@@ -272,10 +280,69 @@ func (j *Job) setRunning() {
 	j.publish(Event{Event: "started"})
 }
 
-// finish transitions to a terminal state and wakes every waiter.
-func (j *Job) finish(res *Result, err error) {
+// tryDelegate marks a still-queued, serializable job as stolen by peer.
+// It refuses jobs already running, already delegated, expired, or
+// without a replayable source (those cannot be shipped as spec text).
+func (j *Job) tryDelegate(peer string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued || j.delegated != "" || j.src == nil || j.ctx.Err() != nil {
+		return false
+	}
+	j.delegated = peer
+	return true
+}
+
+// delegatedTo returns the stealing peer, or "".
+func (j *Job) delegatedTo() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.delegated
+}
+
+// undelegate clears the stolen mark (peer died before completing); the
+// job may then be re-enqueued locally. Reports whether the job is still
+// non-terminal and was in fact delegated to peer.
+func (j *Job) undelegate(peer string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.delegated != peer || j.terminalLocked() {
+		return false
+	}
+	j.delegated = ""
+	return true
+}
+
+// startRun atomically claims the job for a local worker: false when the
+// job was stolen by a peer or already reached a terminal state.
+func (j *Job) startRun() bool {
+	j.mu.Lock()
+	if j.delegated != "" || j.terminalLocked() || j.state == StateRunning {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.publish(Event{Event: "started"})
+	return true
+}
+
+// terminalLocked reports terminal state; callers hold j.mu.
+func (j *Job) terminalLocked() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// finish transitions to a terminal state and wakes every waiter. It is
+// idempotent: with cluster stealing, a remote completion can race the
+// job's own deadline watcher, and only the first transition wins — the
+// return value reports whether this call was it.
+func (j *Job) finish(res *Result, err error) bool {
 	var e Event
 	j.mu.Lock()
+	if j.terminalLocked() {
+		j.mu.Unlock()
+		return false
+	}
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -305,6 +372,7 @@ func (j *Job) finish(res *Result, err error) {
 	}
 	close(j.done)
 	j.cancel()
+	return true
 }
 
 // designJSON converts a core design to its wire form, with placements

@@ -66,7 +66,18 @@ func (s *Service) journalAppend(kind string, v any) error {
 	if err := faults.Err(faults.ServiceJournalErr); err != nil {
 		return err
 	}
-	return s.wal.Append(kind, v)
+	if err := s.wal.Append(kind, v); err != nil {
+		return err
+	}
+	// Wake the cluster WAL shipper (when wired) so freshly journaled
+	// records reach the follower with sub-interval latency.
+	s.peerMu.Lock()
+	notify := s.journalNotify
+	s.peerMu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return nil
 }
 
 // journalResult records a job's terminal state. Failures here are
@@ -159,8 +170,23 @@ type replayState struct {
 	maxID   int64          // highest numeric job ID seen
 }
 
-// scanJournal folds the raw WAL records into replay state.
-func scanJournal(records []wal.Record) replayState {
+// sourceOf rebuilds the JobSource a submit record was journaled with;
+// nil when the job was journaled as non-replayable.
+func sourceOf(rec submitRecord) *JobSource {
+	switch {
+	case rec.Example:
+		return &JobSource{Example: true}
+	case rec.Spec != "":
+		return &JobSource{Spec: rec.Spec}
+	}
+	return nil
+}
+
+// scanJournal folds the raw WAL records into replay state. idPrefix is
+// the scanning node's job-ID prefix: only IDs this node minted advance
+// maxID, so adopting a peer's journal never perturbs the local ID
+// sequence.
+func scanJournal(records []wal.Record, idPrefix string) replayState {
 	var st replayState
 	type pendingEntry struct {
 		rec  submitRecord
@@ -181,7 +207,8 @@ func scanJournal(records []wal.Record) replayState {
 			submits[sr.ID] = &pendingEntry{rec: sr, live: true}
 			order = append(order, sr.ID)
 			var n int64
-			if _, err := fmt.Sscanf(sr.ID, "j%d", &n); err == nil && n > st.maxID {
+			local := strings.TrimPrefix(sr.ID, idPrefix)
+			if _, err := fmt.Sscanf(local, "j%d", &n); err == nil && n > st.maxID {
 				st.maxID = n
 			}
 		case recResult:

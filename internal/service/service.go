@@ -89,6 +89,11 @@ type Config struct {
 	// which is what makes batch variant sweeps pay only for the regions
 	// their edits dirty.
 	RegionCacheEntries int
+	// NodeID names this service instance in a cluster. When non-empty,
+	// job IDs are prefixed with it ("n2-j000017"), so IDs stay globally
+	// unique across peers and a shipped journal replayed on a peer
+	// keeps its origin's IDs. Empty for single-node deployments.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +181,9 @@ type Stats struct {
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	JobsActive    int64 `json:"jobs_active"`
 
+	// NodeID is this instance's cluster identity (empty single-node).
+	NodeID string `json:"node_id,omitempty"`
+
 	// PanicsRecovered counts solver panics the service contained: worker
 	// and portfolio recoveries that were converted into failed jobs (or
 	// absorbed entirely) instead of crashing the daemon.
@@ -190,6 +198,18 @@ type Stats struct {
 	JournalErrors int64 `json:"journal_errors"`
 	// Ready mirrors the /readyz verdict.
 	Ready bool `json:"ready"`
+
+	// PeerFillHits / PeerFillMisses count cold jobs answered (or not)
+	// from a cluster peer's proven cache before any local solving.
+	PeerFillHits   int64 `json:"peer_fill_hits,omitempty"`
+	PeerFillMisses int64 `json:"peer_fill_misses,omitempty"`
+	// JobsStolenFromMe counts queued jobs handed to stealing peers;
+	// JobsStolenCompleted counts the remote completions applied back.
+	JobsStolenFromMe    int64 `json:"jobs_stolen_from_me,omitempty"`
+	JobsStolenCompleted int64 `json:"jobs_stolen_completed,omitempty"`
+	// JobsAdopted counts jobs re-enqueued from a dead peer's shipped
+	// journal during cluster takeover.
+	JobsAdopted int64 `json:"jobs_adopted,omitempty"`
 
 	Cache CacheStats `json:"cache"`
 	// RegionCache reports the decomposed solver's region-level result
@@ -224,6 +244,17 @@ type Service struct {
 	totals   core.ModelStats
 	closed   bool
 
+	// peerFill, when set (cluster mode), is consulted on a cold job
+	// before solving: the ring owner of the job's fingerprint may have
+	// a proven result. Guarded by peerMu so the cluster layer can wire
+	// it after Open.
+	peerMu   sync.Mutex
+	peerFill PeerFiller
+	// journalNotify, when set, fires after every successful journal
+	// append; the cluster WAL shipper uses it to ship segments with
+	// sub-interval latency. Guarded by peerMu.
+	journalNotify func()
+
 	nextID          atomic.Int64
 	submitted       atomic.Int64
 	completed       atomic.Int64
@@ -234,6 +265,11 @@ type Service struct {
 	degraded        atomic.Int64
 	replayed        atomic.Int64
 	journalErrors   atomic.Int64
+	peerHits        atomic.Int64
+	peerMisses      atomic.Int64
+	stolenFromMe    atomic.Int64
+	stolenDone      atomic.Int64
+	adopted         atomic.Int64
 	// replayPending tracks re-enqueued journal jobs that have not yet
 	// reached a terminal state; /readyz reports 503 until it drains.
 	replayPending atomic.Int64
@@ -289,7 +325,7 @@ func open(cfg Config, startWorkers bool) (*Service, error) {
 			return nil, err
 		}
 		s.wal = log
-		st := scanJournal(records)
+		st := scanJournal(records, s.idPrefix())
 		s.nextID.Store(st.maxID)
 		for _, rr := range st.proven {
 			s.cache.put(cacheKey(rr.Fingerprint, rr.Mode), rr.Result)
@@ -366,9 +402,26 @@ func (s *Service) replayJob(rec submitRecord) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	j := newJob(rec.ID, rec.Mode, prob, rec.Fingerprint, ctx, cancel)
 	j.replayed = true
+	j.src = sourceOf(rec)
 	s.replayPending.Add(1)
 	s.register(j)
 	s.queue <- j
+}
+
+// idPrefix is what NodeID contributes to every job ID this instance
+// mints ("n2" → "n2-j000017"); empty for single-node deployments.
+func (s *Service) idPrefix() string {
+	if s.cfg.NodeID == "" {
+		return ""
+	}
+	return s.cfg.NodeID + "-"
+}
+
+// newJobID mints the next job ID, node-prefixed in cluster mode so IDs
+// stay globally unique across peers (adoption and stealing move jobs
+// between nodes under their original IDs).
+func (s *Service) newJobID() string {
+	return fmt.Sprintf("%sj%06d", s.idPrefix(), s.nextID.Add(1))
 }
 
 // worker drains the queue. A panic escaping a job (a solver bug the
@@ -534,7 +587,7 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 		return nil, &BadRequestError{Msg: err.Error()}
 	}
 	fp := spec.Fingerprint(prob)
-	id := fmt.Sprintf("j%06d", s.nextID.Add(1))
+	id := s.newJobID()
 
 	if res, ok := s.cache.get(cacheKey(fp, opts.Mode)); ok {
 		// Cache hits complete synchronously before Submit returns, so no
@@ -554,8 +607,11 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 		return j, nil
 	}
 
+	// A replayable source is needed for the journal and — in cluster
+	// mode — for work stealing, where a queued job ships to a peer as
+	// spec text.
 	var src *JobSource
-	if s.wal != nil {
+	if s.wal != nil || s.cfg.NodeID != "" {
 		src = sourceFor(prob, fp, opts)
 	}
 	timeout := opts.Timeout
@@ -572,6 +628,7 @@ func (s *Service) Submit(prob *core.Problem, opts SubmitOptions) (*Job, error) {
 	ctx, cancel := context.WithTimeout(parent, timeout)
 	j := newJob(id, opts.Mode, prob, fp, ctx, cancel)
 	j.whatif = opts.whatif
+	j.src = src
 
 	s.mu.Lock()
 	if s.closed {
@@ -780,19 +837,34 @@ func (s *Service) fillDesign(res *Result, j *Job, design *core.Design) {
 func (s *Service) runJob(j *Job) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
-	defer s.retire(j.ID)
-	defer s.journalResult(j)
 	if j.replayed {
 		defer s.replayPending.Add(-1)
 	}
 
 	if err := j.ctx.Err(); err != nil {
-		j.finish(nil, err)
-		s.canceled.Add(1)
+		// finish is idempotent: a remote completion may have beaten the
+		// cancellation here, in which case that path already journaled
+		// and retired the job.
+		if j.finish(nil, err) {
+			s.canceled.Add(1)
+			s.retire(j.ID)
+			s.journalResult(j)
+		}
 		return
 	}
-	j.setRunning()
+	if !j.startRun() {
+		// Stolen by a peer while queued: the delegation path (remote
+		// completion, deadline watcher, or peer-death re-enqueue) owns
+		// journaling and retirement now.
+		return
+	}
+	defer s.retire(j.ID)
+	defer s.journalResult(j)
 	start := time.Now()
+
+	if s.tryPeerFill(j) {
+		return
+	}
 
 	if j.Mode == ModeDecomp {
 		s.runDecompJob(j, start)
@@ -801,7 +873,13 @@ func (s *Service) runJob(j *Job) {
 
 	syn, reused, err := s.solverFor(j)
 	if err != nil {
-		j.finish(nil, &BadRequestError{Msg: err.Error()})
+		if errors.Is(err, core.ErrModelTooLarge) {
+			// Encode-time arena overflow: a capacity verdict (HTTP 422),
+			// not a malformed request.
+			j.finish(nil, err)
+		} else {
+			j.finish(nil, &BadRequestError{Msg: err.Error()})
+		}
 		s.failed.Add(1)
 		return
 	}
@@ -950,21 +1028,27 @@ func (s *Service) Stats() Stats {
 		QueueDepth:    len(s.queue),
 		// The channel is over-provisioned to absorb replayed jobs, so the
 		// configured depth — the admission limit — is the capacity.
-		QueueCapacity:   s.cfg.QueueDepth,
-		JobsSubmitted:   s.submitted.Load(),
-		JobsCompleted:   s.completed.Load(),
-		JobsFailed:      s.failed.Load(),
-		JobsCanceled:    s.canceled.Load(),
-		JobsActive:      s.active.Load(),
-		JobsDegraded:    s.degraded.Load(),
-		JobsReplayed:    s.replayed.Load(),
-		PanicsRecovered: s.panicsRecovered.Load(),
-		JournalErrors:   s.journalErrors.Load(),
-		Ready:           ready,
-		Cache:           s.cache.stats(),
-		RegionCache:     s.decomp.CacheStats(),
-		Sessions:        s.sessions.stats(),
-		Solver:          totals,
+		QueueCapacity:       s.cfg.QueueDepth,
+		JobsSubmitted:       s.submitted.Load(),
+		JobsCompleted:       s.completed.Load(),
+		JobsFailed:          s.failed.Load(),
+		JobsCanceled:        s.canceled.Load(),
+		JobsActive:          s.active.Load(),
+		JobsDegraded:        s.degraded.Load(),
+		JobsReplayed:        s.replayed.Load(),
+		PanicsRecovered:     s.panicsRecovered.Load(),
+		JournalErrors:       s.journalErrors.Load(),
+		NodeID:              s.cfg.NodeID,
+		PeerFillHits:        s.peerHits.Load(),
+		PeerFillMisses:      s.peerMisses.Load(),
+		JobsStolenFromMe:    s.stolenFromMe.Load(),
+		JobsStolenCompleted: s.stolenDone.Load(),
+		JobsAdopted:         s.adopted.Load(),
+		Ready:               ready,
+		Cache:               s.cache.stats(),
+		RegionCache:         s.decomp.CacheStats(),
+		Sessions:            s.sessions.stats(),
+		Solver:              totals,
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()

@@ -146,11 +146,30 @@ func Canonical(p *core.Problem) []byte {
 	return []byte(b.String())
 }
 
-// Fingerprint hashes the canonical serialization of a problem to a
-// stable hex cache key.
+// FingerprintVersion identifies the canonical-encoding format. It is
+// the first byte of the Fingerprint hash input, so any change to the
+// canonical serialization (new fields, reordered sections, changed
+// scales) must bump it: two builds at different versions then disagree
+// on every fingerprint, which is exactly what keeps cluster peers built
+// at different versions from exchanging stale cache entries or WAL
+// replays keyed by an incompatible encoding. Peers additionally send
+// the version on cluster RPC so a mismatch is an explicit rejection,
+// not a silent universal cache miss.
+const FingerprintVersion byte = 2
+
+// Fingerprint hashes the canonical serialization of a problem, prefixed
+// with the format-version byte, to a stable hex cache key.
 func Fingerprint(p *core.Problem) string {
-	sum := sha256.Sum256(Canonical(p))
-	return hex.EncodeToString(sum[:])
+	return fingerprintAt(FingerprintVersion, p)
+}
+
+// fingerprintAt hashes a problem under an explicit format version; the
+// version-bump test uses it to prove a bump changes every fingerprint.
+func fingerprintAt(version byte, p *core.Problem) string {
+	h := sha256.New()
+	h.Write([]byte{version})
+	h.Write(Canonical(p))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // FamilyFingerprint hashes the problem with its thresholds zeroed: two

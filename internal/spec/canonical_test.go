@@ -130,3 +130,34 @@ func TestFingerprintPreplacements(t *testing.T) {
 		t.Error("preplacement declaration order changed the fingerprint")
 	}
 }
+
+func TestFingerprintVersionBumpChangesEveryFingerprint(t *testing.T) {
+	// A format-version bump must change the fingerprint of every
+	// problem, not just some: a cluster node built at a newer version
+	// must never find a match in an older peer's cache, whatever the
+	// problem looks like.
+	probs := map[string]*core.Problem{
+		"paper example": netgen.PaperExample(),
+		"parsed spec":   parseExample(t),
+	}
+	gen, err := netgen.Generate(netgen.Config{
+		Hosts: 8, Routers: 3, Seed: 11, CRFraction: 0.2,
+		Thresholds: core.Thresholds{IsolationTenths: 40, UsabilityTenths: 40, CostBudget: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs["generated"] = gen
+	for name, p := range probs {
+		cur := fingerprintAt(FingerprintVersion, p)
+		if cur != Fingerprint(p) {
+			t.Errorf("%s: fingerprintAt(FingerprintVersion) disagrees with Fingerprint", name)
+		}
+		if next := fingerprintAt(FingerprintVersion+1, p); next == cur {
+			t.Errorf("%s: version bump did not change the fingerprint", name)
+		}
+		if prev := fingerprintAt(FingerprintVersion-1, p); prev == cur {
+			t.Errorf("%s: version rollback did not change the fingerprint", name)
+		}
+	}
+}

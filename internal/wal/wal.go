@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"configsynth/internal/faults"
 )
@@ -68,6 +69,12 @@ type Stats struct {
 // ErrClosed is returned by Append after Close.
 var ErrClosed = errors.New("wal: log is closed")
 
+// ErrOutOfRange is returned by TailFrom when the requested offset lies
+// beyond the durable end of the log: the reader is ahead of this log
+// incarnation (stale epoch, or a shadow of a different file) and must
+// resync from offset 0.
+var ErrOutOfRange = errors.New("wal: offset beyond end of log")
+
 // Log is an open journal. Safe for concurrent use.
 type Log struct {
 	mu     sync.Mutex
@@ -76,6 +83,7 @@ type Log struct {
 	opts   Options
 	seq    uint64
 	offset int64 // end of the last durable good record
+	epoch  uint64
 	closed bool
 	stats  Stats
 }
@@ -92,7 +100,11 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{f: f, path: path, opts: opts}
+	// The epoch is seeded from the wall clock so two incarnations of the
+	// same path (restart, recreation) can never share one: a follower
+	// shipping by (epoch, offset) detects any restart as an epoch change
+	// and resyncs from zero instead of appending mismatched bytes.
+	l := &Log{f: f, path: path, opts: opts, epoch: uint64(time.Now().UnixNano())}
 	recs, err := l.replay()
 	if err != nil {
 		f.Close()
@@ -259,12 +271,82 @@ func (l *Log) Rewrite(recs []Record) error {
 	l.f = nf
 	l.seq = uint64(len(recs))
 	l.offset = int64(buf.Len())
+	// Every previously shipped byte offset is now meaningless: the file
+	// was renumbered and rewritten wholesale. Advancing the epoch makes
+	// followers discard their shadows and resync from zero.
+	l.epoch++
 	if _, err := l.f.Seek(l.offset, 0); err != nil {
 		l.closed = true
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.stats.Records = int64(len(recs))
 	return nil
+}
+
+// Epoch identifies the log's current incarnation. It is seeded from
+// the clock at Open and advances on every Rewrite, because compaction
+// rewrites and renumbers the whole file — a shipped byte offset is only
+// meaningful within the epoch it was read under.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// TailFrom reads the log's durable bytes in [offset, end) — the payload
+// unit of cluster WAL shipping — without moving the append position.
+// It returns the chunk (at most max bytes when max > 0), the offset one
+// past the chunk's last byte, and the epoch the chunk belongs to. A
+// chunk may end mid-record when max truncates it; the next TailFrom
+// call completes the line, and ParseSegment tolerates the torn tail in
+// the meantime. Offsets beyond the durable end return ErrOutOfRange:
+// the caller's shadow belongs to an older epoch and must restart at 0.
+func (l *Log) TailFrom(offset int64, max int) ([]byte, int64, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, 0, ErrClosed
+	}
+	if offset < 0 || offset > l.offset {
+		return nil, 0, l.epoch, ErrOutOfRange
+	}
+	n := l.offset - offset
+	if max > 0 && n > int64(max) {
+		n = int64(max)
+	}
+	if n == 0 {
+		return nil, offset, l.epoch, nil
+	}
+	buf := make([]byte, n)
+	if _, err := l.f.ReadAt(buf, offset); err != nil {
+		return nil, 0, l.epoch, fmt.Errorf("wal: %w", err)
+	}
+	return buf, offset + n, l.epoch, nil
+}
+
+// ParseSegment scans shipped journal bytes — a shadow accumulated from
+// offset 0 of one epoch — and returns every intact record, stopping at
+// the first torn or corrupt line: the same tolerance Open applies to a
+// crashed log's tail, because a shipped shadow's tail is torn in
+// exactly the same way when the leader dies mid-chunk.
+func ParseSegment(data []byte) []Record {
+	var recs []Record
+	var seq uint64
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			break
+		}
+		if r.CRC != checksum(r.Seq, r.Kind, r.Data) || r.Seq != seq+1 {
+			break
+		}
+		seq = r.Seq
+		recs = append(recs, r)
+	}
+	return recs
 }
 
 // Stats snapshots the log counters.

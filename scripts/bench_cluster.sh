@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Cluster scaling benchmark: the same cache-miss-heavy workload against
+# one confserved and against a 3-node cluster, recorded side by side in
+# BENCH_serve.json.
+#
+# The workload is built to thrash a single node honestly: 150 distinct
+# problems replayed cyclically against a 64-entry LRU cache is the LRU
+# worst case (every arrival evicts the entry that will be needed
+# soonest), so the single node re-solves almost every request. The
+# cluster gets the same 64 entries per node, but fingerprint routing
+# partitions the keyspace three ways — each node only ever sees its ~50
+# owned problems, the working set fits the aggregate cache, and every
+# replay pass after the first is answered without a solve. -pool-hosts
+# grows the networks so a cold solve costs real CPU relative to the
+# forwarding hop; the speedup is cache capacity, not core count, so it
+# holds even on a single-core runner.
+#
+# Output: BENCH_serve.json with {serve, cluster_scaling} — the classic
+# single-node serve report plus both scaling runs and the speedup.
+set -euo pipefail
+
+PORTS=(8761 8762 8763)
+PEERS="n1=http://127.0.0.1:${PORTS[0]},n2=http://127.0.0.1:${PORTS[1]},n3=http://127.0.0.1:${PORTS[2]}"
+WORKDIR="$(mktemp -d)"
+OUT="${1:-BENCH_serve.json}"
+REQUESTS=900
+PROBLEMS=150
+POOL_HOSTS=18
+CACHE=64
+declare -a PIDS=()
+
+go build -o /tmp/confserved ./cmd/confserved
+go build -o /tmp/confload ./cmd/confload
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+for p in "${PORTS[@]}"; do
+  if curl -s -o /dev/null --max-time 1 "http://127.0.0.1:$p/healthz"; then
+    echo "port $p is already in use; kill the stale process first" >&2
+    exit 1
+  fi
+done
+
+wait_up() {
+  for i in $(seq 1 100); do
+    if curl -s -o /dev/null "http://127.0.0.1:$1/healthz"; then return 0; fi
+    sleep 0.1
+  done
+  echo "node on port $1 never came up" >&2
+  return 1
+}
+
+rps_of() { # json file -> requests_per_sec
+  grep -o '"requests_per_sec": [0-9.]*' "$1" | grep -o '[0-9.]*$'
+}
+
+# Run 1: the classic serve benchmark (historical workload, in-process
+# server) — the number EXPERIMENTS.md has always tracked.
+/tmp/confload -clients 8 -requests 400 -problems 12 -json "$WORKDIR/serve.json"
+
+# Run 2: single node, cache-miss-heavy workload.
+/tmp/confserved -addr "127.0.0.1:${PORTS[0]}" -workers 2 -cache "$CACHE" >/dev/null 2>&1 &
+PIDS+=($!)
+wait_up "${PORTS[0]}"
+/tmp/confload -addr "http://127.0.0.1:${PORTS[0]}" -clients 12 \
+  -requests "$REQUESTS" -problems "$PROBLEMS" -pool-hosts "$POOL_HOSTS" \
+  -json "$WORKDIR/single.json"
+kill -9 "${PIDS[0]}" 2>/dev/null
+sleep 0.3
+
+# Run 3: the same workload against 3 nodes with the same per-node cache.
+PIDS=()
+for i in 0 1 2; do
+  /tmp/confserved -addr "127.0.0.1:${PORTS[$i]}" -workers 2 -cache "$CACHE" \
+    -node-id "n$((i + 1))" -peers "$PEERS" >/dev/null 2>&1 &
+  PIDS+=($!)
+done
+for p in "${PORTS[@]}"; do wait_up "$p"; done
+/tmp/confload -targets "http://127.0.0.1:${PORTS[0]},http://127.0.0.1:${PORTS[1]},http://127.0.0.1:${PORTS[2]}" \
+  -clients 12 -requests "$REQUESTS" -problems "$PROBLEMS" -pool-hosts "$POOL_HOSTS" \
+  -json "$WORKDIR/cluster.json"
+
+single_rps="$(rps_of "$WORKDIR/single.json")"
+cluster_rps="$(rps_of "$WORKDIR/cluster.json")"
+speedup="$(awk -v a="$cluster_rps" -v b="$single_rps" 'BEGIN { printf "%.2f", a / b }')"
+
+{
+  echo '{'
+  echo '  "serve":'
+  sed 's/^/  /' "$WORKDIR/serve.json" | sed '$ s/$/,/'
+  echo '  "cluster_scaling": {'
+  echo "    \"workload\": {\"requests\": $REQUESTS, \"problems\": $PROBLEMS, \"pool_hosts\": $POOL_HOSTS, \"cache_entries_per_node\": $CACHE},"
+  echo '    "single_node":'
+  sed 's/^/    /' "$WORKDIR/single.json" | sed '$ s/$/,/'
+  echo '    "cluster_3node":'
+  sed 's/^/    /' "$WORKDIR/cluster.json" | sed '$ s/$/,/'
+  echo "    \"speedup_x\": $speedup"
+  echo '  }'
+  echo '}'
+} >"$OUT"
+
+echo "single node: $single_rps req/s, 3-node cluster: $cluster_rps req/s (${speedup}x)"
+if awk -v s="$speedup" 'BEGIN { exit !(s >= 2.2) }'; then
+  echo "cluster bench OK: ${speedup}x >= 2.2x, report in $OUT"
+else
+  echo "cluster speedup ${speedup}x is below the 2.2x bar" >&2
+  exit 1
+fi

@@ -1,0 +1,208 @@
+#!/usr/bin/env bash
+# Cluster smoke: boot a 3-node confserved cluster (fingerprint routing,
+# peer cache fill, WAL shipping to ring successors), drive a batch
+# sweep across all three endpoints, and verify the cluster behaves as
+# one cache: repeats are answered without re-solving and forwarding
+# counters prove the routing happened. Then the chaos half: accept
+# async jobs on one node, kill -9 it mid-work, and assert its WAL
+# follower adopts the shipped journal — every accepted job reaches a
+# terminal state under its original ID on exactly one survivor.
+set -euo pipefail
+
+PORTS=(8741 8742 8743)
+IDS=(n1 n2 n3)
+PEERS="n1=http://127.0.0.1:8741,n2=http://127.0.0.1:8742,n3=http://127.0.0.1:8743"
+WORKDIR="$(mktemp -d)"
+declare -a PIDS=()
+
+go build -o /tmp/confserved ./cmd/confserved
+go build -o /tmp/confload ./cmd/confload
+
+# A leftover confserved from an earlier run holding one of our ports
+# would silently absorb requests and make every assertion meaningless,
+# so refuse to start until the ports are actually free.
+for p in "${PORTS[@]}"; do
+  if curl -s -o /dev/null --max-time 1 "http://127.0.0.1:$p/healthz"; then
+    echo "port $p is already in use; kill the stale process first" >&2
+    exit 1
+  fi
+done
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+wait_http() { # url, want_status, tries
+  local url="$1" want="$2" tries="${3:-100}" code
+  for i in $(seq 1 "$tries"); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$url" 2>/dev/null || true)"
+    if [ "$code" = "$want" ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "$url never returned $want (last: ${code:-none})" >&2
+  return 1
+}
+
+stat_of() { # base, json_key -> value (0 when absent)
+  local v
+  v="$(curl -sf "$1/statsz" | grep -o "\"$2\": [0-9]*" | head -1 | grep -o '[0-9]*$')"
+  echo "${v:-0}"
+}
+
+sum_stat() { # json_key -> sum over the given bases
+  local key="$1" total=0
+  shift
+  for base in "$@"; do
+    total=$((total + $(stat_of "$base" "$key")))
+  done
+  echo "$total"
+}
+
+start_node() { # index
+  local i="$1"
+  mkdir -p "$WORKDIR/${IDS[$i]}"
+  /tmp/confserved -addr "127.0.0.1:${PORTS[$i]}" -workers 2 \
+    -node-id "${IDS[$i]}" -peers "$PEERS" \
+    -heartbeat 200ms -suspect-after 2 -dead-after 4 \
+    -journal "$WORKDIR/${IDS[$i]}/journal.ndjson" >/dev/null 2>&1 &
+  PIDS[$i]=$!
+}
+
+for i in 0 1 2; do start_node "$i"; done
+for p in "${PORTS[@]}"; do
+  wait_http "http://127.0.0.1:$p/healthz" 200
+  wait_http "http://127.0.0.1:$p/readyz" 200
+done
+N1="http://127.0.0.1:${PORTS[0]}"
+N2="http://127.0.0.1:${PORTS[1]}"
+N3="http://127.0.0.1:${PORTS[2]}"
+
+# Phase 1: a batch sweep spread over all three endpoints, twice. The
+# first pass is cache-miss-heavy (every problem cold somewhere); the
+# second replays the same fixed-seed pool, so fingerprint routing must
+# answer repeats from the owners' caches instead of re-solving.
+/tmp/confload -targets "$N1,$N2,$N3" -clients 6 -requests 36 -problems 12 >/dev/null
+solved_cold="$(sum_stat jobs_completed "$N1" "$N2" "$N3")"
+/tmp/confload -targets "$N1,$N2,$N3" -clients 6 -requests 36 -problems 12 >/dev/null
+
+forwarded="$(sum_stat requests_forwarded "$N1" "$N2" "$N3")"
+if [ "$forwarded" -lt 1 ]; then
+  echo "no requests were forwarded to fingerprint owners" >&2
+  exit 1
+fi
+hits="$(sum_stat hits "$N1" "$N2" "$N3")"
+if [ "$hits" -lt 1 ]; then
+  echo "repeat sweep produced no cache hits across the cluster" >&2
+  exit 1
+fi
+
+# Peer cache fill: posting with the forwarding loop-guard header pins
+# the request to the receiving node, so non-owners of this (already
+# solved and cached) problem must fetch the proven result from the
+# owner's cache over the fill RPC instead of re-solving.
+for base in "$N1" "$N2" "$N3"; do
+  curl -sf -X POST -H 'X-Confsynth-Forwarded: smoke' \
+    "$base/v1/synthesize?example=1&timeout=60s" >/dev/null
+done
+fills="$(sum_stat fill_hits "$N1" "$N2" "$N3")"
+if [ "$fills" -lt 1 ]; then
+  echo "no peer cache fills despite pinned repeat posts" >&2
+  exit 1
+fi
+echo "phase 1 OK: $solved_cold cold jobs, $forwarded forwarded, $hits cache hits, $fills peer fills"
+
+# Phase 2: chaos. Accept slow async jobs on n1 (pinned there by the
+# loop-guard header so they land in n1's journal), let the WAL shipper
+# stream them to n1's follower, then kill -9 n1 mid-work.
+JOB_IDS=()
+for i in 1 2 3; do
+  resp="$(curl -sf -X POST -H 'X-Confsynth-Forwarded: smoke' \
+    "$N1/v1/synthesize?example=1&mode=max-isolation&async=1&timeout=30s")"
+  id="$(echo "$resp" | grep -o '"job_id": "[^"]*"' | cut -d'"' -f4)"
+  if [ -z "$id" ]; then
+    echo "async submit to n1 returned no job id: $resp" >&2
+    exit 1
+  fi
+  JOB_IDS+=("$id")
+done
+sleep 1 # let the shipper stream the submit records to the follower
+
+kill -9 "${PIDS[0]}"
+wait "${PIDS[0]}" 2>/dev/null || true
+
+# One survivor (n1's ring successor) must adopt the shipped journal.
+takeovers=0
+for i in $(seq 1 100); do
+  takeovers="$(sum_stat takeovers "$N2" "$N3")"
+  if [ "$takeovers" -ge 1 ]; then break; fi
+  sleep 0.2
+done
+if [ "$takeovers" -ne 1 ]; then
+  echo "takeovers across survivors = $takeovers, want exactly 1" >&2
+  curl -s "$N2/statsz" >&2 || true
+  curl -s "$N3/statsz" >&2 || true
+  exit 1
+fi
+
+# Exactly-once: every job n1 accepted reaches a terminal state under
+# its original ID on exactly one survivor — the follower that adopted
+# the journal. A non-terminal job answers 200 with "status": queued/
+# running; a terminal one answers with the result ("status": sat/...)
+# or, for a deadline-canceled max-isolation run, a 4xx error. Anything
+# but 404 means the node knows the job; what is forbidden is a job that
+# vanished (0 holders) or lives on two nodes (2 holders).
+for id in "${JOB_IDS[@]}"; do
+  holders=0
+  for base in "$N2" "$N3"; do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/jobs/$id")"
+    if [ "$code" != "404" ]; then holders=$((holders + 1)); fi
+  done
+  if [ "$holders" -ne 1 ]; then
+    echo "job $id is registered on $holders survivors, want exactly 1" >&2
+    exit 1
+  fi
+  terminal=""
+  for i in $(seq 1 200); do
+    for base in "$N2" "$N3"; do
+      code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/jobs/$id")"
+      if [ "$code" = "404" ]; then continue; fi
+      if [ "$code" != "200" ]; then
+        terminal="http-$code" # error result, e.g. canceled at deadline
+        continue
+      fi
+      status="$(curl -s "$base/v1/jobs/$id" | grep -o '"status": "[^"]*"' | head -1 | cut -d'"' -f4 || true)"
+      case "$status" in
+        queued|running|"") ;; # still in flight
+        *) terminal="$status" ;;
+      esac
+    done
+    if [ -n "$terminal" ]; then break; fi
+    sleep 0.3
+  done
+  if [ -z "$terminal" ]; then
+    echo "adopted job $id never reached a terminal state" >&2
+    exit 1
+  fi
+  echo "  job $id: terminal ($terminal) on exactly one survivor"
+done
+adopted="$(sum_stat jobs_adopted "$N2" "$N3")"
+if [ "$adopted" -lt "${#JOB_IDS[@]}" ]; then
+  echo "follower adopted $adopted jobs, want >= ${#JOB_IDS[@]}" >&2
+  exit 1
+fi
+
+# The survivors still serve fresh work as a cluster.
+post="$(curl -sf -X POST "$N2/v1/synthesize?example=1&timeout=60s")"
+echo "$post" | grep -q '"status": "sat"' || {
+  echo "post-takeover synthesis not sat:" >&2
+  echo "$post" >&2
+  exit 1
+}
+
+echo "cluster smoke OK: $forwarded forwarded, $fills peer fills, 1 takeover, ${#JOB_IDS[@]} jobs adopted exactly once"
