@@ -75,6 +75,11 @@ type report struct {
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	JobsCompleted int64   `json:"jobs_completed"`
 
+	// PerEndpointErrors counts transport failures (connection refused,
+	// reset) per -targets endpoint. A dead endpoint is skipped and the
+	// request retried elsewhere, so these are visibility, not fatalities.
+	PerEndpointErrors map[string]int `json:"per_endpoint_errors,omitempty"`
+
 	// What-if sweep phase (-whatif N), zero-valued when disabled.
 	WhatIfRequests int     `json:"whatif_requests,omitempty"`
 	WhatIfReused   int     `json:"whatif_reused,omitempty"`
@@ -146,7 +151,7 @@ func run(args []string, stdout io.Writer) error {
 		pool[i] = problemSpecSized(i, *poolHost)
 	}
 
-	statsBefore, err := fetchStatsAll(bases)
+	statsBefore, err := fetchStatsAll(bases, stdout)
 	if err != nil {
 		return fmt.Errorf("statsz: %w (is confserved running?)", err)
 	}
@@ -167,6 +172,7 @@ func run(args []string, stdout io.Writer) error {
 
 	start := time.Now()
 	var retries int64
+	epErrs := &endpointErrors{counts: map[string]int{}}
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -176,8 +182,14 @@ func run(args []string, stdout io.Writer) error {
 			// they do not retry in lockstep) but replays identically run
 			// to run.
 			rng := rand.New(rand.NewSource(int64(clientIdx) + 1))
-			url := fmt.Sprintf("%s/v1/synthesize?mode=%s&timeout=%s",
-				bases[clientIdx%len(bases)], *mode, timeout.String())
+			// The client pins its endpoint but keeps the rest as an
+			// ordered failover list: a connection refused rotates to the
+			// next target instead of failing the run.
+			urls := make([]string, len(bases))
+			for k := range bases {
+				urls[k] = fmt.Sprintf("%s/v1/synthesize?mode=%s&timeout=%s",
+					bases[(clientIdx+k)%len(bases)], *mode, timeout.String())
+			}
 			for {
 				i := take()
 				if i < 0 {
@@ -185,7 +197,7 @@ func run(args []string, stdout io.Writer) error {
 				}
 				body := pool[i%len(pool)]
 				t0 := time.Now()
-				tries, err := post(rng, url, body)
+				tries, err := post(rng, urls, body, epErrs)
 				lat[i] = float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				retries += int64(tries)
@@ -200,7 +212,7 @@ func run(args []string, stdout io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	statsAfter, err := fetchStatsAll(bases)
+	statsAfter, err := fetchStatsAll(bases, stdout)
 	if err != nil {
 		return err
 	}
@@ -229,6 +241,7 @@ func run(args []string, stdout io.Writer) error {
 	if hits+misses > 0 {
 		rep.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
+	rep.PerEndpointErrors = epErrs.snapshot()
 
 	fmt.Fprintf(stdout, "%d requests, %d clients, %d problems, mode %s\n",
 		rep.Requests, rep.Clients, rep.Problems, rep.Mode)
@@ -236,6 +249,10 @@ func run(args []string, stdout io.Writer) error {
 		rep.ElapsedSec, rep.Throughput, rep.Errors, rep.Retries)
 	fmt.Fprintf(stdout, "latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n", rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
 	fmt.Fprintf(stdout, "cache: %d hits / %d misses (hit rate %.1f%%)\n", hits, misses, rep.CacheHitRate*100)
+	for _, ep := range sortedKeys(rep.PerEndpointErrors) {
+		fmt.Fprintf(stdout, "endpoint %s: %d transport errors (skipped and retried elsewhere)\n",
+			ep, rep.PerEndpointErrors[ep])
+	}
 	if failures > 0 {
 		if !*allowErr {
 			for i, e := range errs {
@@ -401,14 +418,64 @@ func retryAfterHint(resp *http.Response) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
+// endpointErrors counts transport failures per endpoint across all
+// clients, for the per-endpoint section of the summary.
+type endpointErrors struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (e *endpointErrors) bump(url string) {
+	// Strip the query so counts key on the endpoint, not the request.
+	if i := strings.IndexByte(url, '?'); i >= 0 {
+		url = url[:i]
+	}
+	url = strings.TrimSuffix(url, "/v1/synthesize")
+	e.mu.Lock()
+	e.counts[url]++
+	e.mu.Unlock()
+}
+
+func (e *endpointErrors) snapshot() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.counts) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(e.counts))
+	for k, v := range e.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // post submits one request, retrying 429/503 backpressure with jittered
-// backoff. It returns how many retries were spent alongside the final
-// outcome.
-func post(rng *rand.Rand, url, body string) (retries int, err error) {
+// backoff against the same endpoint and rotating to the next endpoint in
+// urls on a transport failure (connection refused, reset): one dead
+// cluster node costs the affected requests a retry, not the whole run.
+// It returns how many retries were spent alongside the final outcome.
+func post(rng *rand.Rand, urls []string, body string, epErrs *endpointErrors) (retries int, err error) {
+	idx := 0
 	for attempt := 0; ; attempt++ {
+		url := urls[idx%len(urls)]
 		resp, err := http.Post(url, "text/plain", strings.NewReader(body))
 		if err != nil {
-			return attempt, err
+			epErrs.bump(url)
+			if attempt+1 >= maxAttempts {
+				return attempt, fmt.Errorf("after %d attempts: %w", attempt+1, err)
+			}
+			idx++
+			time.Sleep(backoffDelay(rng, attempt, 0))
+			continue
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -454,20 +521,31 @@ func fetchStats(base string) (*service.Stats, error) {
 
 // fetchStatsAll sums the counters the report derives deltas from across
 // every target, so cache-hit and completion accounting stays correct
-// when the sweep is spread over a cluster.
-func fetchStatsAll(bases []string) (*service.Stats, error) {
+// when the sweep is spread over a cluster. An unreachable endpoint is
+// skipped (its counters just drop out of the deltas — fine for chaos
+// runs where nodes die mid-benchmark); only all endpoints dead is an
+// error.
+func fetchStatsAll(bases []string, stdout io.Writer) (*service.Stats, error) {
 	var agg service.Stats
+	reached := 0
+	var lastErr error
 	for _, b := range bases {
 		st, err := fetchStats(b)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b, err)
+			lastErr = fmt.Errorf("%s: %w", b, err)
+			fmt.Fprintf(stdout, "statsz unreachable at %s (skipped): %v\n", b, err)
+			continue
 		}
+		reached++
 		agg.JobsCompleted += st.JobsCompleted
 		agg.JobsFailed += st.JobsFailed
 		agg.Cache.Hits += st.Cache.Hits
 		agg.Cache.Misses += st.Cache.Misses
 		agg.PeerFillHits += st.PeerFillHits
 		agg.JobsStolenCompleted += st.JobsStolenCompleted
+	}
+	if reached == 0 {
+		return nil, lastErr
 	}
 	return &agg, nil
 }

@@ -121,7 +121,8 @@ func TestPostRetries429(t *testing.T) {
 	defer srv.Close()
 
 	rng := rand.New(rand.NewSource(7))
-	retries, err := post(rng, srv.URL, "body")
+	epErrs := &endpointErrors{counts: map[string]int{}}
+	retries, err := post(rng, []string{srv.URL}, "body", epErrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,8 @@ func TestPostGivesUpAfterMaxAttempts(t *testing.T) {
 	defer srv.Close()
 
 	rng := rand.New(rand.NewSource(7))
-	retries, err := post(rng, srv.URL, "body")
+	epErrs := &endpointErrors{counts: map[string]int{}}
+	retries, err := post(rng, []string{srv.URL}, "body", epErrs)
 	if err == nil {
 		t.Fatal("post succeeded against a permanent 503")
 	}
@@ -156,6 +158,38 @@ func TestPostGivesUpAfterMaxAttempts(t *testing.T) {
 	}
 	if retries != maxAttempts-1 {
 		t.Errorf("retries = %d, want %d", retries, maxAttempts-1)
+	}
+}
+
+// TestPostFailsOverOnConnectionRefused points post at a dead endpoint
+// first and a live one second: the request must succeed by rotating to
+// the live endpoint, and the dead one must show up in the per-endpoint
+// error counts.
+func TestPostFailsOverOnConnectionRefused(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // free the port: connections are now refused
+
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"sat"}`)
+	}))
+	defer live.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	epErrs := &endpointErrors{counts: map[string]int{}}
+	retries, err := post(rng, []string{deadURL + "/v1/synthesize?x=1", live.URL + "/v1/synthesize?x=1"}, "body", epErrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 1 {
+		t.Errorf("retries = %d, want 1 (one failover hop)", retries)
+	}
+	counts := epErrs.snapshot()
+	if counts[deadURL] != 1 {
+		t.Errorf("per-endpoint errors = %v, want %q -> 1", counts, deadURL)
+	}
+	if _, ok := counts[live.URL]; ok {
+		t.Errorf("live endpoint charged with an error: %v", counts)
 	}
 }
 

@@ -12,16 +12,22 @@
 //	           [-timeout 120s] [-max-timeout 10m]
 //	           [-journal path] [-journal-sync] [-drain-timeout 10s]
 //	           [-node-id n1 -peers n1=http://h1:8732,n2=http://h2:8732]
-//	           [-advertise http://h1:8732] [-heartbeat 1s]
-//	           [-suspect-after 3] [-dead-after 6]
-//	           [-pprof-addr localhost:6060]
+//	           [-node-id n3 -advertise http://h3:8732 -join http://h1:8732,http://h2:8732]
+//	           [-heartbeat 1s] [-suspect-after 3] [-dead-after 6]
+//	           [-join-timeout 30s] [-pprof-addr localhost:6060]
 //
-// With -node-id and -peers, the daemon joins a static cluster (see
+// With -node-id and -peers, the daemon starts a cluster member (see
 // internal/cluster): requests are forwarded to the consistent-hash
 // owner of their problem fingerprint, cold misses consult the owner's
 // cache, idle nodes steal queued jobs from loaded peers, and each
-// node's journal is streamed to its ring successor so a killed node's
-// unfinished jobs are re-run by the follower, exactly once.
+// node's journal is streamed to its two ring successors so even two
+// simultaneous SIGKILLs lose no accepted job.
+//
+// With -node-id, -advertise, and -join, the daemon joins a running
+// cluster through the epoch handshake instead of a static peer list: a
+// seed admits it into the epoch+1 membership view and reports which of
+// its job IDs the cluster adopted while it was down, so a stale journal
+// is reconciled automatically — no manual wipe.
 //
 // With -journal, every accepted job is recorded in an append-only,
 // checksummed write-ahead log before it is enqueued, and every terminal
@@ -107,9 +113,11 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 		journal       = fs.String("journal", "", "durable job journal path (empty disables durability)")
 		journalSync   = fs.Bool("journal-sync", false, "fsync the journal after every record")
-		nodeID        = fs.String("node-id", "", "cluster identity of this node (enables cluster mode with -peers)")
+		nodeID        = fs.String("node-id", "", "cluster identity of this node (enables cluster mode with -peers or -join)")
 		peers         = fs.String("peers", "", "static cluster member list, id=url pairs: n1=http://h1:8732,n2=http://h2:8732 (must include this node)")
-		advertise     = fs.String("advertise", "", "URL peers reach this node at (overrides this node's entry in -peers)")
+		join          = fs.String("join", "", "comma-separated seed URLs of a running cluster to join via the epoch handshake (requires -node-id and -advertise; replaces -peers)")
+		joinTimeout   = fs.Duration("join-timeout", 30*time.Second, "budget for the join handshake before startup fails")
+		advertise     = fs.String("advertise", "", "URL peers reach this node at (overrides this node's entry in -peers; required with -join)")
 		heartbeat     = fs.Duration("heartbeat", time.Second, "cluster heartbeat interval (liveness, stealing, and WAL-ship pacing)")
 		suspectAfter  = fs.Int("suspect-after", 3, "missed heartbeats before a peer is drained")
 		deadAfter     = fs.Int("dead-after", 6, "missed heartbeats before takeover of a peer's journal")
@@ -120,18 +128,44 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 
-	if (*nodeID == "") != (*peers == "") {
-		return errors.New("-node-id and -peers must be set together")
+	var seeds []string
+	if *join != "" {
+		if *nodeID == "" || *advertise == "" {
+			return errors.New("-join requires -node-id and -advertise")
+		}
+		if *peers != "" {
+			return errors.New("-join and -peers are mutually exclusive (the handshake learns the member list)")
+		}
+		for _, s := range strings.Split(*join, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		if len(seeds) == 0 {
+			return errors.New("-join lists no seed URLs")
+		}
+	} else if (*nodeID == "") != (*peers == "") {
+		return errors.New("-node-id and -peers must be set together (or use -join)")
 	}
 	peerMap, err := parsePeers(*peers)
 	if err != nil {
 		return err
 	}
 	if *advertise != "" && *nodeID != "" {
+		if peerMap == nil {
+			peerMap = map[string]string{}
+		}
 		peerMap[*nodeID] = *advertise
 	}
 
-	svc, err := service.Open(service.Config{
+	// With -join the worker pool stays held until the handshake has
+	// reconciled the journal: a stale replayed job must not start solving
+	// before the cluster reports which of its IDs were adopted elsewhere.
+	openService := service.Open
+	if len(seeds) > 0 {
+		openService = service.OpenHeld
+	}
+	svc, err := openService(service.Config{
 		Workers:            *workers,
 		SolverWorkers:      *solverWorkers,
 		QueueDepth:         *queue,
@@ -152,8 +186,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	defer svc.Close()
 
 	handler := svc.Handler()
+	var node *cluster.Node
 	if *nodeID != "" {
-		node, err := cluster.New(svc, cluster.Config{
+		node, err = cluster.New(svc, cluster.Config{
 			NodeID:            *nodeID,
 			Peers:             peerMap,
 			HeartbeatInterval: *heartbeat,
@@ -164,7 +199,11 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			return err
 		}
 		handler = node.Handler(handler)
-		node.Start()
+		// With -join, Start is deferred until the handshake admits us
+		// (below, once the listener is up so peers can reach this node).
+		if len(seeds) == 0 {
+			node.Start()
+		}
 		defer node.Stop()
 	}
 
@@ -199,6 +238,28 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	if len(seeds) > 0 {
+		// The listener is up (peers can verify and heartbeat us), so run
+		// the handshake: present identity + journal epoch, get back the
+		// admitted view and the job IDs the cluster adopted while this
+		// node was down, truncate those from the replayed journal, and
+		// only then release the workers. A typed refusal (version skew,
+		// identity conflict) is fatal — retrying cannot fix it.
+		jctx, jcancel := context.WithTimeout(context.Background(), *joinTimeout)
+		adopted, jerr := node.Join(jctx, seeds)
+		jcancel()
+		if jerr != nil {
+			srv.Close()
+			return fmt.Errorf("joining cluster: %w", jerr)
+		}
+		if dropped := svc.DropSuperseded(adopted); dropped > 0 {
+			fmt.Fprintf(stdout, "confserved: dropped %d stale journal jobs adopted by peers\n", dropped)
+		}
+		svc.StartWorkers()
+		node.Start()
+		fmt.Fprintln(stdout, "confserved joined cluster")
+	}
 
 	if stop == nil {
 		sig := make(chan os.Signal, 1)

@@ -38,9 +38,12 @@ type peer struct {
 	deadFired  bool
 }
 
-// membership tracks liveness for the static peer list by heartbeating
-// every peer on a fixed interval.
+// membership tracks liveness for the current view's peers by
+// heartbeating every peer on a fixed interval. The tracked set is
+// dynamic: installing a new cluster view adds admitted members and
+// removes departed ones via sync.
 type membership struct {
+	mu    sync.RWMutex
 	peers map[string]*peer // excludes self
 
 	suspectAfter int
@@ -65,11 +68,69 @@ func newMembership(peers map[string]string, suspectAfter, deadAfter int) *member
 	return m
 }
 
+// lookup returns the tracked peer, or nil.
+func (m *membership) lookup(id string) *peer {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.peers[id]
+}
+
+// ids snapshots the tracked peer IDs (the heartbeat loop's iteration
+// set — a view install may mutate the map mid-sweep).
+func (m *membership) ids() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.peers))
+	for id := range m.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (m *membership) size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.peers)
+}
+
+// sync reconciles the tracked set with a newly installed view's remote
+// members: departed peers are dropped, admitted peers start tracking
+// fresh, and a tracked peer the new view still vouches for while we
+// hold it suspect/dead is re-armed to alive — the view change is
+// membership information (an admission handshake or a peer's newer
+// view), and a genuinely dead peer re-earns its verdict within
+// DeadAfter beats, re-firing onDeath (deadFired resets with the
+// re-arm), so a death lost to an equal-epoch view merge self-heals.
+func (m *membership) sync(remotes map[string]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.peers {
+		if _, ok := remotes[id]; !ok {
+			delete(m.peers, id)
+		}
+	}
+	for id, url := range remotes {
+		p, ok := m.peers[id]
+		if !ok {
+			m.peers[id] = &peer{id: id, url: url, state: StateAlive, lastSeen: time.Now()}
+			continue
+		}
+		p.mu.Lock()
+		p.url = url
+		if p.state != StateAlive {
+			p.state = StateAlive
+			p.missed = 0
+			p.deadFired = false
+		}
+		p.mu.Unlock()
+	}
+}
+
 // alive reports whether id may receive routed work. Self is always
 // alive (the membership tracks remote peers only).
 func (m *membership) alive(id string) bool {
-	p, ok := m.peers[id]
-	if !ok {
+	p := m.lookup(id)
+	if p == nil {
 		return true
 	}
 	p.mu.Lock()
@@ -78,8 +139,8 @@ func (m *membership) alive(id string) bool {
 }
 
 func (m *membership) state(id string) PeerState {
-	p, ok := m.peers[id]
-	if !ok {
+	p := m.lookup(id)
+	if p == nil {
 		return StateAlive
 	}
 	p.mu.Lock()
@@ -88,7 +149,9 @@ func (m *membership) state(id string) PeerState {
 }
 
 func (m *membership) url(id string) string {
-	if p, ok := m.peers[id]; ok {
+	if p := m.lookup(id); p != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
 		return p.url
 	}
 	return ""
@@ -97,8 +160,8 @@ func (m *membership) url(id string) string {
 // beatOK records a successful heartbeat (or any successful RPC — proof
 // of life is proof of life) carrying the peer's reported queue depth.
 func (m *membership) beatOK(id string, queueDepth int) {
-	p, ok := m.peers[id]
-	if !ok {
+	p := m.lookup(id)
+	if p == nil {
 		return
 	}
 	p.mu.Lock()
@@ -117,8 +180,8 @@ func (m *membership) beatOK(id string, queueDepth int) {
 // beatMissed records a failed heartbeat and advances the state machine;
 // the dead transition fires onDeath exactly once per death.
 func (m *membership) beatMissed(id string) {
-	p, ok := m.peers[id]
-	if !ok {
+	p := m.lookup(id)
+	if p == nil {
 		return
 	}
 	p.mu.Lock()
@@ -144,10 +207,16 @@ func (m *membership) beatMissed(id string) {
 
 // snapshot returns per-peer liveness for /statsz.
 func (m *membership) snapshot() map[string]PeerInfo {
-	out := make(map[string]PeerInfo, len(m.peers))
-	for id, p := range m.peers {
+	m.mu.RLock()
+	peers := make([]*peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.RUnlock()
+	out := make(map[string]PeerInfo, len(peers))
+	for _, p := range peers {
 		p.mu.Lock()
-		out[id] = PeerInfo{
+		out[p.id] = PeerInfo{
 			URL:           p.url,
 			State:         p.state,
 			MissedBeats:   p.missed,
@@ -162,8 +231,8 @@ func (m *membership) snapshot() map[string]PeerInfo {
 // queueDepthOf returns the peer's last reported queue depth (stealing
 // signal); -1 when unknown or not alive.
 func (m *membership) queueDepthOf(id string) int {
-	p, ok := m.peers[id]
-	if !ok {
+	p := m.lookup(id)
+	if p == nil {
 		return -1
 	}
 	p.mu.Lock()

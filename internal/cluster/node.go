@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	neturl "net/url"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,8 +24,10 @@ import (
 type Config struct {
 	// NodeID is this node's identity; it must appear in Peers.
 	NodeID string
-	// Peers maps every member's node ID (including this node's) to the
-	// base URL peers reach it at, e.g. "n1" → "http://127.0.0.1:8081".
+	// Peers maps every initially known member's node ID (including this
+	// node's) to the base URL peers reach it at, e.g. "n1" →
+	// "http://127.0.0.1:8081". This is the epoch-0 view; joins and
+	// deaths evolve it from there.
 	Peers map[string]string
 	// HeartbeatInterval paces liveness probes and the steal loop
 	// (default 1s).
@@ -47,6 +51,9 @@ type Config struct {
 	// ShipChunkBytes bounds one WAL shipping RPC's payload (default
 	// 256 KiB).
 	ShipChunkBytes int
+	// HandoffJobBatch caps queued jobs delegated to one new owner per
+	// re-shard (default 16); cache entries are unbounded but chunked.
+	HandoffJobBatch int
 	// ShadowDir is where shipped peer journals are shadowed (default
 	// "<journal dir>/shadows"; shipping and takeover are disabled when
 	// the service has no journal).
@@ -80,19 +87,30 @@ func (c Config) withDefaults() Config {
 	if c.ShipChunkBytes <= 0 {
 		c.ShipChunkBytes = 256 << 10
 	}
+	if c.HandoffJobBatch <= 0 {
+		c.HandoffJobBatch = 16
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 	return c
 }
 
-// Node glues one service instance into the cluster: ring routing,
-// membership, stealing, WAL shipping, and the /cluster/v1 RPC surface.
+// Node glues one service instance into the cluster: epoch-versioned
+// membership views, ring routing, the join handshake, stealing, WAL
+// replication to two successors, and the /cluster/v1 RPC surface.
 type Node struct {
-	cfg  Config
-	svc  *service.Service
+	cfg     Config
+	svc     *service.Service
+	selfURL string
+
+	// mu guards the current view and the ring derived from it; both are
+	// replaced wholesale on every membership change.
+	mu   sync.Mutex
+	view *view
 	ring *ring
-	mem  *membership
+
+	mem *membership
 
 	// rpcClient bounds control-plane calls (heartbeat, cache fill,
 	// steal, ship) tightly; fwdClient carries forwarded synthesis
@@ -100,8 +118,23 @@ type Node struct {
 	rpcClient *http.Client
 	fwdClient *http.Client
 
-	ship    *shipper     // nil without a journal or a follower
+	ship    *shipper     // nil without a journal
 	shadows *shadowStore // nil without a journal
+
+	// takeoverMu serializes shadow adoption against the join
+	// handshake's registered-ID collection, so a rejoining node never
+	// sees a half-finished takeover's ID set. takeoverDone (guarded by
+	// it) records origins this node has already reached a verdict for:
+	// a death is decided at most once whether it arrives via local
+	// detection or via an installed death view, and the entry is
+	// re-armed when the origin rejoins.
+	takeoverMu   sync.Mutex
+	takeoverDone map[string]bool
+	// joinMu serializes admissions handled by this node.
+	joinMu sync.Mutex
+	// rejoining guards the self-healing re-join triggered when a view
+	// that excludes this node is observed.
+	rejoining atomic.Bool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -117,6 +150,16 @@ type Node struct {
 	postsFailed  atomic.Int64
 	takeovers    atomic.Int64
 	versionSkew  atomic.Int64
+
+	epochRejects  atomic.Int64
+	joinsAdmitted atomic.Int64
+	rejoins       atomic.Int64
+	reshards      atomic.Int64
+	rangesMoved   atomic.Int64
+	entriesSent   atomic.Int64
+	entriesRecv   atomic.Int64
+	handoffSent   atomic.Int64
+	handoffRecv   atomic.Int64
 }
 
 // New wires a node around svc. The service must have been opened with
@@ -132,25 +175,21 @@ func New(svc *service.Service, cfg Config) (*Node, error) {
 	if svc.NodeID() != cfg.NodeID {
 		return nil, fmt.Errorf("cluster: service NodeID %q != cluster NodeID %q", svc.NodeID(), cfg.NodeID)
 	}
-	members := make([]string, 0, len(cfg.Peers))
-	remotes := make(map[string]string, len(cfg.Peers)-1)
-	for id, url := range cfg.Peers {
-		members = append(members, id)
-		if id != cfg.NodeID {
-			remotes[id] = strings.TrimRight(url, "/")
-		}
-	}
+	v := newView(0, cfg.Peers)
 	n := &Node{
-		cfg:       cfg,
-		svc:       svc,
-		ring:      newRing(members),
-		mem:       newMembership(remotes, cfg.SuspectAfter, cfg.DeadAfter),
-		rpcClient: &http.Client{Timeout: cfg.RPCTimeout},
-		fwdClient: &http.Client{},
-		stop:      make(chan struct{}),
+		cfg:          cfg,
+		svc:          svc,
+		selfURL:      v.members[cfg.NodeID],
+		view:         v,
+		ring:         newRing(v.ids()),
+		mem:          newMembership(remotesOf(v, cfg.NodeID), cfg.SuspectAfter, cfg.DeadAfter),
+		rpcClient:    &http.Client{Timeout: cfg.RPCTimeout},
+		fwdClient:    &http.Client{},
+		takeoverDone: map[string]bool{},
+		stop:         make(chan struct{}),
 	}
 	n.mem.onDeath = n.handleDeath
-	n.mem.onRejoin = func(id string) { n.cfg.Logf("cluster: peer %s rejoined", id) }
+	n.mem.onRejoin = func(id string) { n.cfg.Logf("cluster: peer %s answering again", id) }
 
 	if jl := svc.Journal(); jl != nil {
 		dir := cfg.ShadowDir
@@ -162,13 +201,187 @@ func New(svc *service.Service, cfg Config) (*Node, error) {
 			return nil, err
 		}
 		n.shadows = st
-		if follower := n.ring.successor(cfg.NodeID); follower != "" {
-			n.ship = newShipper(n, jl, follower)
-			svc.SetJournalNotify(n.ship.wake)
-		}
+		n.ship = newShipper(n, jl)
+		n.ship.retarget(n.ring.successors(cfg.NodeID, replicationFactor))
+		svc.SetJournalNotify(n.ship.wake)
 	}
 	svc.SetPeerFill(n.peerFill)
 	return n, nil
+}
+
+// remotesOf extracts a view's remote member map (everyone but self).
+func remotesOf(v *view, self string) map[string]string {
+	out := make(map[string]string, len(v.members))
+	for id, url := range v.members {
+		if id != self {
+			out[id] = url
+		}
+	}
+	return out
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// currentView snapshots the installed view.
+func (n *Node) currentView() *view {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view
+}
+
+// curRing snapshots the ring derived from the installed view.
+func (n *Node) curRing() *ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// epoch is the installed view's cluster epoch, carried on every RPC.
+func (n *Node) epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.epoch
+}
+
+// installView adopts v if it supersedes the current view: the ring is
+// rebuilt, membership tracking synced, WAL shipping retargeted at the
+// new successors, stale shadows of origins this node no longer follows
+// dropped, and the bounded handoff protocol streams moved-range state
+// to its new owners. A view that excludes this node is never installed;
+// it triggers the self-healing re-join handshake instead (the node was
+// declared dead while alive, or lost a concurrent view merge).
+func (n *Node) installView(v *view, why string) bool {
+	if _, ok := v.members[n.cfg.NodeID]; !ok {
+		n.triggerRejoin(v)
+		return false
+	}
+	n.mu.Lock()
+	if !v.supersedes(n.view) {
+		n.mu.Unlock()
+		return false
+	}
+	oldView := n.view
+	oldRing := n.ring
+	n.view = v
+	n.ring = newRing(v.ids())
+	newR := n.ring
+	n.mu.Unlock()
+
+	n.mem.sync(remotesOf(v, n.cfg.NodeID))
+
+	// Settle takeovers for members this view removed: the death may have
+	// been detected elsewhere, and the first death view to arrive often
+	// beats this node's own missed-heartbeat detection — without this,
+	// the follower holding the most acked records could install the view,
+	// lose its membership tracking of the corpse, and never decide. The
+	// pre-removal ring names the dead node's followers. Members present
+	// in the new view re-arm their verdict (a rejoin means a future death
+	// must be decided afresh).
+	if n.shadows != nil {
+		for id := range v.members {
+			if id != n.cfg.NodeID {
+				n.takeoverMu.Lock()
+				delete(n.takeoverDone, id)
+				n.takeoverMu.Unlock()
+			}
+		}
+		for id := range oldView.members {
+			if _, still := v.members[id]; still || id == n.cfg.NodeID {
+				continue
+			}
+			if succ := oldRing.successors(id, replicationFactor); contains(succ, n.cfg.NodeID) {
+				n.decideTakeover(id, succ)
+			}
+		}
+	}
+	if n.ship != nil {
+		n.ship.retarget(newR.successors(n.cfg.NodeID, replicationFactor))
+	}
+	if n.shadows != nil {
+		for _, origin := range n.shadows.origins() {
+			if _, member := v.members[origin]; !member {
+				continue // a dead origin's shadow is settled by takeover, not here
+			}
+			if origin != n.cfg.NodeID && !contains(newR.successors(origin, replicationFactor), n.cfg.NodeID) {
+				n.shadows.drop(origin)
+			}
+		}
+	}
+	moved := movedRanges(oldRing, newR)
+	if len(moved) > 0 {
+		n.reshards.Add(1)
+		n.rangesMoved.Add(int64(len(moved)))
+		n.goAsync(func() { n.handoff(moved, v) })
+	}
+	n.cfg.Logf("cluster: view epoch %d installed (%s): members=%v, %d ranges moved, successors=%v",
+		v.epoch, why, v.ids(), len(moved), newR.successors(n.cfg.NodeID, replicationFactor))
+	return true
+}
+
+// maybeAdoptView installs a view received on the wire when it
+// supersedes ours (heartbeat responses and epoch-mismatch rejections
+// both carry the responder's full view).
+func (n *Node) maybeAdoptView(epoch uint64, members map[string]string, why string) {
+	if len(members) == 0 {
+		return
+	}
+	v := newView(epoch, members)
+	n.mu.Lock()
+	super := v.supersedes(n.view)
+	n.mu.Unlock()
+	if super {
+		n.installView(v, why)
+	}
+}
+
+// triggerRejoin re-runs the join handshake when the cluster's current
+// view excludes this node: it was declared dead while alive (a
+// partition healed) or a concurrent join/death merge dropped its
+// admission. At most one re-join runs at a time.
+func (n *Node) triggerRejoin(v *view) {
+	if !n.rejoining.CompareAndSwap(false, true) {
+		return
+	}
+	seeds := make([]string, 0, len(v.members))
+	for _, url := range v.members {
+		seeds = append(seeds, url)
+	}
+	sort.Strings(seeds)
+	n.cfg.Logf("cluster: view epoch %d excludes this node; re-running the join handshake", v.epoch)
+	n.goAsync(func() {
+		defer n.rejoining.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		adopted, err := n.Join(ctx, seeds)
+		if err != nil {
+			n.cfg.Logf("cluster: re-join failed: %v", err)
+			return
+		}
+		if dropped := n.svc.DropSuperseded(adopted); dropped > 0 {
+			n.cfg.Logf("cluster: re-join dropped %d superseded jobs", dropped)
+		}
+	})
+}
+
+// goAsync runs fn on a tracked goroutine unless the node is stopping.
+func (n *Node) goAsync(fn func()) {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		fn()
+	}()
 }
 
 // Start launches the heartbeat, steal, and WAL-shipping loops.
@@ -179,8 +392,8 @@ func (n *Node) Start() {
 		n.wg.Add(1)
 		go n.ship.run()
 	}
-	n.cfg.Logf("cluster: node %s up, %d peers, follower=%s",
-		n.cfg.NodeID, len(n.mem.peers), n.followerID())
+	n.cfg.Logf("cluster: node %s up at epoch %d, %d peers, successors=%v",
+		n.cfg.NodeID, n.epoch(), n.mem.size(), n.curRing().successors(n.cfg.NodeID, replicationFactor))
 }
 
 // Stop halts the background loops and unhooks the service callbacks.
@@ -212,21 +425,82 @@ func (n *Node) loop(every time.Duration, fn func()) {
 	}()
 }
 
-func (n *Node) followerID() string {
-	if n.ship == nil {
-		return ""
+// Join runs the join handshake against the seed URLs: this node
+// presents its identity, fingerprint format version, and journal epoch;
+// any member admits it by minting the epoch+1 view and returning the
+// job IDs the cluster holds under this node's prefix — exactly the jobs
+// a stale local journal must not replay (the caller truncates them via
+// service.DropSuperseded). A typed refusal (version skew, identity
+// conflict) aborts immediately; transient failures rotate through the
+// seeds with backoff.
+func (n *Node) Join(ctx context.Context, seeds []string) ([]string, error) {
+	req := joinRequest{
+		Node:      n.cfg.NodeID,
+		URL:       n.selfURL,
+		FPVersion: int(spec.FingerprintVersion),
 	}
-	return n.ship.follower
+	if jl := n.svc.Journal(); jl != nil {
+		req.WALEpoch = jl.Epoch()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		for _, seed := range seeds {
+			seed = strings.TrimRight(strings.TrimSpace(seed), "/")
+			if seed == "" || seed == n.selfURL {
+				continue
+			}
+			var resp joinResponse
+			if err := n.postJSONCtx(ctx, seed+"/cluster/v1/join", req, &resp); err != nil {
+				lastErr = err
+				continue
+			}
+			if !resp.Admitted {
+				jerr := &JoinRefusedError{Reason: resp.Reason, Detail: resp.Detail}
+				if jerr.Fatal() {
+					return nil, jerr
+				}
+				lastErr = jerr
+				continue
+			}
+			n.installView(newView(resp.Epoch, resp.Members), "admitted via "+seed)
+			n.rejoins.Add(1)
+			n.cfg.Logf("cluster: joined at epoch %d, %d job IDs adopted elsewhere", resp.Epoch, len(resp.AdoptedIDs))
+			return resp.AdoptedIDs, nil
+		}
+		if attempt >= 7 {
+			if lastErr == nil {
+				lastErr = errors.New("no usable seed")
+			}
+			return nil, fmt.Errorf("cluster: join: no seed admitted this node: %w", lastErr)
+		}
+		backoff := 250 * time.Millisecond << uint(attempt)
+		if backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: join: %w (last error: %v)", ctx.Err(), lastErr)
+		case <-n.stop:
+			return nil, errors.New("cluster: join: node stopped")
+		case <-time.After(backoff):
+		}
+	}
 }
 
-// heartbeatAll probes every remote peer once. A peer answering with a
-// different fingerprint format version is treated as unreachable:
+// heartbeatAll probes every tracked peer once. Responses carry the
+// peer's full cluster view — newer views are adopted on the spot, which
+// is how epoch changes propagate in one interval. A peer answering with
+// a different fingerprint format version is treated as unreachable:
 // exchanging cache fills or stolen jobs across fingerprint formats
 // would silently mis-route every key.
 func (n *Node) heartbeatAll() {
-	for id := range n.mem.peers {
+	for _, id := range n.mem.ids() {
+		url := n.mem.url(id)
+		if url == "" {
+			continue
+		}
 		var hb heartbeatResponse
-		err := n.getJSON(n.mem.url(id)+"/cluster/v1/heartbeat?from="+n.cfg.NodeID, &hb)
+		err := n.getJSON(fmt.Sprintf("%s/cluster/v1/heartbeat?from=%s&epoch=%d", url, n.cfg.NodeID, n.epoch()), &hb)
 		if err == nil && hb.FPVersion != int(spec.FingerprintVersion) {
 			n.versionSkew.Add(1)
 			n.cfg.Logf("cluster: peer %s runs fingerprint format v%d, want v%d; draining it",
@@ -238,25 +512,88 @@ func (n *Node) heartbeatAll() {
 			continue
 		}
 		n.mem.beatOK(id, hb.QueueDepth)
+		n.maybeAdoptView(hb.Epoch, hb.Members, "heartbeat from "+id)
 	}
 }
 
 // handleDeath runs once per peer death: jobs the dead peer had stolen
-// from us return to the local pool, and — when this node is the dead
-// peer's designated WAL follower — its shipped journal is adopted, so
-// work the dead node had accepted but not finished runs here, exactly
-// once, under its original IDs.
+// from us return to the local pool; if this node is one of the dead
+// peer's two WAL followers, the quorum takeover protocol decides which
+// follower adopts the shipped journal (the one holding more acked
+// records; the other truncates its shadow); and the death view —
+// members minus the corpse, epoch+1 — is installed, re-sharding the
+// ring so routing, stealing, and shipping targets follow.
 func (n *Node) handleDeath(id string) {
 	n.cfg.Logf("cluster: peer %s dead after %d missed heartbeats", id, n.cfg.DeadAfter)
 	if r := n.svc.ReenqueueStolen(id); r > 0 {
 		n.cfg.Logf("cluster: reclaimed %d jobs delegated to dead peer %s", r, id)
 	}
-	if n.ring.successor(id) != n.cfg.NodeID || n.shadows == nil {
+	cur := n.currentView()
+	if _, member := cur.members[id]; !member {
+		return // a peer's death view already removed it
+	}
+	succ := n.curRing().successors(id, replicationFactor)
+	if n.shadows != nil && contains(succ, n.cfg.NodeID) {
+		n.decideTakeover(id, succ)
+	}
+	n.installView(cur.without(id), "death of "+id)
+}
+
+// decideTakeover runs the quorum takeover for a dead origin at most
+// once, whether the death arrived via local heartbeat detection or via
+// an installed death view (whichever fires first wins; the guard stops
+// the second path from re-adopting).
+func (n *Node) decideTakeover(id string, succ []string) {
+	n.takeoverMu.Lock()
+	defer n.takeoverMu.Unlock()
+	if n.takeoverDone[id] {
 		return
 	}
-	recs, err := n.shadows.records(id)
-	if err != nil {
-		n.cfg.Logf("cluster: no journal shadow for dead peer %s: %v", id, err)
+	n.takeoverDone[id] = true
+	n.runTakeover(id, succ)
+}
+
+// runTakeover decides, between the dead node's two followers, who
+// adopts the shipped journal: both compare shadow record counts (the
+// amount of acked, parseable journal each actually holds) and the one
+// with more — successor order breaking ties — adopts; the other
+// truncates its shadow. The comparison is symmetric, so both sides
+// reach the same verdict independently and adoption happens exactly
+// once. A follower that cannot reach its co-follower after retries
+// adopts anyway: that is the two-simultaneous-failure case, where the
+// co-follower died with the origin.
+func (n *Node) runTakeover(id string, succ []string) {
+	recs, rerr := n.shadows.records(id)
+	mine := len(recs)
+	other := ""
+	myRank, otherRank := 0, 0
+	for i, s := range succ {
+		if s == n.cfg.NodeID {
+			myRank = i
+		} else {
+			other, otherRank = s, i
+		}
+	}
+	if other != "" && n.mem.state(other) != StateDead {
+		theirs, ok := n.shadowStateOf(other, id)
+		switch {
+		case ok && (theirs > mine || (theirs == mine && otherRank < myRank)):
+			n.cfg.Logf("cluster: yielding takeover of %s to %s (%d records acked there, %d here)",
+				id, other, theirs, mine)
+			n.shadows.drop(id)
+			return
+		case ok:
+			n.cfg.Logf("cluster: winning takeover of %s over %s (%d records acked here, %d there)",
+				id, other, mine, theirs)
+		default:
+			n.cfg.Logf("cluster: co-follower %s unreachable during takeover of %s; adopting %d records (two-failure path)",
+				other, id, mine)
+		}
+	}
+	if mine == 0 {
+		if rerr != nil {
+			n.cfg.Logf("cluster: no journal shadow for dead peer %s: %v", id, rerr)
+		}
 		return
 	}
 	rep := n.svc.Adopt(recs)
@@ -265,16 +602,128 @@ func (n *Node) handleDeath(id string) {
 		id, rep.Proven, rep.Requeued, rep.Duplicates, rep.Failed)
 }
 
+// shadowStateOf asks the co-follower how much of origin's journal it
+// holds, retrying briefly — a transient miss here risks double
+// adoption, so a few attempts are worth it before falling back to the
+// two-failure path.
+func (n *Node) shadowStateOf(follower, origin string) (int, bool) {
+	url := fmt.Sprintf("%s/cluster/v1/shadowstate?origin=%s&epoch=%d",
+		n.mem.url(follower), neturl.QueryEscape(origin), n.epoch())
+	for attempt := 0; attempt < 3; attempt++ {
+		var ss shadowStateResponse
+		if err := n.getJSON(url, &ss); err == nil {
+			return ss.Records, true
+		}
+		select {
+		case <-n.stop:
+			return 0, false
+		case <-time.After(n.cfg.HeartbeatInterval / 2):
+		}
+	}
+	return 0, false
+}
+
+// handoff streams moved-range state to the new owners after a
+// re-shard: proven cache entries for the fingerprint ranges this node
+// lost, plus its queued jobs in those ranges (delegated, so completions
+// post back here and the jobs stay registered under their origin).
+// In-flight jobs are untouched — they finish where they run.
+func (n *Node) handoff(moved []keyRange, v *view) {
+	byTarget := map[string][]keyRange{}
+	for _, kr := range moved {
+		if kr.from != n.cfg.NodeID || kr.to == n.cfg.NodeID {
+			continue
+		}
+		if _, member := v.members[kr.to]; !member {
+			continue
+		}
+		byTarget[kr.to] = append(byTarget[kr.to], kr)
+	}
+	for target, ranges := range byTarget {
+		n.handoffTo(target, ranges)
+	}
+}
+
+// handoffChunk bounds cache entries per handoff RPC.
+const handoffChunk = 32
+
+func (n *Node) handoffTo(target string, ranges []keyRange) {
+	match := func(fp string) bool {
+		h := hash64(fp)
+		for _, kr := range ranges {
+			if kr.contains(h) {
+				return true
+			}
+		}
+		return false
+	}
+	var entries []handoffEntry
+	n.svc.CacheEach(func(fp string, mode service.Mode, res *service.Result) {
+		if match(fp) {
+			entries = append(entries, handoffEntry{Fingerprint: fp, Mode: mode, Result: res})
+		}
+	})
+	jobs := n.svc.DelegateMatching(target, n.cfg.HandoffJobBatch, match)
+	if len(entries) == 0 && len(jobs) == 0 {
+		return
+	}
+	sentJobs := false
+	for len(entries) > 0 || !sentJobs {
+		chunk := entries
+		if len(chunk) > handoffChunk {
+			chunk = chunk[:handoffChunk]
+		}
+		req := handoffRequest{From: n.cfg.NodeID, Epoch: n.epoch(), Entries: chunk}
+		if !sentJobs {
+			req.Jobs = jobs
+		}
+		if !n.postHandoff(target, req) {
+			if !sentJobs && len(jobs) > 0 {
+				// The new owner never accepted the delegated jobs:
+				// reclaim them so they run here instead of stalling to
+				// their deadlines.
+				n.svc.ReenqueueStolen(target)
+			}
+			n.cfg.Logf("cluster: handoff to %s failed; %d entries not moved", target, len(entries))
+			return
+		}
+		if !sentJobs {
+			sentJobs = true
+			n.handoffSent.Add(int64(len(jobs)))
+		}
+		n.entriesSent.Add(int64(len(chunk)))
+		entries = entries[len(chunk):]
+	}
+	n.cfg.Logf("cluster: handed off moved ranges to %s", target)
+}
+
+// postHandoff delivers one handoff chunk with brief retries (the target
+// may lag one heartbeat behind on the new epoch).
+func (n *Node) postHandoff(target string, req handoffRequest) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		var resp handoffResponse
+		if err := n.postJSON(n.mem.url(target)+"/cluster/v1/handoff", req, &resp); err == nil {
+			return true
+		}
+		select {
+		case <-n.stop:
+			return false
+		case <-time.After(n.cfg.HeartbeatInterval / 2):
+		}
+	}
+	return false
+}
+
 // peerFill is the service's cold-miss hook: ask the ring owner of the
 // fingerprint for an already-proven result before solving locally.
 func (n *Node) peerFill(ctx context.Context, fp string, mode service.Mode) (*service.Result, bool) {
-	owner := n.ring.owner(fp, n.mem.alive)
+	owner := n.curRing().owner(fp, n.mem.alive)
 	if owner == "" || owner == n.cfg.NodeID {
 		return nil, false
 	}
 	n.fillAsked.Add(1)
-	url := fmt.Sprintf("%s/cluster/v1/cache?fp=%s&mode=%s&v=%d",
-		n.mem.url(owner), fp, mode, spec.FingerprintVersion)
+	url := fmt.Sprintf("%s/cluster/v1/cache?fp=%s&mode=%s&v=%d&epoch=%d",
+		n.mem.url(owner), fp, mode, spec.FingerprintVersion, n.epoch())
 	cctx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
 	defer cancel()
 	var res service.Result
@@ -293,7 +742,7 @@ func (n *Node) stealOnce() {
 		return
 	}
 	victim, depth := "", n.cfg.StealMinPeerQueue-1
-	for id := range n.mem.peers {
+	for _, id := range n.mem.ids() {
 		if d := n.mem.queueDepthOf(id); d > depth {
 			victim, depth = id, d
 		}
@@ -303,7 +752,7 @@ func (n *Node) stealOnce() {
 	}
 	var sr stealResponse
 	err := n.postJSON(n.mem.url(victim)+"/cluster/v1/steal",
-		stealRequest{From: n.cfg.NodeID, Max: n.cfg.StealBatch}, &sr)
+		stealRequest{From: n.cfg.NodeID, Epoch: n.epoch(), Max: n.cfg.StealBatch}, &sr)
 	if err != nil {
 		return
 	}
@@ -318,9 +767,10 @@ func (n *Node) stealOnce() {
 	}
 }
 
-// runStolen solves one stolen job as an ordinary local submission (so
-// it is cached, journaled, and counted here like any other job) and
-// posts the outcome back to the origin, which still owns the job.
+// runStolen solves one stolen (or handed-off) job as an ordinary local
+// submission (so it is cached, journaled, and counted here like any
+// other job) and posts the outcome back to the origin, which still owns
+// the job.
 func (n *Node) runStolen(origin string, job service.StolenJob) {
 	prob, src, err := problemOf(job)
 	if err != nil {
@@ -364,9 +814,10 @@ func (n *Node) runStolen(origin string, job service.StolenJob) {
 // postComplete delivers a stolen job's outcome to its origin, retrying
 // briefly: the origin holding the job registered means a lost post
 // costs a re-solve after its deadline, so delivery is worth a few
-// attempts.
+// attempts (epoch mismatches during churn heal within one heartbeat).
 func (n *Node) postComplete(origin string, req completeRequest) {
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < 5; attempt++ {
+		req.Epoch = n.epoch()
 		var cr completeResponse
 		err := n.postJSON(n.mem.url(origin)+"/cluster/v1/complete", req, &cr)
 		if err == nil {

@@ -10,13 +10,23 @@
 //   - idle nodes steal queued jobs from overloaded peers and post the
 //     results back (delegation, not migration: the origin keeps the job
 //     registered and its deadline still bounds it);
-//   - every node streams its job journal to its ring successor, so when
-//     a node dies by SIGKILL the follower adopts the shipped journal and
-//     re-runs exactly the jobs that had been accepted but not finished;
-//   - membership is a static peer list plus heartbeat liveness
-//     (alive → suspect → dead): suspects stop receiving routed work,
-//     and a death triggers reclaim of delegated jobs and journal
-//     takeover.
+//   - every node streams its job journal to its two ring successors
+//     (independent ack cursors), so when a node dies by SIGKILL the
+//     followers run a quorum takeover — the one holding more acked
+//     records adopts the shipped journal and re-runs exactly the jobs
+//     that had been accepted but not finished, the other truncates its
+//     shadow — and even two simultaneous deaths lose nothing;
+//   - membership is an epoch-versioned view evolved from the initial
+//     peer list: every admitted join and confirmed death mints the
+//     epoch+1 view, heartbeats carry and propagate views, mutating RPCs
+//     reject stale epochs, and a restarting node re-admits itself
+//     through a join handshake that auto-truncates whatever its stale
+//     journal would have double-replayed;
+//   - a membership change re-shards the ring: moved fingerprint ranges
+//     are computed exactly (set difference of the two rings) and the
+//     old owner streams its proven cache entries and queued jobs for
+//     those ranges to the new owner, while in-flight jobs finish where
+//     they run and forward results.
 //
 // The layer is strictly additive: a node with no peers behaves exactly
 // like a single confserved.
@@ -30,9 +40,11 @@ import (
 )
 
 // vnodesPerNode is how many virtual points each node contributes to the
-// ring. 64 keeps the expected ownership imbalance under a few percent
-// for small clusters without making ring walks expensive.
-const vnodesPerNode = 64
+// ring. 256 keeps every node's ownership share within 20% of uniform
+// for the cluster sizes we run (the re-sharding property tests assert
+// this), while the ring stays small enough that lookups and the moved-
+// range diff remain trivially cheap.
+const vnodesPerNode = 256
 
 type vnode struct {
 	hash uint64
@@ -96,21 +108,17 @@ func (r *ring) owner(key string, alive func(string) bool) string {
 	return ""
 }
 
-// successor is the next distinct member clockwise from node's first
-// vnode — the node's designated WAL follower. It is static (liveness
-// is deliberately ignored): shipping always targets one deterministic
-// peer, so at most one node ever holds a dead member's journal shadow
-// and takeover cannot run twice on different nodes.
+// successor is node's first WAL follower — successors(node, k)[0].
+// Liveness is deliberately ignored: shipping targets deterministic
+// peers, so every member derives the same follower set for any node and
+// the quorum takeover protocol knows exactly who to compare with.
 func (r *ring) successor(node string) string {
-	if len(r.nodes) < 2 {
-		return ""
-	}
 	i := sort.SearchStrings(r.nodes, node)
 	if i >= len(r.nodes) || r.nodes[i] != node {
 		return ""
 	}
-	// The ring-order successor of the node's lowest vnode would also
-	// work; sorted member order is just as deterministic and easier to
-	// reason about when reading logs.
-	return r.nodes[(i+1)%len(r.nodes)]
+	if s := r.successors(node, 1); len(s) > 0 {
+		return s[0]
+	}
+	return ""
 }

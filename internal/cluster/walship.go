@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,32 +15,99 @@ import (
 )
 
 // WAL shipping is the cluster's durability story for node death: every
-// node tails its own job journal and pushes the raw bytes to its ring
-// successor, which accumulates them in a per-origin shadow file. A
-// shipped chunk is addressed by (epoch, byte offset); the epoch changes
-// whenever the leader's journal is rewritten (compaction, restart), at
-// which point the follower truncates its shadow and resyncs from zero —
-// offsets are only comparable within one epoch. When the leader dies,
-// the follower parses the shadow exactly the way wal.Open parses a
+// node tails its own job journal and pushes the raw bytes to its two
+// ring successors (replicationFactor), each of which accumulates them in
+// a per-origin shadow file under an independent ack cursor. A shipped
+// chunk is addressed by (epoch, byte offset); the epoch changes whenever
+// the leader's journal is rewritten (compaction, restart), at which
+// point a follower truncates its shadow and resyncs from zero — offsets
+// are only comparable within one epoch. When the leader dies, its
+// followers parse their shadows exactly the way wal.Open parses a
 // crashed log (tolerating the torn tail a mid-chunk death leaves) and
-// adopts the records: proven results seed its cache, unfinished jobs
-// re-run there under their original IDs.
+// the quorum takeover protocol (node.runTakeover) picks the follower
+// holding more acked records to adopt them: proven results seed its
+// cache, unfinished jobs re-run there under their original IDs. Two
+// followers means the journal survives two simultaneous failures —
+// origin plus one follower.
 
-// shipper tails the local journal to the designated follower.
+// shipCursor is one follower's ack position in the local journal.
+type shipCursor struct {
+	id     string
+	mu     sync.Mutex
+	offset int64
+	epoch  uint64 // journal epoch the offset is valid in
+}
+
+// shipper tails the local journal to the current followers. The
+// follower set is dynamic: every installed view retargets it at the new
+// ring successors, keeping cursors for retained followers and starting
+// new ones from scratch.
 type shipper struct {
-	n        *Node
-	log      *wal.Log
-	follower string
+	n   *Node
+	log *wal.Log
+	// send delivers one chunk to a follower; injected so fault-matrix
+	// tests can interpose loss, lag, and divergence without sockets.
+	send func(follower string, req shipRequest) (shipResponse, error)
 
-	notify  chan struct{}
-	offset  int64
-	epoch   uint64
+	notify chan struct{}
+
+	mu      sync.Mutex
+	cursors map[string]*shipCursor
+
 	shipped atomic.Int64
 	resyncs atomic.Int64
 }
 
-func newShipper(n *Node, log *wal.Log, follower string) *shipper {
-	return &shipper{n: n, log: log, follower: follower, notify: make(chan struct{}, 1)}
+func newShipper(n *Node, log *wal.Log) *shipper {
+	s := &shipper{n: n, log: log, notify: make(chan struct{}, 1), cursors: map[string]*shipCursor{}}
+	s.send = n.shipSend
+	return s
+}
+
+// retarget points the shipper at a new follower set: cursors of
+// retained followers keep their ack position, new followers start from
+// zero (epoch 0 never matches a live journal, forcing a clean resync),
+// and dropped followers are forgotten — their stale shadows are the
+// dropped follower's to discard (installView does) or truncate on the
+// next epoch mismatch.
+func (s *shipper) retarget(followers []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := make(map[string]bool, len(followers))
+	for _, f := range followers {
+		keep[f] = true
+		if _, ok := s.cursors[f]; !ok {
+			s.cursors[f] = &shipCursor{id: f}
+		}
+	}
+	for f := range s.cursors {
+		if !keep[f] {
+			delete(s.cursors, f)
+		}
+	}
+}
+
+// followers returns the current follower IDs, sorted.
+func (s *shipper) followers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.cursors))
+	for id := range s.cursors {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *shipper) snapshotCursors() []*shipCursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*shipCursor, 0, len(s.cursors))
+	for _, c := range s.cursors {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
 }
 
 // wake nudges the shipper after a journal append (non-blocking; a full
@@ -68,28 +137,42 @@ func (s *shipper) run() {
 	}
 }
 
-// shipPending pushes journal bytes until the follower is caught up or
+// shipPending pushes journal bytes to every follower independently: one
+// follower being down or lagging never blocks the other's replication.
+func (s *shipper) shipPending() {
+	for _, c := range s.snapshotCursors() {
+		s.shipTo(c)
+	}
+}
+
+// shipTo pushes journal bytes until the follower is caught up or
 // unreachable. The iteration bound makes a pathological disagreement
 // loop (follower repeatedly asking for an offset we just sent) fail
 // safe into the next tick instead of spinning.
-func (s *shipper) shipPending() {
+func (s *shipper) shipTo(c *shipCursor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for i := 0; i < 64; i++ {
-		data, next, epoch, err := s.log.TailFrom(s.offset, s.n.cfg.ShipChunkBytes)
-		if errors.Is(err, wal.ErrOutOfRange) || (err == nil && epoch != s.epoch) {
-			// Compaction rewrote the journal out from under our cursor:
+		data, next, epoch, err := s.log.TailFrom(c.offset, s.n.cfg.ShipChunkBytes)
+		if errors.Is(err, wal.ErrOutOfRange) || (err == nil && epoch != c.epoch) {
+			// Compaction rewrote the journal out from under the cursor:
 			// start the new epoch from zero.
-			if s.epoch != 0 {
+			if c.epoch != 0 {
 				s.resyncs.Add(1)
 			}
-			s.epoch, s.offset = epoch, 0
+			c.epoch, c.offset = epoch, 0
 			continue
 		}
 		if err != nil || len(data) == 0 {
 			return
 		}
-		var resp shipResponse
-		rerr := s.n.postJSON(s.n.mem.url(s.follower)+"/cluster/v1/walship",
-			shipRequest{Node: s.n.cfg.NodeID, Epoch: epoch, Offset: s.offset, Data: data}, &resp)
+		resp, rerr := s.send(c.id, shipRequest{
+			Node:         s.n.cfg.NodeID,
+			ClusterEpoch: s.n.epoch(),
+			Epoch:        epoch,
+			Offset:       c.offset,
+			Data:         data,
+		})
 		if rerr != nil {
 			return // follower down; the ticker retries
 		}
@@ -98,15 +181,47 @@ func (s *shipper) shipPending() {
 			// did): adopt its cursor and re-ship from there.
 			s.resyncs.Add(1)
 			if resp.WantEpoch == epoch {
-				s.offset = resp.WantOffset
+				c.offset = resp.WantOffset
 			} else {
-				s.offset = 0
+				c.offset = 0
 			}
 			continue
 		}
 		s.shipped.Add(int64(len(data)))
-		s.offset = next
+		c.offset = next
 	}
+}
+
+// ReplicaInfo is one follower's replication position in /statsz.
+type ReplicaInfo struct {
+	// AckedOffset is the journal byte offset the follower has durably
+	// acknowledged; WALEpoch is the journal epoch it is valid in.
+	AckedOffset int64  `json:"acked_offset"`
+	WALEpoch    uint64 `json:"wal_epoch"`
+	// LagBytes is how far the follower trails the journal's durable
+	// end; a follower on a stale epoch lags by the whole log.
+	LagBytes int64 `json:"lag_bytes"`
+}
+
+// replicas reports per-follower replication lag.
+func (s *shipper) replicas() map[string]ReplicaInfo {
+	end, curEpoch := s.log.Size(), s.log.Epoch()
+	out := map[string]ReplicaInfo{}
+	for _, c := range s.snapshotCursors() {
+		c.mu.Lock()
+		info := ReplicaInfo{AckedOffset: c.offset, WALEpoch: c.epoch}
+		if c.epoch == curEpoch {
+			info.LagBytes = end - c.offset
+		} else {
+			info.LagBytes = end
+		}
+		if info.LagBytes < 0 {
+			info.LagBytes = 0
+		}
+		c.mu.Unlock()
+		out[c.id] = info
+	}
+	return out
 }
 
 // shadow is one origin's accumulated journal bytes on a follower.
@@ -201,10 +316,43 @@ func (st *shadowStore) records(origin string) ([]wal.Record, error) {
 	return wal.ParseSegment(data), nil
 }
 
-func (st *shadowStore) count() int {
+// origins lists every origin with an on-disk shadow (including shadows
+// from before a restart that nothing has shipped to yet).
+func (st *shadowStore) origins() []string {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".shadow.wal"); ok && !e.IsDir() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// drop discards an origin's shadow — the yielding side of a quorum
+// takeover (the co-follower with more acked records adopts) and the
+// re-shard path where this node stops being one of the origin's
+// followers. Dropping (rather than keeping a stale file) is what makes
+// the takeover verdict symmetric: a follower that yielded reports zero
+// records afterwards, so the late-deciding co-follower still adopts.
+func (st *shadowStore) drop(origin string) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	return len(st.m)
+	if sh, ok := st.m[origin]; ok {
+		sh.mu.Lock()
+		sh.f.Close()
+		sh.mu.Unlock()
+		delete(st.m, origin)
+	}
+	st.mu.Unlock()
+	os.Remove(st.pathFor(origin))
+}
+
+func (st *shadowStore) count() int {
+	return len(st.origins())
 }
 
 func (st *shadowStore) close() {

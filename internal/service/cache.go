@@ -80,6 +80,22 @@ func (c *cache) put(key string, res *Result) {
 	c.index[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 }
 
+// each calls fn for every cached entry. The entry list is snapshotted
+// under the lock and fn runs outside it, so fn may re-enter the cache;
+// results are immutable once stored, so the shared pointers are safe to
+// hand out.
+func (c *cache) each(fn func(key string, res *Result)) {
+	c.mu.Lock()
+	entries := make([]*cacheEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*cacheEntry))
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		fn(e.key, e.res)
+	}
+}
+
 // stats snapshots the counters.
 func (c *cache) stats() CacheStats {
 	c.mu.Lock()

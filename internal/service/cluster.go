@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strings"
 	"time"
 
 	"configsynth/internal/wal"
@@ -55,6 +56,86 @@ func (s *Service) CacheLookup(fingerprint string, mode Mode) (*Result, bool) {
 	}
 	cp := *res
 	return &cp, true
+}
+
+// CacheEach iterates the proven-result cache — the re-sharding handoff
+// streams moved-range entries to their new ring owner with it. The
+// callback's result pointer is shared and must be treated as immutable.
+func (s *Service) CacheEach(fn func(fingerprint string, mode Mode, res *Result)) {
+	s.cache.each(func(key string, res *Result) {
+		mode, fp, ok := strings.Cut(key, ":")
+		if !ok {
+			return
+		}
+		fn(fp, Mode(mode), res)
+	})
+}
+
+// CacheSeed inserts a peer-shipped proven result (re-sharding handoff).
+// Only provable answers are accepted — unsat, or exact undegraded sat —
+// mirroring what the local solve path would have cached.
+func (s *Service) CacheSeed(fingerprint string, mode Mode, res *Result) {
+	if fingerprint == "" || res == nil {
+		return
+	}
+	if res.Status != "unsat" &&
+		!(res.Status == "sat" && res.Design != nil && res.Design.Exact && !res.Degraded) {
+		return
+	}
+	cp := *res
+	cp.Cached = false
+	cp.Session = ""
+	s.cache.put(cacheKey(fingerprint, mode), &cp)
+}
+
+// JobIDsWithPrefix lists every registered job ID (pending or retained
+// terminal) under prefix. The join handshake aggregates this across
+// members to compute a rejoining node's truncation set: any ID the
+// cluster holds must not be replayed from the joiner's stale journal.
+func (s *Service) JobIDsWithPrefix(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id := range s.jobs {
+		if strings.HasPrefix(id, prefix) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrSuperseded is the terminal outcome of a stale replayed job whose
+// ID the cluster adopted while this node was down: the rejoin handshake
+// drops the local copy so the ID has exactly one cluster-wide holder.
+var ErrSuperseded = errors.New("service: job superseded by cluster takeover")
+
+// DropSuperseded truncates still-pending replayed jobs whose IDs the
+// cluster reported as adopted: each is finished with ErrSuperseded,
+// journaled terminal (so the next replay skips it), and fully
+// deregistered — the adopter is the job's one holder now, and a client
+// polling the ID on this node gets 404 rather than a shadow copy.
+// Already-terminal and unknown IDs are skipped. Returns the drop count.
+func (s *Service) DropSuperseded(ids []string) int {
+	dropped := 0
+	for _, id := range ids {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if !j.finish(nil, ErrSuperseded) {
+			continue
+		}
+		s.journalResult(j)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.droppedStale.Add(1)
+		dropped++
+	}
+	return dropped
 }
 
 // QueueLen reports the current queue depth: the work-stealing signal
@@ -109,6 +190,14 @@ type StolenJob struct {
 // ReenqueueStolen. Only jobs with a replayable source are eligible,
 // since a stolen job ships as spec text.
 func (s *Service) StealJobs(peer string, max int) []StolenJob {
+	return s.DelegateMatching(peer, max, nil)
+}
+
+// DelegateMatching is StealJobs with a fingerprint filter: the
+// re-sharding handoff uses it to delegate exactly the queued jobs whose
+// fingerprints fall in ranges this node no longer owns. A nil match
+// accepts every job.
+func (s *Service) DelegateMatching(peer string, max int, match func(fingerprint string) bool) []StolenJob {
 	if peer == "" || max <= 0 {
 		return nil
 	}
@@ -125,6 +214,9 @@ func (s *Service) StealJobs(peer string, max int) []StolenJob {
 	for _, j := range cands {
 		if len(out) >= max {
 			break
+		}
+		if match != nil && !match(j.Fingerprint) {
+			continue
 		}
 		if !j.tryDelegate(peer) {
 			continue
@@ -269,6 +361,10 @@ type AdoptReport struct {
 // already registered are skipped, making adoption idempotent under
 // double replay and under racing takeovers.
 func (s *Service) Adopt(records []wal.Record) AdoptReport {
+	// /readyz reports 503 for the duration: a node mid-adoption is still
+	// rebuilding its cache and job set.
+	s.adopting.Add(1)
+	defer s.adopting.Add(-1)
 	var rep AdoptReport
 	st := scanJournal(records, s.idPrefix())
 	for _, rr := range st.proven {

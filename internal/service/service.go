@@ -210,6 +210,9 @@ type Stats struct {
 	// JobsAdopted counts jobs re-enqueued from a dead peer's shipped
 	// journal during cluster takeover.
 	JobsAdopted int64 `json:"jobs_adopted,omitempty"`
+	// JobsDroppedStale counts replayed jobs this node truncated because
+	// the rejoin handshake found their IDs adopted by a peer.
+	JobsDroppedStale int64 `json:"jobs_dropped_stale,omitempty"`
 
 	Cache CacheStats `json:"cache"`
 	// RegionCache reports the decomposed solver's region-level result
@@ -273,6 +276,17 @@ type Service struct {
 	// replayPending tracks re-enqueued journal jobs that have not yet
 	// reached a terminal state; /readyz reports 503 until it drains.
 	replayPending atomic.Int64
+	// held is set by OpenHeld: the worker pool has not started because
+	// the cluster join handshake must reconcile the journal first.
+	// /readyz reports 503 until StartWorkers releases it.
+	held atomic.Bool
+	// adopting counts in-flight Adopt calls; /readyz reports 503 while
+	// a peer's journal is being absorbed so load balancers don't route
+	// to a node still rebuilding its cache.
+	adopting atomic.Int64
+	// droppedStale counts replayed jobs truncated by DropSuperseded —
+	// the rejoin handshake found their IDs adopted elsewhere.
+	droppedStale atomic.Int64
 	// draining flips once shutdown begins: the service stops accepting
 	// before it finishes in-flight work.
 	draining atomic.Bool
@@ -299,6 +313,34 @@ func New(cfg Config) *Service {
 // the journal is compacted.
 func Open(cfg Config) (*Service, error) {
 	return open(cfg, true)
+}
+
+// OpenHeld opens the service like Open but leaves the worker pool
+// unstarted and /readyz at 503: the cluster join handshake runs first,
+// truncating journal-replayed jobs whose IDs the cluster adopted while
+// this node was down (DropSuperseded), and only then does StartWorkers
+// release the pool. Without the hold, a stale replayed job could start
+// solving before the handshake learns a peer already owns its ID.
+func OpenHeld(cfg Config) (*Service, error) {
+	s, err := open(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	s.held.Store(true)
+	return s, nil
+}
+
+// StartWorkers releases a service opened with OpenHeld: the worker pool
+// starts and /readyz stops reporting the hold. Idempotent; a no-op on a
+// service Open already started.
+func (s *Service) StartWorkers() {
+	if !s.held.CompareAndSwap(true, false) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 }
 
 // open is the constructor body; startWorkers false leaves the pool
@@ -512,8 +554,10 @@ func (s *Service) Drain(ctx context.Context) error {
 }
 
 // Ready reports whether the service should receive new traffic, and if
-// not, why: the journal replay has not finished re-proving its jobs,
-// the queue is saturated, or shutdown has begun.
+// not, why: the cluster join handshake is still holding the worker
+// pool, the journal replay has not finished re-proving its jobs, a dead
+// peer's journal is mid-adoption, the queue is saturated, or shutdown
+// has begun.
 func (s *Service) Ready() (bool, string) {
 	if s.draining.Load() {
 		return false, "draining"
@@ -524,8 +568,14 @@ func (s *Service) Ready() (bool, string) {
 	if closed {
 		return false, "closed"
 	}
+	if s.held.Load() {
+		return false, "cluster join in progress"
+	}
 	if s.replayPending.Load() > 0 {
 		return false, "replaying journal"
+	}
+	if s.adopting.Load() > 0 {
+		return false, "adopting peer journal"
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		return false, "queue saturated"
@@ -1044,6 +1094,7 @@ func (s *Service) Stats() Stats {
 		JobsStolenFromMe:    s.stolenFromMe.Load(),
 		JobsStolenCompleted: s.stolenDone.Load(),
 		JobsAdopted:         s.adopted.Load(),
+		JobsDroppedStale:    s.droppedStale.Load(),
 		Ready:               ready,
 		Cache:               s.cache.stats(),
 		RegionCache:         s.decomp.CacheStats(),

@@ -349,6 +349,15 @@ func ParseSegment(data []byte) []Record {
 	return recs
 }
 
+// Size returns the durable end of the log in bytes — the offset a
+// fully caught-up shipping follower would have acked. The gap between
+// Size and a follower's acked offset is that follower's replica lag.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
 // Stats snapshots the log counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()

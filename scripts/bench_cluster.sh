@@ -75,10 +75,15 @@ kill -9 "${PIDS[0]}" 2>/dev/null
 sleep 0.3
 
 # Run 3: the same workload against 3 nodes with the same per-node cache.
+# Each node runs with a journal, so the measured throughput includes the
+# full durability tax: local WAL appends plus shipping every record to
+# the two ring successors and waiting out their acks in the background.
 PIDS=()
 for i in 0 1 2; do
+  mkdir -p "$WORKDIR/n$((i + 1))"
   /tmp/confserved -addr "127.0.0.1:${PORTS[$i]}" -workers 2 -cache "$CACHE" \
-    -node-id "n$((i + 1))" -peers "$PEERS" >/dev/null 2>&1 &
+    -node-id "n$((i + 1))" -peers "$PEERS" \
+    -journal "$WORKDIR/n$((i + 1))/journal.ndjson" >/dev/null 2>&1 &
   PIDS+=($!)
 done
 for p in "${PORTS[@]}"; do wait_up "$p"; done
@@ -95,7 +100,7 @@ speedup="$(awk -v a="$cluster_rps" -v b="$single_rps" 'BEGIN { printf "%.2f", a 
   echo '  "serve":'
   sed 's/^/  /' "$WORKDIR/serve.json" | sed '$ s/$/,/'
   echo '  "cluster_scaling": {'
-  echo "    \"workload\": {\"requests\": $REQUESTS, \"problems\": $PROBLEMS, \"pool_hosts\": $POOL_HOSTS, \"cache_entries_per_node\": $CACHE},"
+  echo "    \"workload\": {\"requests\": $REQUESTS, \"problems\": $PROBLEMS, \"pool_hosts\": $POOL_HOSTS, \"cache_entries_per_node\": $CACHE, \"replicated_wal\": true},"
   echo '    "single_node":'
   sed 's/^/    /' "$WORKDIR/single.json" | sed '$ s/$/,/'
   echo '    "cluster_3node":'

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Cluster smoke: boot a 3-node confserved cluster (fingerprint routing,
-# peer cache fill, WAL shipping to ring successors), drive a batch
-# sweep across all three endpoints, and verify the cluster behaves as
-# one cache: repeats are answered without re-solving and forwarding
-# counters prove the routing happened. Then the chaos half: accept
-# async jobs on one node, kill -9 it mid-work, and assert its WAL
-# follower adopts the shipped journal — every accepted job reaches a
-# terminal state under its original ID on exactly one survivor.
+# Cluster churn smoke: boot a 4-node confserved cluster (fingerprint
+# routing, peer cache fill, WAL shipping to the two ring successors),
+# drive a batch sweep across all endpoints, and verify the cluster
+# behaves as one cache. Then the churn half: accept async jobs on two
+# nodes, kill -9 both mid-batch — n3 and n4 are each other's neighbors,
+# so one takeover runs the quorum verdict between two live followers and
+# the other runs the two-failure path (co-follower died with the origin)
+# — and assert every accepted job reaches a terminal state under its
+# original ID on exactly one survivor while the batch client fails over
+# without errors. Finally restart n3 with its stale journal via the
+# epoch-handshake -join flow and assert it is re-admitted, truncates the
+# superseded jobs, and serves fresh work.
 set -euo pipefail
 
-PORTS=(8741 8742 8743)
-IDS=(n1 n2 n3)
-PEERS="n1=http://127.0.0.1:8741,n2=http://127.0.0.1:8742,n3=http://127.0.0.1:8743"
+PORTS=(8741 8742 8743 8744)
+IDS=(n1 n2 n3 n4)
+PEERS="n1=http://127.0.0.1:8741,n2=http://127.0.0.1:8742,n3=http://127.0.0.1:8743,n4=http://127.0.0.1:8744"
 WORKDIR="$(mktemp -d)"
 declare -a PIDS=()
 
@@ -74,7 +78,7 @@ start_node() { # index
   PIDS[$i]=$!
 }
 
-for i in 0 1 2; do start_node "$i"; done
+for i in 0 1 2 3; do start_node "$i"; done
 for p in "${PORTS[@]}"; do
   wait_http "http://127.0.0.1:$p/healthz" 200
   wait_http "http://127.0.0.1:$p/readyz" 200
@@ -82,84 +86,116 @@ done
 N1="http://127.0.0.1:${PORTS[0]}"
 N2="http://127.0.0.1:${PORTS[1]}"
 N3="http://127.0.0.1:${PORTS[2]}"
+N4="http://127.0.0.1:${PORTS[3]}"
 
-# Phase 1: a batch sweep spread over all three endpoints, twice. The
+# Phase 1: a batch sweep spread over all four endpoints, twice. The
 # first pass is cache-miss-heavy (every problem cold somewhere); the
 # second replays the same fixed-seed pool, so fingerprint routing must
 # answer repeats from the owners' caches instead of re-solving.
-/tmp/confload -targets "$N1,$N2,$N3" -clients 6 -requests 36 -problems 12 >/dev/null
-solved_cold="$(sum_stat jobs_completed "$N1" "$N2" "$N3")"
-/tmp/confload -targets "$N1,$N2,$N3" -clients 6 -requests 36 -problems 12 >/dev/null
+/tmp/confload -targets "$N1,$N2,$N3,$N4" -clients 6 -requests 48 -problems 12 >/dev/null
+solved_cold="$(sum_stat jobs_completed "$N1" "$N2" "$N3" "$N4")"
+/tmp/confload -targets "$N1,$N2,$N3,$N4" -clients 6 -requests 48 -problems 12 >/dev/null
 
-forwarded="$(sum_stat requests_forwarded "$N1" "$N2" "$N3")"
+forwarded="$(sum_stat requests_forwarded "$N1" "$N2" "$N3" "$N4")"
 if [ "$forwarded" -lt 1 ]; then
   echo "no requests were forwarded to fingerprint owners" >&2
   exit 1
 fi
-hits="$(sum_stat hits "$N1" "$N2" "$N3")"
+hits="$(sum_stat hits "$N1" "$N2" "$N3" "$N4")"
 if [ "$hits" -lt 1 ]; then
   echo "repeat sweep produced no cache hits across the cluster" >&2
   exit 1
 fi
 
-# Peer cache fill: posting with the forwarding loop-guard header pins
-# the request to the receiving node, so non-owners of this (already
-# solved and cached) problem must fetch the proven result from the
-# owner's cache over the fill RPC instead of re-solving.
-for base in "$N1" "$N2" "$N3"; do
+# Peer cache fill: first an unpinned post, which forwards to the
+# example problem's fingerprint owner and leaves the proven result in
+# the owner's cache. Then posting with the forwarding loop-guard header
+# pins the request to each receiving node, so non-owners must fetch the
+# result from the owner's cache over the fill RPC instead of re-solving.
+curl -sf -X POST "$N1/v1/synthesize?example=1&timeout=60s" >/dev/null
+for base in "$N1" "$N2" "$N3" "$N4"; do
   curl -sf -X POST -H 'X-Confsynth-Forwarded: smoke' \
     "$base/v1/synthesize?example=1&timeout=60s" >/dev/null
 done
-fills="$(sum_stat fill_hits "$N1" "$N2" "$N3")"
+fills="$(sum_stat fill_hits "$N1" "$N2" "$N3" "$N4")"
 if [ "$fills" -lt 1 ]; then
   echo "no peer cache fills despite pinned repeat posts" >&2
   exit 1
 fi
 echo "phase 1 OK: $solved_cold cold jobs, $forwarded forwarded, $hits cache hits, $fills peer fills"
 
-# Phase 2: chaos. Accept slow async jobs on n1 (pinned there by the
-# loop-guard header so they land in n1's journal), let the WAL shipper
-# stream them to n1's follower, then kill -9 n1 mid-work.
+# Phase 2: churn. Accept slow async jobs on n3 and n4 (pinned there by
+# the loop-guard header so they land in those journals), let the WAL
+# shipper stream them to the followers, then kill -9 both nodes while a
+# batch is in flight across all four endpoints.
 JOB_IDS=()
-for i in 1 2 3; do
-  resp="$(curl -sf -X POST -H 'X-Confsynth-Forwarded: smoke' \
-    "$N1/v1/synthesize?example=1&mode=max-isolation&async=1&timeout=30s")"
-  id="$(echo "$resp" | grep -o '"job_id": "[^"]*"' | cut -d'"' -f4)"
-  if [ -z "$id" ]; then
-    echo "async submit to n1 returned no job id: $resp" >&2
-    exit 1
-  fi
-  JOB_IDS+=("$id")
+for base in "$N3" "$N4"; do
+  for i in 1 2; do
+    resp="$(curl -sf -X POST -H 'X-Confsynth-Forwarded: smoke' \
+      "$base/v1/synthesize?example=1&mode=max-isolation&async=1&timeout=30s")"
+    id="$(echo "$resp" | grep -o '"job_id": "[^"]*"' | cut -d'"' -f4)"
+    if [ -z "$id" ]; then
+      echo "async submit returned no job id: $resp" >&2
+      exit 1
+    fi
+    JOB_IDS+=("$id")
+  done
 done
-sleep 1 # let the shipper stream the submit records to the follower
+sleep 1 # let the shipper stream the submit records to the followers
 
-kill -9 "${PIDS[0]}"
-wait "${PIDS[0]}" 2>/dev/null || true
+/tmp/confload -targets "$N1,$N2,$N3,$N4" -clients 6 -requests 80 -problems 20 \
+  -json "$WORKDIR/churn.json" >"$WORKDIR/churn.out" 2>&1 &
+BATCH_PID=$!
+sleep 0.5
+kill -9 "${PIDS[2]}" "${PIDS[3]}"
+wait "${PIDS[2]}" 2>/dev/null || true
+wait "${PIDS[3]}" 2>/dev/null || true
 
-# One survivor (n1's ring successor) must adopt the shipped journal.
-takeovers=0
-for i in $(seq 1 100); do
-  takeovers="$(sum_stat takeovers "$N2" "$N3")"
-  if [ "$takeovers" -ge 1 ]; then break; fi
-  sleep 0.2
-done
-if [ "$takeovers" -ne 1 ]; then
-  echo "takeovers across survivors = $takeovers, want exactly 1" >&2
-  curl -s "$N2/statsz" >&2 || true
-  curl -s "$N3/statsz" >&2 || true
+# The batch must ride out both deaths: dead endpoints are skipped with
+# the capped backoff and every request completes elsewhere.
+if ! wait "$BATCH_PID"; then
+  echo "mid-churn batch failed:" >&2
+  cat "$WORKDIR/churn.out" >&2
+  exit 1
+fi
+batch_errors="$(grep -o '"errors": [0-9]*' "$WORKDIR/churn.json" | grep -o '[0-9]*$')"
+if [ "${batch_errors:-1}" -ne 0 ]; then
+  echo "mid-churn batch reported $batch_errors errors, want 0" >&2
+  cat "$WORKDIR/churn.out" >&2
   exit 1
 fi
 
-# Exactly-once: every job n1 accepted reaches a terminal state under
-# its original ID on exactly one survivor — the follower that adopted
-# the journal. A non-terminal job answers 200 with "status": queued/
-# running; a terminal one answers with the result ("status": sat/...)
-# or, for a deadline-canceled max-isolation run, a 4xx error. Anything
-# but 404 means the node knows the job; what is forbidden is a job that
-# vanished (0 holders) or lives on two nodes (2 holders).
+# Both deaths must settle into takeovers: n4's followers (n1, n2) run
+# the quorum verdict, n3's surviving follower adopts alone after its
+# co-follower n4 died with it — exactly one adoption per victim.
+takeovers=0
+for i in $(seq 1 150); do
+  takeovers="$(sum_stat takeovers "$N1" "$N2")"
+  if [ "$takeovers" -ge 2 ]; then break; fi
+  sleep 0.2
+done
+if [ "$takeovers" -ne 2 ]; then
+  echo "takeovers across survivors = $takeovers, want exactly 2" >&2
+  curl -s "$N1/statsz" >&2 || true
+  curl -s "$N2/statsz" >&2 || true
+  exit 1
+fi
+epoch="$(stat_of "$N1" epoch)"
+if [ "$epoch" -lt 2 ]; then
+  echo "survivor epoch $epoch after two deaths, want >= 2" >&2
+  exit 1
+fi
+
+# Exactly-once: every job the victims accepted reaches a terminal state
+# under its original ID on exactly one survivor. A non-terminal job
+# answers 200 with "status": queued/running; a terminal one answers with
+# the result ("status": sat/...) or, for a deadline-canceled
+# max-isolation run, a 4xx error. Anything but 404 means the node knows
+# the job; what is forbidden is a job that vanished (0 holders) or lives
+# on two nodes (2 holders).
 for id in "${JOB_IDS[@]}"; do
   holders=0
-  for base in "$N2" "$N3"; do
+  for base in "$N1" "$N2"; do
     code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/jobs/$id")"
     if [ "$code" != "404" ]; then holders=$((holders + 1)); fi
   done
@@ -169,7 +205,7 @@ for id in "${JOB_IDS[@]}"; do
   fi
   terminal=""
   for i in $(seq 1 200); do
-    for base in "$N2" "$N3"; do
+    for base in "$N1" "$N2"; do
       code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/jobs/$id")"
       if [ "$code" = "404" ]; then continue; fi
       if [ "$code" != "200" ]; then
@@ -191,18 +227,72 @@ for id in "${JOB_IDS[@]}"; do
   fi
   echo "  job $id: terminal ($terminal) on exactly one survivor"
 done
-adopted="$(sum_stat jobs_adopted "$N2" "$N3")"
+adopted="$(sum_stat jobs_adopted "$N1" "$N2")"
 if [ "$adopted" -lt "${#JOB_IDS[@]}" ]; then
-  echo "follower adopted $adopted jobs, want >= ${#JOB_IDS[@]}" >&2
+  echo "survivors adopted $adopted jobs, want >= ${#JOB_IDS[@]}" >&2
+  exit 1
+fi
+echo "phase 2 OK: 2 takeovers, epoch $epoch, ${#JOB_IDS[@]} jobs adopted exactly once, mid-churn batch clean"
+
+# Phase 3: stale rejoin. Restart n3 on its old journal — which still
+# holds the submit records of jobs the survivors adopted — through the
+# epoch join handshake. It must be re-admitted at a bumped epoch, drop
+# the superseded replayed jobs (the adopter keeps sole ownership), and
+# serve fresh work.
+/tmp/confserved -addr "127.0.0.1:${PORTS[2]}" -workers 2 \
+  -node-id n3 -advertise "http://127.0.0.1:${PORTS[2]}" -join "$N1,$N2" \
+  -heartbeat 200ms -suspect-after 2 -dead-after 4 \
+  -journal "$WORKDIR/n3/journal.ndjson" >"$WORKDIR/n3/rejoin.out" 2>&1 &
+PIDS[2]=$!
+wait_http "$N3/readyz" 200 200 || {
+  cat "$WORKDIR/n3/rejoin.out" >&2
+  exit 1
+}
+if ! grep -q "joined cluster" "$WORKDIR/n3/rejoin.out"; then
+  echo "rejoined n3 never reported the join handshake:" >&2
+  cat "$WORKDIR/n3/rejoin.out" >&2
+  exit 1
+fi
+dropped="$(stat_of "$N3" jobs_dropped_stale)"
+if [ "$dropped" -lt 1 ]; then
+  echo "rejoined n3 dropped $dropped stale jobs, want >= 1" >&2
   exit 1
 fi
 
-# The survivors still serve fresh work as a cluster.
-post="$(curl -sf -X POST "$N2/v1/synthesize?example=1&timeout=60s")"
+# The rejoin view converges: all three live nodes agree on an epoch past
+# the two deaths plus the join.
+for i in $(seq 1 100); do
+  e1="$(stat_of "$N1" epoch)"
+  e2="$(stat_of "$N2" epoch)"
+  e3="$(stat_of "$N3" epoch)"
+  if [ "$e1" -ge 3 ] && [ "$e1" = "$e2" ] && [ "$e1" = "$e3" ]; then break; fi
+  sleep 0.2
+done
+if [ "$e1" -lt 3 ] || [ "$e1" != "$e2" ] || [ "$e1" != "$e3" ]; then
+  echo "views did not converge after rejoin: n1=$e1 n2=$e2 n3=$e3" >&2
+  exit 1
+fi
+
+# The dropped IDs still have exactly one cluster-wide holder (the
+# adopter); the rejoined node answers 404 for them.
+for id in "${JOB_IDS[@]}"; do
+  holders=0
+  for base in "$N1" "$N2" "$N3"; do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/jobs/$id")"
+    if [ "$code" != "404" ]; then holders=$((holders + 1)); fi
+  done
+  if [ "$holders" -ne 1 ]; then
+    echo "after rejoin, job $id has $holders holders, want exactly 1" >&2
+    exit 1
+  fi
+done
+
+# The rejoined node serves fresh work as a member.
+post="$(curl -sf -X POST "$N3/v1/synthesize?example=1&timeout=60s")"
 echo "$post" | grep -q '"status": "sat"' || {
-  echo "post-takeover synthesis not sat:" >&2
+  echo "post-rejoin synthesis via n3 not sat:" >&2
   echo "$post" >&2
   exit 1
 }
 
-echo "cluster smoke OK: $forwarded forwarded, $fills peer fills, 1 takeover, ${#JOB_IDS[@]} jobs adopted exactly once"
+echo "cluster smoke OK: $forwarded forwarded, $fills peer fills, 2 takeovers, ${#JOB_IDS[@]} jobs adopted exactly once, n3 rejoined at epoch $e3 dropping $dropped stale jobs"
